@@ -1,0 +1,162 @@
+//! Shared CPU sampling routines for the baseline systems.
+//!
+//! Implements the *barriered* parallelism strategy of paper Fig. 3a (top):
+//! threads cooperate **within** each mini-batch, splitting the layer's
+//! target list; layer dependencies force a join (barrier) after every
+//! layer. RingSampler's contrasting design (batches partitioned across
+//! threads, no barriers) lives in the core crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringsampler::block::{sort_dedup, BatchSample, LayerSample};
+use ringsampler::sampling::OffsetSampler;
+use ringsampler_graph::{CsrGraph, NodeId};
+
+/// Samples one layer from an in-memory CSR for a slice of targets.
+///
+/// Returns `(src_pos, dst)` with `src_pos` relative to `pos_base`.
+pub fn sample_layer_slice(
+    csr: &CsrGraph,
+    targets: &[NodeId],
+    pos_base: u32,
+    fanout: usize,
+    rng: &mut StdRng,
+    sampler: &mut OffsetSampler,
+) -> (Vec<u32>, Vec<NodeId>) {
+    let mut src_pos = Vec::new();
+    let mut dst = Vec::new();
+    let mut picks = Vec::new();
+    for (i, &t) in targets.iter().enumerate() {
+        let nbrs = csr.neighbors(t);
+        picks.clear();
+        sampler.sample_range(0, nbrs.len() as u64, fanout, rng, &mut picks);
+        for &p in &picks {
+            src_pos.push(pos_base + i as u32);
+            dst.push(nbrs[p as usize]);
+        }
+    }
+    (src_pos, dst)
+}
+
+/// Samples a full multi-layer mini-batch with per-layer thread barriers
+/// (the Fig. 3a strategy used by the in-memory and Marius-like baselines).
+pub fn sample_batch_barriered(
+    csr: &CsrGraph,
+    seeds: &[NodeId],
+    fanouts: &[usize],
+    threads: usize,
+    seed: u64,
+) -> BatchSample {
+    let threads = threads.max(1);
+    let mut targets: Vec<NodeId> = seeds.to_vec();
+    let mut layers = Vec::with_capacity(fanouts.len());
+    for (li, &fanout) in fanouts.iter().enumerate() {
+        // Split the layer's targets across threads; every thread gets an
+        // independent RNG stream so results are deterministic for a fixed
+        // thread count.
+        let chunk = targets.len().div_ceil(threads).max(1);
+        let pieces: Vec<(Vec<u32>, Vec<NodeId>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, slice)| {
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (li as u64) << 32 ^ (ci as u64).wrapping_mul(0x9E37_79B9),
+                        );
+                        let mut sampler = OffsetSampler::new();
+                        sample_layer_slice(
+                            csr,
+                            slice,
+                            (ci * chunk) as u32,
+                            fanout,
+                            &mut rng,
+                            &mut sampler,
+                        )
+                    })
+                })
+                .collect();
+            // The join below is the per-layer barrier of Fig. 3a.
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        let mut src_pos = Vec::new();
+        let mut dst = Vec::new();
+        for (s, d) in pieces {
+            src_pos.extend(s);
+            dst.extend(d);
+        }
+        let layer = LayerSample {
+            fanout,
+            targets: targets.clone(),
+            src_pos,
+            dst,
+        };
+        let mut next = layer.dst.clone();
+        sort_dedup(&mut next);
+        targets = next;
+        layers.push(layer);
+    }
+    BatchSample { layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr() -> CsrGraph {
+        let mut edges = Vec::new();
+        for v in 0..50u32 {
+            for j in 0..(v % 7) {
+                edges.push((v, (v * 3 + j + 1) % 50));
+            }
+        }
+        CsrGraph::from_edges(50, edges).unwrap()
+    }
+
+    #[test]
+    fn barriered_sample_is_valid() {
+        let g = csr();
+        let seeds: Vec<NodeId> = (0..50).collect();
+        let s = sample_batch_barriered(&g, &seeds, &[3, 2], 4, 1);
+        assert_eq!(s.layers.len(), 2);
+        for layer in &s.layers {
+            for (src, dst) in layer.iter_edges() {
+                assert!(g.neighbors(src).contains(&dst));
+            }
+            for (pos, &t) in layer.targets.iter().enumerate() {
+                let got = layer.src_pos.iter().filter(|&&p| p as usize == pos).count();
+                assert_eq!(got, (g.degree(t) as usize).min(layer.fanout));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_threads() {
+        let g = csr();
+        let seeds: Vec<NodeId> = (5..25).collect();
+        let a = sample_batch_barriered(&g, &seeds, &[4, 3], 3, 9);
+        let b = sample_batch_barriered(&g, &seeds, &[4, 3], 3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = csr();
+        let s = sample_batch_barriered(&g, &[1, 2, 3], &[2], 1, 0);
+        assert_eq!(s.layers.len(), 1);
+        assert_eq!(s.seeds(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn more_threads_than_targets() {
+        let g = csr();
+        let s = sample_batch_barriered(&g, &[6], &[2, 2], 16, 0);
+        assert_eq!(s.layers.len(), 2);
+        for layer in &s.layers {
+            for (src, dst) in layer.iter_edges() {
+                assert!(g.neighbors(src).contains(&dst));
+            }
+        }
+    }
+}

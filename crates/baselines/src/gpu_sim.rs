@@ -1,0 +1,405 @@
+//! GPU sampling simulator (the paper's **DGL-GPU / DGL-UVA /
+//! gSampler-GPU / gSampler-UVA** baselines).
+//!
+//! We have no NVIDIA A100 in this reproduction environment, so the GPU is
+//! substituted per the documented rule (DESIGN.md): the *sampling
+//! computation* runs for real on the CPU (producing valid samples and
+//! exact work counters), and the *reported time* comes from a device cost
+//! model with three terms the paper's analysis depends on:
+//!
+//! 1. per-(batch × layer) kernel-launch latency,
+//! 2. device sampling throughput (edges/second),
+//! 3. interconnect transfers — UVA modes read graph data from host memory
+//!    over PCIe; all modes copy the sample back to the host (§2.2.2's
+//!    three-step workflow).
+//!
+//! Capacity is modeled too: GPU-resident modes require the device-format
+//! graph to fit HBM; UVA modes charge host memory instead. Both reproduce
+//! Fig. 4's OOM bars on the large graphs.
+
+use std::time::Instant;
+
+use ringsampler::{EpochReport, MemoryBudget, MemoryCharge, Result, SampleMetrics, SamplerError};
+use ringsampler_graph::{CsrGraph, NodeId, OnDiskGraph};
+
+use crate::cpu_shared::sample_batch_barriered;
+use crate::traits::{NeighborSampler, SystemReport};
+
+/// Where the graph lives during GPU sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuMode {
+    /// Graph resident in GPU HBM (paper: DGL-GPU / gSampler-GPU).
+    DeviceResident,
+    /// Graph in host memory, accessed through Unified Virtual Addressing
+    /// (paper: DGL-UVA / gSampler-UVA).
+    Uva,
+}
+
+/// Which framework's performance profile to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuFlavor {
+    /// DGL v2.3 GPU sampling pipeline.
+    Dgl,
+    /// gSampler (SOSP '23): faster fused sampling kernels.
+    GSampler,
+}
+
+/// Device cost/capacity model.
+///
+/// Default constants are order-of-magnitude figures for an A100-class GPU
+/// on PCIe 4.0; they are *not* fitted to the paper's absolute numbers —
+/// only the relations the evaluation relies on matter (device ≫ CPU
+/// throughput, UVA < resident, HBM capacity finite).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceModel {
+    /// HBM capacity in bytes (A100: 80 GB).
+    pub device_mem_bytes: u64,
+    /// Device-format blow-up over compact u32 CSR (int64 ids + CSC copy).
+    pub device_expansion: f64,
+    /// Host-format blow-up for UVA-pinned graphs (matches DGL host format).
+    pub host_expansion: f64,
+    /// Seconds per kernel launch (one sampling kernel per batch × layer).
+    pub kernel_launch_seconds: f64,
+    /// Device sampling throughput, sampled edges per second.
+    pub device_edges_per_sec: f64,
+    /// Effective PCIe bandwidth for UVA random reads, bytes/second.
+    pub uva_bytes_per_sec: f64,
+    /// Device-to-host copy bandwidth for results, bytes/second.
+    pub d2h_bytes_per_sec: f64,
+}
+
+impl DeviceModel {
+    /// A100-80GB profile for the given flavor.
+    pub fn a100(flavor: GpuFlavor) -> Self {
+        let (launch, rate) = match flavor {
+            GpuFlavor::Dgl => (50e-6, 1.5e9),
+            // gSampler's fused kernels: fewer/faster launches, higher rate.
+            GpuFlavor::GSampler => (20e-6, 3.0e9),
+        };
+        Self {
+            device_mem_bytes: 80 << 30,
+            device_expansion: 2.5,
+            host_expansion: 8.0,
+            kernel_launch_seconds: launch,
+            device_edges_per_sec: rate,
+            uva_bytes_per_sec: 11e9,
+            d2h_bytes_per_sec: 12e9,
+        }
+    }
+
+    /// Scales capacity fields by `1/scale` to match down-scaled datasets
+    /// (throughput/latency terms are left untouched — the device does not
+    /// get slower because the dataset shrank).
+    pub fn scaled(mut self, scale: u64) -> Self {
+        self.device_mem_bytes /= scale.max(1);
+        self
+    }
+
+    /// Scales the *rate* terms (sampling throughput and interconnect
+    /// bandwidths) by `num/den`.
+    ///
+    /// Calibration rule (DESIGN.md): the paper's device competes against a
+    /// 64-core EPYC; this sandbox has fewer cores, so the device's rates
+    /// are scaled by `local_threads / 64` to preserve the paper's
+    /// device-to-CPU time ratios. Per-core CPU throughput here measures
+    /// within ~25% of the paper machine's, so the ratio transfer is sound.
+    pub fn rates_scaled(mut self, num: usize, den: usize) -> Self {
+        let f = num.max(1) as f64 / den.max(1) as f64;
+        self.device_edges_per_sec *= f;
+        self.uva_bytes_per_sec *= f;
+        self.d2h_bytes_per_sec *= f;
+        self
+    }
+}
+
+/// The simulated GPU sampling system.
+pub struct GpuSimSampler {
+    csr: CsrGraph,
+    mode: GpuMode,
+    flavor: GpuFlavor,
+    model: DeviceModel,
+    fanouts: Vec<usize>,
+    batch_size: usize,
+    cpu_threads: usize,
+    seed: u64,
+    _host_charge: Option<MemoryCharge>,
+}
+
+impl std::fmt::Debug for GpuSimSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuSimSampler")
+            .field("mode", &self.mode)
+            .field("flavor", &self.flavor)
+            .finish()
+    }
+}
+
+impl GpuSimSampler {
+    /// Builds the simulator, enforcing the mode's capacity constraints.
+    ///
+    /// # Errors
+    /// `SamplerError::OutOfMemory` if the device-format graph exceeds HBM
+    /// (resident mode) or the host-format graph exceeds the host budget
+    /// (UVA mode) — the paper's OOM outcomes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        disk: &OnDiskGraph,
+        mode: GpuMode,
+        flavor: GpuFlavor,
+        model: DeviceModel,
+        fanouts: &[usize],
+        batch_size: usize,
+        cpu_threads: usize,
+        budget: &MemoryBudget,
+        seed: u64,
+    ) -> Result<Self> {
+        let compact = disk.metadata_bytes() + disk.num_edges() * 4;
+        let host_charge = match mode {
+            GpuMode::DeviceResident => {
+                let need = (compact as f64 * model.device_expansion) as u64;
+                if need > model.device_mem_bytes {
+                    return Err(SamplerError::OutOfMemory {
+                        requested: need,
+                        available: model.device_mem_bytes,
+                        what: "GPU device memory",
+                    });
+                }
+                None
+            }
+            GpuMode::Uva => {
+                let need = (compact as f64 * model.host_expansion) as u64;
+                Some(budget.charge(need, "UVA-pinned host graph")?)
+            }
+        };
+        let csr = disk.load_csr()?;
+        Ok(Self {
+            csr,
+            mode,
+            flavor,
+            model,
+            fanouts: fanouts.to_vec(),
+            batch_size: batch_size.max(1),
+            cpu_threads: cpu_threads.max(1),
+            seed,
+            _host_charge: host_charge,
+        })
+    }
+
+    fn modeled_seconds(&self, metrics: &SampleMetrics) -> f64 {
+        let launches = (metrics.batches * self.fanouts.len() as u64) as f64;
+        let mut t = launches * self.model.kernel_launch_seconds;
+        t += metrics.sampled_edges as f64 / self.model.device_edges_per_sec;
+        if self.mode == GpuMode::Uva {
+            // UVA: every sampled entry plus offset lookups crosses PCIe
+            // (~12 B per sampled edge: 4 B entry + amortized 8 B offsets).
+            t += metrics.sampled_edges as f64 * 12.0 / self.model.uva_bytes_per_sec;
+        }
+        // Copy the COO sample (src,dst as int64 pairs = 16 B/edge) back.
+        t += metrics.sampled_edges as f64 * 16.0 / self.model.d2h_bytes_per_sec;
+        t
+    }
+}
+
+impl NeighborSampler for GpuSimSampler {
+    fn name(&self) -> &'static str {
+        match (self.flavor, self.mode) {
+            (GpuFlavor::Dgl, GpuMode::DeviceResident) => "DGL-GPU",
+            (GpuFlavor::Dgl, GpuMode::Uva) => "DGL-UVA",
+            (GpuFlavor::GSampler, GpuMode::DeviceResident) => "gSampler-GPU",
+            (GpuFlavor::GSampler, GpuMode::Uva) => "gSampler-UVA",
+        }
+    }
+
+    fn sample_epoch(&mut self, targets: &[NodeId]) -> Result<SystemReport> {
+        let start = Instant::now();
+        let batches: Vec<&[NodeId]> = targets.chunks(self.batch_size).collect();
+        // Real sampling (for valid outputs + exact counters), parallel
+        // across batches on the CPU — the GPU's massive parallelism is
+        // captured by the cost model, not by CPU wall time.
+        let threads = self.cpu_threads.min(batches.len().max(1));
+        let csr = &self.csr;
+        let fanouts = &self.fanouts;
+        let seed = self.seed;
+        let partials: Vec<SampleMetrics> = std::thread::scope(|scope| {
+            (0..threads)
+                .map(|t| {
+                    let batches = &batches;
+                    scope.spawn(move || {
+                        let mut m = SampleMetrics::default();
+                        let mut idx = t;
+                        while idx < batches.len() {
+                            let s = sample_batch_barriered(
+                                csr,
+                                batches[idx],
+                                fanouts,
+                                1,
+                                seed ^ (idx as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+                            );
+                            m.batches += 1;
+                            m.layers += s.layers.len() as u64;
+                            m.sampled_edges += s.num_sampled_edges() as u64;
+                            idx += threads;
+                        }
+                        m
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        let mut metrics = SampleMetrics::default();
+        for p in &partials {
+            metrics.merge(p);
+        }
+        let modeled = self.modeled_seconds(&metrics);
+        Ok(SystemReport {
+            measured: EpochReport {
+                metrics,
+                wall: start.elapsed(),
+                threads,
+            },
+            modeled_seconds: Some(modeled),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsampler_graph::edgefile::write_csr;
+
+    fn disk_graph(tag: &str, nodes: u32, deg: u32) -> OnDiskGraph {
+        let base = std::env::temp_dir().join(format!("rs-bl-gpu-{}-{tag}", std::process::id()));
+        let mut edges = Vec::new();
+        for v in 0..nodes {
+            for j in 0..deg {
+                edges.push((v, (v + j + 1) % nodes));
+            }
+        }
+        let csr = CsrGraph::from_edges(nodes as usize, edges).unwrap();
+        write_csr(&csr, &base).unwrap()
+    }
+
+    fn mk(
+        g: &OnDiskGraph,
+        mode: GpuMode,
+        flavor: GpuFlavor,
+        model: DeviceModel,
+        budget: &MemoryBudget,
+    ) -> Result<GpuSimSampler> {
+        GpuSimSampler::new(g, mode, flavor, model, &[3, 2], 16, 2, budget, 7)
+    }
+
+    #[test]
+    fn names_match_paper_legend() {
+        let g = disk_graph("names", 60, 4);
+        let b = MemoryBudget::unlimited();
+        let m = DeviceModel::a100(GpuFlavor::Dgl);
+        assert_eq!(
+            mk(&g, GpuMode::DeviceResident, GpuFlavor::Dgl, m, &b)
+                .unwrap()
+                .name(),
+            "DGL-GPU"
+        );
+        assert_eq!(
+            mk(&g, GpuMode::Uva, GpuFlavor::GSampler, DeviceModel::a100(GpuFlavor::GSampler), &b)
+                .unwrap()
+                .name(),
+            "gSampler-UVA"
+        );
+    }
+
+    #[test]
+    fn epoch_reports_modeled_time() {
+        let g = disk_graph("epoch", 100, 5);
+        let b = MemoryBudget::unlimited();
+        let mut s = mk(
+            &g,
+            GpuMode::DeviceResident,
+            GpuFlavor::Dgl,
+            DeviceModel::a100(GpuFlavor::Dgl),
+            &b,
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..100).collect();
+        let r = s.sample_epoch(&targets).unwrap();
+        assert!(r.modeled_seconds.is_some());
+        assert!(r.reported_seconds() > 0.0);
+        assert!(r.measured.metrics.sampled_edges > 0);
+    }
+
+    #[test]
+    fn device_oom_when_graph_exceeds_hbm() {
+        let g = disk_graph("hbmoom", 200, 8);
+        let mut model = DeviceModel::a100(GpuFlavor::Dgl);
+        model.device_mem_bytes = 1024; // tiny HBM
+        let b = MemoryBudget::unlimited();
+        match mk(&g, GpuMode::DeviceResident, GpuFlavor::Dgl, model, &b) {
+            Err(SamplerError::OutOfMemory { what, .. }) => {
+                assert_eq!(what, "GPU device memory")
+            }
+            other => panic!("expected OOM, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn uva_charges_host_budget() {
+        let g = disk_graph("uvaoom", 200, 8);
+        let model = DeviceModel::a100(GpuFlavor::Dgl);
+        let small = MemoryBudget::limited(100);
+        assert!(matches!(
+            mk(&g, GpuMode::Uva, GpuFlavor::Dgl, model, &small),
+            Err(SamplerError::OutOfMemory { .. })
+        ));
+        // Resident mode ignores the host budget.
+        assert!(mk(&g, GpuMode::DeviceResident, GpuFlavor::Dgl, model, &small).is_ok());
+    }
+
+    #[test]
+    fn uva_is_modeled_slower_than_resident() {
+        let g = disk_graph("uvaslow", 150, 6);
+        let b = MemoryBudget::unlimited();
+        let model = DeviceModel::a100(GpuFlavor::Dgl);
+        let targets: Vec<NodeId> = (0..150).collect();
+        let mut res = mk(&g, GpuMode::DeviceResident, GpuFlavor::Dgl, model, &b).unwrap();
+        let mut uva = mk(&g, GpuMode::Uva, GpuFlavor::Dgl, model, &b).unwrap();
+        let t_res = res.sample_epoch(&targets).unwrap().reported_seconds();
+        let t_uva = uva.sample_epoch(&targets).unwrap().reported_seconds();
+        assert!(t_uva > t_res, "UVA {t_uva} should exceed resident {t_res}");
+    }
+
+    #[test]
+    fn gsampler_is_modeled_faster_than_dgl() {
+        let g = disk_graph("flavors", 150, 6);
+        let b = MemoryBudget::unlimited();
+        let targets: Vec<NodeId> = (0..150).collect();
+        let mut dgl = mk(
+            &g,
+            GpuMode::DeviceResident,
+            GpuFlavor::Dgl,
+            DeviceModel::a100(GpuFlavor::Dgl),
+            &b,
+        )
+        .unwrap();
+        let mut gs = mk(
+            &g,
+            GpuMode::DeviceResident,
+            GpuFlavor::GSampler,
+            DeviceModel::a100(GpuFlavor::GSampler),
+            &b,
+        )
+        .unwrap();
+        let td = dgl.sample_epoch(&targets).unwrap().reported_seconds();
+        let tg = gs.sample_epoch(&targets).unwrap().reported_seconds();
+        assert!(tg < td);
+    }
+
+    #[test]
+    fn scaled_model_shrinks_capacity_only() {
+        let m = DeviceModel::a100(GpuFlavor::Dgl);
+        let s = m.scaled(400);
+        assert_eq!(s.device_mem_bytes, m.device_mem_bytes / 400);
+        assert_eq!(s.device_edges_per_sec, m.device_edges_per_sec);
+    }
+}

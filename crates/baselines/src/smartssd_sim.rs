@@ -1,0 +1,232 @@
+//! SmartSSD (in-situ FPGA) sampling simulator — the paper's **SmartSSD**
+//! baseline \[29\].
+//!
+//! No Samsung SmartSSD is available here, so per the substitution rule the
+//! sampling itself runs for real (valid samples, exact counters) while the
+//! *reported* time comes from a cost model of the two bottlenecks §4.2
+//! identifies:
+//!
+//! 1. "significant overhead caused by transferring data from the SSD to
+//!    FPGA memory" — the FPGA scans **full neighbor lists** of every
+//!    target (it cannot do offset-based 4-byte picks over the NAND
+//!    channels), so the transfer term integrates the *degree sum* of all
+//!    targets;
+//! 2. "limited computational power of the FPGA compared to the CPU" — a
+//!    low edges/second sampling rate.
+//!
+//! Capacity: the host still keeps staging structures; the paper measures
+//! "the SmartSSD approach requires at least 8 GB" (§4.3), modeled as a
+//! fixed host-floor charge.
+
+use ringsampler::{MemoryBudget, MemoryCharge, Result, RingSampler, SamplerConfig};
+use ringsampler_graph::{NodeId, OnDiskGraph};
+
+use crate::traits::{NeighborSampler, SystemReport};
+
+/// FPGA/SSD cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct SmartSsdModel {
+    /// SSD→FPGA streaming bandwidth, bytes/second (P2P over the device's
+    /// internal link).
+    pub ssd_to_fpga_bytes_per_sec: f64,
+    /// FPGA sampling throughput over scanned edges, edges/second.
+    pub fpga_edges_per_sec: f64,
+    /// Fixed overhead per (batch × layer) kernel invocation, seconds.
+    pub invocation_seconds: f64,
+    /// Host-side staging floor, bytes (paper: ≥ 8 GB at full scale).
+    pub host_floor_bytes: u64,
+}
+
+impl Default for SmartSsdModel {
+    fn default() -> Self {
+        Self {
+            ssd_to_fpga_bytes_per_sec: 1.5e9,
+            fpga_edges_per_sec: 15e6,
+            invocation_seconds: 2e-3,
+            host_floor_bytes: 8 << 30,
+        }
+    }
+}
+
+impl SmartSsdModel {
+    /// Scales the host floor by `1/scale` for down-scaled datasets.
+    pub fn scaled(mut self, scale: u64) -> Self {
+        self.host_floor_bytes /= scale.max(1);
+        self
+    }
+
+    /// Scales the rate terms by `num/den` — same calibration rule as
+    /// [`crate::gpu_sim::DeviceModel::rates_scaled`]: the paper's FPGA is
+    /// benchmarked against 64 CPU cores, so on an `N`-core host its rates
+    /// shrink by `N/64` to preserve the paper's 30–60× CPU:FPGA ratio.
+    pub fn rates_scaled(mut self, num: usize, den: usize) -> Self {
+        let f = num.max(1) as f64 / den.max(1) as f64;
+        self.ssd_to_fpga_bytes_per_sec *= f;
+        self.fpga_edges_per_sec *= f;
+        self
+    }
+}
+
+/// The simulated SmartSSD sampling system.
+pub struct SmartSsdSampler {
+    inner: RingSampler,
+    model: SmartSsdModel,
+    _host_charge: MemoryCharge,
+}
+
+impl std::fmt::Debug for SmartSsdSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartSsdSampler").field("model", &self.model).finish()
+    }
+}
+
+impl SmartSsdSampler {
+    /// Builds the simulator over a stored graph.
+    ///
+    /// # Errors
+    /// `SamplerError::OutOfMemory` if the host floor does not fit `budget`
+    /// (reproduces Fig. 5: SmartSSD cannot run at the 4 GB limit).
+    pub fn new(
+        disk: &OnDiskGraph,
+        model: SmartSsdModel,
+        fanouts: &[usize],
+        batch_size: usize,
+        budget: &MemoryBudget,
+        seed: u64,
+    ) -> Result<Self> {
+        let host_charge = budget.charge(model.host_floor_bytes, "SmartSSD host staging")?;
+        // The real work runs through a small internal sampler; its own
+        // accounting is intentionally *not* tied to `budget` (the FPGA's
+        // device memory is not host memory).
+        let cfg = SamplerConfig::new()
+            .fanouts(fanouts)
+            .batch_size(batch_size)
+            .threads(2)
+            .seed(seed);
+        let inner = RingSampler::new(disk.clone(), cfg)?;
+        Ok(Self {
+            inner,
+            model,
+            _host_charge: host_charge,
+        })
+    }
+}
+
+impl NeighborSampler for SmartSsdSampler {
+    fn name(&self) -> &'static str {
+        "SmartSSD"
+    }
+
+    fn sample_epoch(&mut self, targets: &[NodeId]) -> Result<SystemReport> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let scanned_edges = AtomicU64::new(0);
+        let graph = self.inner.graph().clone();
+        let measured = self.inner.sample_epoch_with(targets, |_, sample| {
+            // The FPGA streams each target's full neighbor list.
+            let mut scanned = 0u64;
+            for layer in &sample.layers {
+                for &t in &layer.targets {
+                    scanned += graph.degree(t);
+                }
+            }
+            scanned_edges.fetch_add(scanned, Ordering::Relaxed);
+        })?;
+        let scanned = scanned_edges.load(Ordering::Relaxed);
+        let m = &self.model;
+        // One FPGA kernel invocation per (batch × layer) pass.
+        let invocations = measured.metrics.layers as f64;
+        let modeled = scanned as f64 * 4.0 / m.ssd_to_fpga_bytes_per_sec
+            + scanned as f64 / m.fpga_edges_per_sec
+            + invocations * m.invocation_seconds;
+        Ok(SystemReport {
+            measured,
+            modeled_seconds: Some(modeled),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsampler_graph::edgefile::write_csr;
+    use ringsampler_graph::CsrGraph;
+
+    fn disk_graph(tag: &str) -> OnDiskGraph {
+        let base = std::env::temp_dir().join(format!("rs-bl-ssd-{}-{tag}", std::process::id()));
+        let mut edges = Vec::new();
+        for v in 0..100u32 {
+            for j in 0..(v % 8) {
+                edges.push((v, (v + j + 1) % 100));
+            }
+        }
+        let csr = CsrGraph::from_edges(100, edges).unwrap();
+        write_csr(&csr, &base).unwrap()
+    }
+
+    fn small_model() -> SmartSsdModel {
+        SmartSsdModel {
+            host_floor_bytes: 1 << 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reports_modeled_time_above_measurable_floor() {
+        let g = disk_graph("model");
+        let mut s = SmartSsdSampler::new(
+            &g,
+            small_model(),
+            &[3, 2],
+            16,
+            &MemoryBudget::unlimited(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(s.name(), "SmartSSD");
+        let targets: Vec<NodeId> = (0..100).collect();
+        let r = s.sample_epoch(&targets).unwrap();
+        assert!(r.modeled_seconds.unwrap() > 0.0);
+        assert!(r.measured.metrics.sampled_edges > 0);
+    }
+
+    #[test]
+    fn host_floor_enforced() {
+        let g = disk_graph("floor");
+        let budget = MemoryBudget::limited(1 << 10); // 1 KiB < 1 MiB floor
+        assert!(matches!(
+            SmartSsdSampler::new(&g, small_model(), &[3], 16, &budget, 0),
+            Err(ringsampler::SamplerError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn deeper_sampling_costs_more_modeled_time() {
+        let g = disk_graph("hops");
+        let targets: Vec<NodeId> = (0..100).collect();
+        let t1 = {
+            let mut s = SmartSsdSampler::new(
+                &g,
+                small_model(),
+                &[4],
+                16,
+                &MemoryBudget::unlimited(),
+                3,
+            )
+            .unwrap();
+            s.sample_epoch(&targets).unwrap().modeled_seconds.unwrap()
+        };
+        let t3 = {
+            let mut s = SmartSsdSampler::new(
+                &g,
+                small_model(),
+                &[4, 4, 4],
+                16,
+                &MemoryBudget::unlimited(),
+                3,
+            )
+            .unwrap();
+            s.sample_epoch(&targets).unwrap().modeled_seconds.unwrap()
+        };
+        assert!(t3 > t1);
+    }
+}

@@ -1,0 +1,85 @@
+//! The common interface every sampling system implements, so the benchmark
+//! harness can sweep systems uniformly (paper Fig. 4's eight bars).
+
+use ringsampler::{EpochReport, Result};
+use ringsampler_graph::NodeId;
+
+/// Outcome of one sampling epoch for any system.
+#[derive(Debug, Clone, Default)]
+pub struct SystemReport {
+    /// Real execution: wall time + counters of the work actually performed.
+    pub measured: EpochReport,
+    /// For hardware-simulated systems (GPU, SmartSSD), the modeled device
+    /// time derived from work counters and the device cost model; `None`
+    /// for systems that run for real on this machine.
+    pub modeled_seconds: Option<f64>,
+}
+
+impl SystemReport {
+    /// The number a Fig. 4-style plot reports: modeled device time when the
+    /// system is simulated, real wall time otherwise.
+    pub fn reported_seconds(&self) -> f64 {
+        self.modeled_seconds.unwrap_or_else(|| self.measured.seconds())
+    }
+}
+
+/// A GNN neighborhood sampling system under evaluation.
+pub trait NeighborSampler {
+    /// Display name matching the paper's legend (e.g. "DGL-CPU").
+    fn name(&self) -> &'static str;
+
+    /// Samples one epoch over `targets` (mini-batching and fanouts are the
+    /// system's configuration).
+    ///
+    /// # Errors
+    /// `SamplerError::OutOfMemory` models the paper's OOM bars; I/O errors
+    /// propagate.
+    fn sample_epoch(&mut self, targets: &[NodeId]) -> Result<SystemReport>;
+}
+
+/// Adapter: RingSampler itself as a [`NeighborSampler`].
+#[derive(Debug)]
+pub struct RingSamplerSystem {
+    inner: ringsampler::RingSampler,
+}
+
+impl RingSamplerSystem {
+    /// Wraps a configured RingSampler.
+    pub fn new(inner: ringsampler::RingSampler) -> Self {
+        Self { inner }
+    }
+
+    /// Access the wrapped sampler.
+    pub fn inner(&self) -> &ringsampler::RingSampler {
+        &self.inner
+    }
+}
+
+impl NeighborSampler for RingSamplerSystem {
+    fn name(&self) -> &'static str {
+        "RingSampler"
+    }
+
+    fn sample_epoch(&mut self, targets: &[NodeId]) -> Result<SystemReport> {
+        let measured = self.inner.sample_epoch(targets)?;
+        Ok(SystemReport {
+            measured,
+            modeled_seconds: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn reported_prefers_modeled() {
+        let mut r = SystemReport::default();
+        r.measured.wall = Duration::from_secs(2);
+        assert_eq!(r.reported_seconds(), 2.0);
+        r.modeled_seconds = Some(30.0);
+        assert_eq!(r.reported_seconds(), 30.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the I/O substrate: ring submission overhead,
+//! scattered-read engines, and the queue-depth sweep that motivates the
+//! paper's ring size of 512.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ringsampler_io::engine::{read_group_blocking, GroupReader, PreadReader, ReadSlice, UringReader};
+use ringsampler_io::Ring;
+
+fn data_file(entries: u32) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rs-bench-micro-{entries}"));
+    if !path.exists() {
+        let data: Vec<u8> = (0..entries).flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&path, data).unwrap();
+    }
+    path
+}
+
+fn scattered_reqs(n: usize, entries: u32) -> Vec<ReadSlice> {
+    (0..n)
+        .map(|i| ReadSlice::new(((i as u64 * 2654435761) % entries as u64) * 4, 4))
+        .collect()
+}
+
+fn bench_nop_submission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring/nop_submit");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("batch64", |b| {
+        let mut ring = Ring::new(64).unwrap();
+        b.iter(|| {
+            for i in 0..64 {
+                ring.prepare_nop(i).unwrap();
+            }
+            ring.submit_and_wait(64).unwrap();
+            for _ in 0..64 {
+                ring.wait_completion().unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let entries = 4 << 20; // 16 MiB file
+    let path = data_file(entries);
+    let reqs = scattered_reqs(512, entries);
+
+    let mut g = c.benchmark_group("engine/scattered_512x4B");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("io_uring", |b| {
+        let mut r = UringReader::open(&path, 512).unwrap();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf = read_group_blocking(&mut r, &reqs, std::mem::take(&mut buf)).unwrap();
+        });
+    });
+    g.bench_function("pread", |b| {
+        let mut r = PreadReader::open(&path, 512).unwrap();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf = read_group_blocking(&mut r, &reqs, std::mem::take(&mut buf)).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let entries = 4 << 20;
+    let path = data_file(entries);
+    let total_reads = 2048usize;
+
+    let mut g = c.benchmark_group("engine/queue_depth");
+    g.throughput(Throughput::Elements(total_reads as u64));
+    for qd in [16u32, 64, 256, 512, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(qd), &qd, |b, &qd| {
+            let mut r = UringReader::open(&path, qd).unwrap();
+            let reqs = scattered_reqs(total_reads, entries);
+            let mut bufs: Vec<Vec<u8>> = Vec::new();
+            b.iter(|| {
+                // Double-buffered pipeline at this queue depth.
+                let mut prev = None;
+                for chunk in reqs.chunks(qd as usize) {
+                    let buf = bufs.pop().unwrap_or_default();
+                    let t = r.submit_group(chunk, buf).unwrap();
+                    if let Some(p) = prev.take() {
+                        bufs.push(r.complete_group(p).unwrap());
+                    }
+                    prev = Some(t);
+                }
+                if let Some(p) = prev {
+                    bufs.push(r.complete_group(p).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_nop_submission, bench_engines, bench_queue_depth
+}
+criterion_main!(benches);

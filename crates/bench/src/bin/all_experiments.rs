@@ -1,0 +1,32 @@
+//! Runs every paper experiment in sequence (Table 1, Figures 4–8) and
+//! prints a combined summary. Equivalent to invoking the six dedicated
+//! binaries; useful for one-shot reproduction runs.
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().expect("binary directory");
+    let experiments = [
+        ("table1", "Table 1 (datasets)"),
+        ("fig4_overall", "Figure 4 (overall comparison)"),
+        ("fig5_memory", "Figure 5 (memory constraints)"),
+        ("fig6_latency", "Figure 6 (on-demand CDF)"),
+        ("fig7_layers", "Figure 7 (hop sweep)"),
+        ("fig8_threads", "Figure 8 (thread scaling)"),
+    ];
+    let started = std::time::Instant::now();
+    for (bin, label) in experiments {
+        println!("\n===== {label} =====");
+        let status = Command::new(dir.join(bin)).status()?;
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!(
+        "\nall experiments complete in {:.1}s; tables under results/",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 4**: sampling time per epoch for all eight
+//! systems across the four datasets, with OOM markers.
+//!
+//! Capacities are the paper's divided by `RS_SCALE`: host DRAM 256 GB,
+//! GPU HBM 80 GB, SmartSSD host floor 8 GB. The expected shape (§4.2):
+//! only RingSampler and SmartSSD complete the two big graphs; GPU modes
+//! win on the two small graphs; RingSampler is competitive with DGL-GPU
+//! and beats all in-memory DGL-CPU runs; SmartSSD trails RingSampler by
+//! 30–60×; Marius OOMs in preprocessing on Yahoo/Synthetic.
+
+use ringsampler_bench::{
+    measure_system, HarnessConfig, SystemKind, DEFAULT_BATCH, DEFAULT_FANOUTS,
+};
+use ringsampler_graph::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = HarnessConfig::from_env();
+    println!(
+        "Figure 4 at 1/{} scale: {} targets/epoch, {} epochs, fanout {:?}, batch {}\n",
+        h.scale, h.targets_per_epoch, h.epochs, DEFAULT_FANOUTS, DEFAULT_BATCH
+    );
+    let datasets = catalog(h.scale);
+    let header = format!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "system (s/epoch)",
+        datasets[0].id.name(),
+        datasets[1].id.name(),
+        datasets[2].id.name(),
+        datasets[3].id.name()
+    );
+    let mut rows = Vec::new();
+    let mut matrix: Vec<Vec<ringsampler_bench::Outcome>> = Vec::new();
+    for kind in SystemKind::ALL {
+        let mut cells = Vec::new();
+        for spec in &datasets {
+            let graph = h.dataset(spec)?;
+            // Fresh scaled 256 GB budget per run (one cgroup per job).
+            let budget = h.host_budget();
+            let outcome = measure_system(
+                kind,
+                &graph,
+                &DEFAULT_FANOUTS,
+                DEFAULT_BATCH,
+                h.threads,
+                &budget,
+                &h,
+            )?;
+            eprintln!("  {} / {}: {}", kind.name(), spec.id.name(), outcome);
+            cells.push(outcome);
+        }
+        rows.push(format!(
+            "{:<14} {:>14} {:>14} {:>14} {:>14}",
+            kind.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        ));
+        matrix.push(cells);
+    }
+    // Log-scale bar charts per dataset, like the paper's Figure 4 panels.
+    for (d, spec) in datasets.iter().enumerate() {
+        let series: Vec<(String, ringsampler_bench::Outcome)> = SystemKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.name().to_string(), matrix[i][d]))
+            .collect();
+        rows.push(String::new());
+        rows.push(ringsampler_bench::render_log_bars(
+            &format!("[{}]", spec.id.name()),
+            &series,
+        ));
+    }
+    ringsampler_bench::emit_table("fig4_overall", &header, &rows)?;
+    Ok(())
+}

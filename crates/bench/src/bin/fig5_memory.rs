@@ -1,0 +1,176 @@
+//! Regenerates **Figure 5**: sampling performance of the out-of-core
+//! systems (RingSampler, SmartSSD, Marius) on ogbn-papers under memory
+//! constraints 4 GB → unlimited.
+//!
+//! Budgets are the paper's divided by `RS_SCALE` (the same rule as every
+//! other capacity). Expected shape (§4.3): RingSampler is the only system
+//! alive at the smallest budget, outperforms Marius and SmartSSD at every
+//! level, and is insensitive to the budget (its structures are `O(|V|)`).
+//! Marius runs only at the larger budgets (it keeps in-memory partitions
+//! for sampling *and* feature retrieval); SmartSSD needs its 8 GB host
+//! floor. Fig.-5 semantics: preprocessing happened before the cgroup was
+//! applied, so Marius's converter is not charged here.
+
+use ringsampler::{MemoryBudget, SamplerError};
+use ringsampler_baselines::{
+    MariusLikeSampler, NeighborSampler, RingSamplerSystem, SmartSsdModel, SmartSsdSampler,
+};
+use ringsampler_bench::{HarnessConfig, Outcome, DEFAULT_BATCH, DEFAULT_FANOUTS};
+use ringsampler_graph::{DatasetId, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = HarnessConfig::from_env();
+    let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
+    let graph = h.dataset(&spec)?;
+    println!(
+        "Figure 5 at 1/{} scale (ogbn-papers: {} nodes / {} edges), {} targets/epoch\n",
+        h.scale,
+        graph.num_nodes(),
+        graph.num_edges(),
+        h.targets_per_epoch
+    );
+
+    let levels: [(&str, Option<u64>); 6] = [
+        ("4GB", Some(4 << 30)),
+        ("8GB", Some(8 << 30)),
+        ("16GB", Some(16 << 30)),
+        ("32GB", Some(32 << 30)),
+        ("64GB", Some(64 << 30)),
+        ("Unlimited", None),
+    ];
+
+    let header = format!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "budget", "RingSampler", "SmartSSD", "Marius"
+    );
+    let mut rows = Vec::new();
+    let mut charts = Vec::new();
+    for (label, paper_bytes) in levels {
+        let budget_of = || match paper_bytes {
+            Some(b) => MemoryBudget::limited(b / h.scale),
+            None => MemoryBudget::unlimited(),
+        };
+        let mut cells = Vec::new();
+
+        // RingSampler. Memory use scales with threads × batch (the
+        // paper's §A.2 point: "the minimum memory requirement ... can be
+        // further reduced when using fewer threads"), so at tight budgets
+        // the harness sheds threads/batch exactly as an operator would.
+        let mut rs_outcome = Outcome::Oom;
+        for (threads, batch) in [
+            (h.threads.min(8), 256usize),
+            (h.threads.min(4), 128),
+            (h.threads.min(2), 64),
+            (1, 32),
+        ] {
+            let outcome = run(
+                |budget| {
+                    Ok(Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
+                        graph.clone(),
+                        ringsampler::SamplerConfig::new()
+                            .fanouts(&DEFAULT_FANOUTS)
+                            .batch_size(batch)
+                            .threads(threads)
+                            .budget(budget.clone())
+                            .seed(7),
+                    )?)))
+                },
+                budget_of(),
+                &h,
+                &graph,
+            )?;
+            if let Outcome::Seconds(_) = outcome {
+                rs_outcome = outcome;
+                break;
+            }
+        }
+        cells.push(rs_outcome);
+
+        // SmartSSD: scaled host floor.
+        cells.push(run(
+            |budget| {
+                Ok(Box::new(SmartSsdSampler::new(
+                    &graph,
+                    SmartSsdModel::default()
+                        .scaled(h.scale)
+                        .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                    &DEFAULT_FANOUTS,
+                    DEFAULT_BATCH,
+                    budget,
+                    7,
+                )?))
+            },
+            budget_of(),
+            &h,
+            &graph,
+        )?);
+
+        // Marius: preprocessing outside the cgroup (Fig.-5 semantics).
+        cells.push(run(
+            |budget| {
+                Ok(Box::new(
+                    MariusLikeSampler::new(
+                        &graph,
+                        32,
+                        &DEFAULT_FANOUTS,
+                        DEFAULT_BATCH,
+                        budget,
+                        false,
+                        7,
+                    )?
+                    .with_disk_model(
+                        ringsampler_baselines::marius_like::DiskModel::default()
+                            .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                    ),
+                ))
+            },
+            budget_of(),
+            &h,
+            &graph,
+        )?);
+
+        eprintln!("  {label}: RS={} SSD={} Marius={}", cells[0], cells[1], cells[2]);
+        rows.push(format!(
+            "{:<12} {:>12} {:>12} {:>12}",
+            label, cells[0], cells[1], cells[2]
+        ));
+        charts.push(ringsampler_bench::render_log_bars(
+            &format!("[{label}]"),
+            &[
+                ("RingSampler".to_string(), cells[0]),
+                ("SmartSSD".to_string(), cells[1]),
+                ("Marius".to_string(), cells[2]),
+            ],
+        ));
+    }
+    rows.push(String::new());
+    rows.extend(charts);
+    ringsampler_bench::emit_table("fig5_memory", &header, &rows)?;
+    Ok(())
+}
+
+fn run<F>(
+    build: F,
+    budget: MemoryBudget,
+    h: &HarnessConfig,
+    graph: &ringsampler_graph::OnDiskGraph,
+) -> Result<Outcome, SamplerError>
+where
+    F: Fn(&MemoryBudget) -> Result<Box<dyn NeighborSampler>, SamplerError>,
+{
+    let mut system = match build(&budget) {
+        Ok(s) => s,
+        Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
+        Err(e) => return Err(e),
+    };
+    let mut total = 0.0;
+    for epoch in 0..h.epochs {
+        let targets = h.epoch_targets(graph, epoch as u64);
+        match system.sample_epoch(&targets) {
+            Ok(r) => total += r.reported_seconds(),
+            Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Outcome::Seconds(total / h.epochs as f64))
+}

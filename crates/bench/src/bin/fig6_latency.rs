@@ -1,0 +1,73 @@
+//! Regenerates **Figure 6**: completion-time CDF of per-request
+//! (mini-batch size 1) inference sampling on ogbn-papers.
+//!
+//! The paper serves 1 M single-node requests; scaled runs serve
+//! `RS_TARGETS` requests. Expected shape (§4.4): a narrow gap between the
+//! median and tail percentiles — predictable latency under sustained load.
+
+use ringsampler::ondemand::run_on_demand;
+use ringsampler::{RingSampler, SamplerConfig};
+use ringsampler_bench::{HarnessConfig, DEFAULT_FANOUTS};
+use ringsampler_graph::{DatasetId, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = HarnessConfig::from_env();
+    let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
+    let graph = h.dataset(&spec)?;
+    let requests = h.targets_per_epoch;
+    println!(
+        "Figure 6 at 1/{} scale: {requests} single-node requests on ogbn-papers ({} nodes)\n",
+        h.scale,
+        graph.num_nodes()
+    );
+
+    let sampler = RingSampler::new(
+        graph.clone(),
+        SamplerConfig::new()
+            .fanouts(&DEFAULT_FANOUTS)
+            .batch_size(1) // the Fig. 6 setting
+            .threads(h.threads)
+            .seed(13),
+    )?;
+    let targets = h.epoch_targets(&graph, 0);
+    let report = run_on_demand(&sampler, &targets)?;
+
+    let header = format!("{:<12} {:>12} {:>18}", "percentile", "time (s)", "requests done");
+    let mut rows = Vec::new();
+    for (label, frac) in [("P50", 0.50), ("P90", 0.90), ("P95", 0.95), ("P99", 0.99)] {
+        rows.push(format!(
+            "{:<12} {:>12.3} {:>18}",
+            label,
+            report.percentile(frac).as_secs_f64(),
+            (report.requests as f64 * frac) as u64
+        ));
+    }
+    rows.push(format!(
+        "{:<12} {:>12.3} {:>18}",
+        "total",
+        report.wall.as_secs_f64(),
+        report.requests
+    ));
+    rows.push(format!(
+        "throughput   {:>12.0} requests/s",
+        report.throughput()
+    ));
+    rows.push(String::new());
+    rows.push("completion CDF:".to_string());
+    for (t, frac) in report.cdf_points(20) {
+        rows.push(format!(
+            "  {t:>8.3}s {:>6.1}%  {}",
+            frac * 100.0,
+            "#".repeat((frac * 50.0) as usize)
+        ));
+    }
+    ringsampler_bench::emit_table("fig6_latency", &header, &rows)?;
+
+    let p50 = report.percentile(0.50).as_secs_f64();
+    let p99 = report.percentile(0.99).as_secs_f64();
+    println!(
+        "\nP99/P50 ratio: {:.2} (paper: 2.28/1.15 = 1.98 — narrow median-to-tail gap)",
+        p99 / p50.max(1e-9)
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Regenerates **Figure 7** (Appendix A.1): sampling time of the
+//! out-of-core systems as GNN depth grows — fanouts `[20]`, `[20,15]`,
+//! `[20,15,10]`, `[20,15,10,5]` — on ogbn-papers, no memory limits.
+//!
+//! Expected shape: RingSampler fastest at every depth; ≥30× over
+//! SmartSSD throughout; the Marius gap *widens* with depth (partition
+//! churn compounds), from ~5× at 1 hop toward ~30× at 4 hops.
+
+use ringsampler::MemoryBudget;
+use ringsampler_baselines::{
+    MariusLikeSampler, NeighborSampler, RingSamplerSystem, SmartSsdModel, SmartSsdSampler,
+};
+use ringsampler_bench::{HarnessConfig, DEFAULT_BATCH};
+use ringsampler_graph::{DatasetId, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = HarnessConfig::from_env();
+    let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
+    let graph = h.dataset(&spec)?;
+    println!(
+        "Figure 7 at 1/{} scale (ogbn-papers), {} targets/epoch, {} epochs\n",
+        h.scale, h.targets_per_epoch, h.epochs
+    );
+
+    let hops: [&[usize]; 4] = [&[20], &[20, 15], &[20, 15, 10], &[20, 15, 10, 5]];
+    let header = format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "hops", "RingSampler", "SmartSSD", "Marius", "SSD/RS ratio", "Marius/RS"
+    );
+    let mut rows = Vec::new();
+    let mut charts = Vec::new();
+    for (k, fanouts) in hops.iter().enumerate() {
+        let budget = MemoryBudget::unlimited();
+
+        let mut rs: Box<dyn NeighborSampler> =
+            Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
+                graph.clone(),
+                ringsampler::SamplerConfig::new()
+                    .fanouts(fanouts)
+                    .batch_size(DEFAULT_BATCH)
+                    .threads(h.threads)
+                    .seed(3),
+            )?));
+        let mut ssd: Box<dyn NeighborSampler> = Box::new(SmartSsdSampler::new(
+            &graph,
+            SmartSsdModel::default()
+                .scaled(h.scale)
+                .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+            fanouts,
+            DEFAULT_BATCH,
+            &budget,
+            3,
+        )?);
+        let mut marius: Box<dyn NeighborSampler> = Box::new(
+            MariusLikeSampler::new(&graph, 32, fanouts, DEFAULT_BATCH, &budget, false, 3)?
+                .with_disk_model(
+                    ringsampler_baselines::marius_like::DiskModel::default()
+                        .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                ),
+        );
+
+        let mut secs = [0.0f64; 3];
+        for epoch in 0..h.epochs {
+            let targets = h.epoch_targets(&graph, epoch as u64);
+            secs[0] += rs.sample_epoch(&targets)?.reported_seconds();
+            secs[1] += ssd.sample_epoch(&targets)?.reported_seconds();
+            secs[2] += marius.sample_epoch(&targets)?.reported_seconds();
+        }
+        for s in &mut secs {
+            *s /= h.epochs as f64;
+        }
+        eprintln!(
+            "  {}-hop: RS={:.3}s SSD={:.3}s Marius={:.3}s",
+            k + 1,
+            secs[0],
+            secs[1],
+            secs[2]
+        );
+        rows.push(format!(
+            "{:<8} {:>12.3} {:>12.3} {:>12.3} {:>13.1}x {:>13.1}x",
+            format!("{}-hop", k + 1),
+            secs[0],
+            secs[1],
+            secs[2],
+            secs[1] / secs[0].max(1e-9),
+            secs[2] / secs[0].max(1e-9),
+        ));
+        charts.push(ringsampler_bench::render_log_bars(
+            &format!("[{}-hop]", k + 1),
+            &[
+                ("RingSampler".to_string(), ringsampler_bench::Outcome::Seconds(secs[0])),
+                ("SmartSSD".to_string(), ringsampler_bench::Outcome::Seconds(secs[1])),
+                ("Marius".to_string(), ringsampler_bench::Outcome::Seconds(secs[2])),
+            ],
+        ));
+    }
+    rows.push(String::new());
+    rows.extend(charts);
+    ringsampler_bench::emit_table("fig7_layers", &header, &rows)?;
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Table 1**: the four evaluation graphs with |V|, |E|, raw
+//! (text) size and binary size — at the harness scale, next to the
+//! paper-scale numbers for reference.
+
+use ringsampler_bench::HarnessConfig;
+use ringsampler_graph::stats::{human_bytes, GraphStats};
+use ringsampler_graph::textparse::text_size_bytes;
+use ringsampler_graph::{catalog, DatasetSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = HarnessConfig::from_env();
+    println!(
+        "Table 1 reproduction at 1/{} scale (RS_SCALE); paper-scale numbers in parentheses\n",
+        h.scale
+    );
+    let header = format!(
+        "{:<14} {:>12} {:>14} {:>12} {:>12} {:>10} {:>8}",
+        "Graph", "|V|", "|E|", "Raw Size", "Bin Size", "max deg", "skew"
+    );
+    let mut rows = Vec::new();
+    for spec in catalog(h.scale) {
+        let graph = h.dataset(&spec)?;
+        let stats = GraphStats::from_graph(&graph);
+        // Raw size: exact text-file byte count of the edge list (computed,
+        // not written — Table 1's "Raw Size" column).
+        let raw = text_size_bytes(regen_edges(&spec));
+        rows.push(format!(
+            "{:<14} {:>12} {:>14} {:>12} {:>12} {:>10} {:>8.0}  (paper: {}V {}E)",
+            spec.id.name(),
+            stats.num_nodes,
+            stats.num_edges,
+            human_bytes(raw),
+            human_bytes(stats.binary_bytes),
+            stats.max_degree,
+            stats.skew(),
+            fmt_big(spec.id.paper_nodes()),
+            fmt_big(spec.id.paper_edges()),
+        ));
+    }
+    ringsampler_bench::emit_table("table1", &header, &rows)?;
+    Ok(())
+}
+
+fn regen_edges(spec: &DatasetSpec) -> impl Iterator<Item = (u32, u32)> + use<> {
+    spec.generator.stream(spec.seed)
+}
+
+fn fmt_big(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.1}B", v as f64 / 1e9)
+    } else {
+        format!("{:.0}M", v as f64 / 1e6)
+    }
+}

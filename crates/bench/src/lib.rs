@@ -1,0 +1,436 @@
+//! # ringsampler-bench
+//!
+//! Benchmark harness regenerating every table and figure of the
+//! RingSampler paper (HotStorage '25). One binary per experiment:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset inventory and sizes |
+//! | `fig4_overall` | Fig. 4 — 8 systems × 4 graphs, sampling time/epoch |
+//! | `fig5_memory` | Fig. 5 — out-of-core systems under memory budgets |
+//! | `fig6_latency` | Fig. 6 — on-demand sampling completion CDF |
+//! | `fig7_layers` | Fig. 7 — hop sweep (1–4 layers) |
+//! | `fig8_threads` | Fig. 8 — thread scalability, constrained/unconstrained |
+//!
+//! Criterion benches (`cargo bench`) cover the micro/ablation studies the
+//! design motivates: sync vs async pipeline, offset vs full-list reads,
+//! queue-depth sweep, ring vs pread syscall counts.
+//!
+//! ## Scaling
+//!
+//! All experiments run on synthetic datasets with the paper's shapes at
+//! `RS_SCALE`-fold reduction (default 400; see DESIGN.md's substitution
+//! table). Memory budgets and device capacities are divided by the same
+//! factor, which preserves every capacity relationship in the paper
+//! (which systems OOM where). Other knobs: `RS_TARGETS` (targets per
+//! epoch, default 10000), `RS_EPOCHS` (measured epochs, default 3),
+//! `RS_DATA_DIR` (dataset cache, default `./data`).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use ringsampler::{epoch_targets, MemoryBudget, RingSampler, SamplerConfig, SamplerError};
+use ringsampler_baselines::marius_like::DiskModel;
+use ringsampler_baselines::{
+    DeviceModel, GpuFlavor, GpuMode, GpuSimSampler, InMemorySampler, MariusLikeSampler,
+    NeighborSampler, RingSamplerSystem, SmartSsdModel, SmartSsdSampler,
+};
+use ringsampler_graph::{DatasetSpec, NodeId, OnDiskGraph};
+
+/// Paper defaults (§4.1): 3 layers, fanout {20, 15, 10}.
+pub const DEFAULT_FANOUTS: [usize; 3] = [20, 15, 10];
+/// Paper default mini-batch size.
+pub const DEFAULT_BATCH: usize = 1024;
+/// Paper machine's DRAM (the implicit budget of Fig. 4).
+pub const PAPER_DRAM_BYTES: u64 = 256 << 30;
+/// Paper GPU HBM.
+pub const PAPER_HBM_BYTES: u64 = 80 << 30;
+/// The paper machine's core count. Simulated device rates are scaled by
+/// `local_threads / PAPER_THREADS` so device-to-CPU time ratios carry over
+/// to smaller hosts (per-core throughput here is within ~25% of the
+/// paper's EPYC 7713P; see DESIGN.md).
+pub const PAPER_THREADS: usize = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Harness-wide settings derived from the environment.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Dataset/memory down-scale divisor.
+    pub scale: u64,
+    /// Target nodes per measured epoch.
+    pub targets_per_epoch: usize,
+    /// Measured epochs per configuration (paper: 5).
+    pub epochs: usize,
+    /// Where generated datasets live.
+    pub data_dir: PathBuf,
+    /// Worker threads for RingSampler (paper: 64, clamped to cores).
+    pub threads: usize,
+}
+
+impl HarnessConfig {
+    /// Reads `RS_SCALE`, `RS_TARGETS`, `RS_EPOCHS`, `RS_DATA_DIR`,
+    /// `RS_THREADS` from the environment.
+    pub fn from_env() -> Self {
+        let scale = env_u64("RS_SCALE", 400);
+        let threads = env_u64(
+            "RS_THREADS",
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(8)
+                .min(64),
+        ) as usize;
+        Self {
+            scale,
+            targets_per_epoch: env_u64("RS_TARGETS", 10_000) as usize,
+            epochs: env_u64("RS_EPOCHS", 3) as usize,
+            data_dir: std::env::var("RS_DATA_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from("data")),
+            threads,
+        }
+    }
+
+    /// Materializes a dataset (generating it on first use).
+    ///
+    /// # Errors
+    /// Propagates generation/preprocessing errors.
+    pub fn dataset(&self, spec: &DatasetSpec) -> ringsampler_graph::Result<OnDiskGraph> {
+        spec.materialize(&self.data_dir)
+    }
+
+    /// The epoch's target nodes: a seeded permutation prefix of
+    /// `targets_per_epoch` nodes (the paper samples a fixed labeled/train
+    /// set each epoch).
+    pub fn epoch_targets(&self, graph: &OnDiskGraph, epoch: u64) -> Vec<NodeId> {
+        let mut t = epoch_targets(graph.num_nodes(), epoch, 0xBEEF);
+        t.truncate(self.targets_per_epoch);
+        t
+    }
+
+    /// Scaled host-DRAM budget (Fig. 4's implicit 256 GB).
+    pub fn host_budget(&self) -> MemoryBudget {
+        MemoryBudget::limited(PAPER_DRAM_BYTES / self.scale)
+    }
+}
+
+/// The eight systems of Fig. 4, in the paper's legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// This paper's system.
+    RingSampler,
+    /// DGL sampling on the CPU, graph in DRAM.
+    DglCpu,
+    /// DGL with UVA transfers.
+    DglUva,
+    /// DGL, graph resident in HBM.
+    DglGpu,
+    /// gSampler with UVA transfers.
+    GSamplerUva,
+    /// gSampler, graph resident in HBM.
+    GSamplerGpu,
+    /// In-situ FPGA sampling on a SmartSSD.
+    SmartSsd,
+    /// MariusGNN partition-buffer out-of-core.
+    Marius,
+}
+
+impl SystemKind {
+    /// Fig. 4's legend order.
+    pub const ALL: [SystemKind; 8] = [
+        SystemKind::RingSampler,
+        SystemKind::DglCpu,
+        SystemKind::DglUva,
+        SystemKind::DglGpu,
+        SystemKind::GSamplerUva,
+        SystemKind::GSamplerGpu,
+        SystemKind::SmartSsd,
+        SystemKind::Marius,
+    ];
+
+    /// Display name as in the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::RingSampler => "RingSampler",
+            SystemKind::DglCpu => "DGL-CPU",
+            SystemKind::DglUva => "DGL-UVA",
+            SystemKind::DglGpu => "DGL-GPU",
+            SystemKind::GSamplerUva => "gSampler-UVA",
+            SystemKind::GSamplerGpu => "gSampler-GPU",
+            SystemKind::SmartSsd => "SmartSSD",
+            SystemKind::Marius => "Marius",
+        }
+    }
+}
+
+/// Builds a system instance over `graph` under the harness' scaled
+/// capacities. Construction failure with `OutOfMemory` is the paper's OOM
+/// outcome.
+///
+/// # Errors
+/// `SamplerError::OutOfMemory` models OOM; other errors are real failures.
+#[allow(clippy::too_many_arguments)]
+pub fn build_system(
+    kind: SystemKind,
+    graph: &OnDiskGraph,
+    fanouts: &[usize],
+    batch: usize,
+    threads: usize,
+    budget: &MemoryBudget,
+    harness: &HarnessConfig,
+    seed: u64,
+) -> Result<Box<dyn NeighborSampler>, SamplerError> {
+    let scale = harness.scale;
+    Ok(match kind {
+        SystemKind::RingSampler => Box::new(RingSamplerSystem::new(RingSampler::new(
+            graph.clone(),
+            SamplerConfig::new()
+                .fanouts(fanouts)
+                .batch_size(batch)
+                .threads(threads)
+                .budget(budget.clone())
+                .seed(seed),
+        )?)),
+        SystemKind::DglCpu => Box::new(InMemorySampler::new(
+            graph, fanouts, batch, threads, budget, seed,
+        )?),
+        SystemKind::DglUva | SystemKind::DglGpu | SystemKind::GSamplerUva
+        | SystemKind::GSamplerGpu => {
+            let (flavor, mode) = match kind {
+                SystemKind::DglUva => (GpuFlavor::Dgl, GpuMode::Uva),
+                SystemKind::DglGpu => (GpuFlavor::Dgl, GpuMode::DeviceResident),
+                SystemKind::GSamplerUva => (GpuFlavor::GSampler, GpuMode::Uva),
+                _ => (GpuFlavor::GSampler, GpuMode::DeviceResident),
+            };
+            Box::new(GpuSimSampler::new(
+                graph,
+                mode,
+                flavor,
+                DeviceModel::a100(flavor)
+                    .scaled(scale)
+                    .rates_scaled(threads, PAPER_THREADS),
+                fanouts,
+                batch,
+                threads,
+                budget,
+                seed,
+            )?)
+        }
+        SystemKind::SmartSsd => Box::new(SmartSsdSampler::new(
+            graph,
+            SmartSsdModel::default()
+                .scaled(scale)
+                .rates_scaled(threads, PAPER_THREADS),
+            fanouts,
+            batch,
+            budget,
+            seed,
+        )?),
+        SystemKind::Marius => Box::new(
+            MariusLikeSampler::new(graph, 32, fanouts, batch, budget, true, seed)?
+                .with_disk_model(DiskModel::default().rates_scaled(threads, PAPER_THREADS)),
+        ),
+    })
+}
+
+/// One experiment measurement: seconds or OOM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Mean reported seconds per epoch.
+    Seconds(f64),
+    /// The system could not fit its memory requirement.
+    Oom,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // f.pad so callers' width/alignment specifiers apply.
+        match self {
+            Outcome::Seconds(s) => f.pad(&format!("{s:.3}")),
+            Outcome::Oom => f.pad("OOM"),
+        }
+    }
+}
+
+impl Outcome {
+    /// The seconds value, if the run completed.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            Outcome::Seconds(s) => Some(*s),
+            Outcome::Oom => None,
+        }
+    }
+}
+
+/// Runs `epochs` epochs of `kind` over `graph` and averages the reported
+/// seconds (the paper plots the mean of five epochs).
+///
+/// # Errors
+/// Real failures (I/O, bugs) propagate; OOM becomes [`Outcome::Oom`].
+pub fn measure_system(
+    kind: SystemKind,
+    graph: &OnDiskGraph,
+    fanouts: &[usize],
+    batch: usize,
+    threads: usize,
+    budget: &MemoryBudget,
+    harness: &HarnessConfig,
+) -> Result<Outcome, SamplerError> {
+    let mut system = match build_system(kind, graph, fanouts, batch, threads, budget, harness, 7)
+    {
+        Ok(s) => s,
+        Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
+        Err(e) => return Err(e),
+    };
+    let mut total = 0.0;
+    for epoch in 0..harness.epochs {
+        let targets = harness.epoch_targets(graph, epoch as u64);
+        match system.sample_epoch(&targets) {
+            Ok(r) => total += r.reported_seconds(),
+            Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Outcome::Seconds(total / harness.epochs as f64))
+}
+
+/// Writes a result table to stdout and to `results/<name>.txt` (consumed
+/// by EXPERIMENTS.md).
+///
+/// # Errors
+/// Propagates file I/O errors.
+pub fn emit_table(name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&format!("== {name} ==\n"));
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    print!("{out}");
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create(format!("results/{name}.txt"))?;
+    f.write_all(out.as_bytes())
+}
+
+/// Renders a log-scale horizontal bar chart (the paper's Figures 4/5/7
+/// are log-scale bar plots) from `(label, outcome)` pairs. OOM entries
+/// render as the paper's "OOM" markers.
+pub fn render_log_bars(title: &str, series: &[(String, Outcome)]) -> String {
+    let secs: Vec<f64> = series.iter().filter_map(|(_, o)| o.seconds()).collect();
+    let mut out = format!("{title}\n");
+    if secs.is_empty() {
+        out.push_str("  (all OOM)\n");
+        return out;
+    }
+    let max = secs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = secs.iter().cloned().fold(f64::MAX, f64::min).max(1e-6);
+    let span = (max / min).log10().max(1e-9);
+    let width = 46.0;
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(8);
+    for (label, o) in series {
+        match o.seconds() {
+            Some(s) => {
+                // Bars start at one char so the fastest system is visible.
+                let frac = ((s / min).log10() / span).clamp(0.0, 1.0);
+                let bar = "█".repeat(1 + (frac * width) as usize);
+                out.push_str(&format!("  {label:<label_w$} |{bar} {s:.3}s\n"));
+            }
+            None => out.push_str(&format!("  {label:<label_w$} |  OOM\n")),
+        }
+    }
+    out.push_str(&format!(
+        "  {:label_w$} +{} (log scale, {min:.3}s – {max:.3}s)\n",
+        "", "-".repeat(10)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringsampler_graph::DatasetId;
+
+    #[test]
+    fn harness_defaults() {
+        let h = HarnessConfig::from_env();
+        assert!(h.scale > 0);
+        assert!(h.threads >= 1);
+        assert!(h.epochs >= 1);
+    }
+
+    #[test]
+    fn system_kind_names() {
+        assert_eq!(SystemKind::ALL.len(), 8);
+        assert_eq!(SystemKind::RingSampler.name(), "RingSampler");
+        assert_eq!(SystemKind::GSamplerUva.name(), "gSampler-UVA");
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Seconds(1.5).to_string(), "1.500");
+        assert_eq!(Outcome::Oom.to_string(), "OOM");
+        assert_eq!(Outcome::Oom.seconds(), None);
+    }
+
+    #[test]
+    fn log_bars_render() {
+        let series = vec![
+            ("RingSampler".to_string(), Outcome::Seconds(0.5)),
+            ("SmartSSD".to_string(), Outcome::Seconds(25.0)),
+            ("Marius".to_string(), Outcome::Oom),
+        ];
+        let chart = render_log_bars("fig", &series);
+        assert!(chart.contains("RingSampler"));
+        assert!(chart.contains("OOM"));
+        assert!(chart.contains("log scale"));
+        // Slower system gets a longer bar.
+        let rs_bar = chart.lines().find(|l| l.contains("RingSampler")).unwrap();
+        let ssd_bar = chart.lines().find(|l| l.contains("SmartSSD")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert!(count(ssd_bar) > count(rs_bar));
+    }
+
+    #[test]
+    fn log_bars_all_oom() {
+        let chart = render_log_bars("x", &[("a".into(), Outcome::Oom)]);
+        assert!(chart.contains("all OOM"));
+    }
+
+    #[test]
+    fn build_and_measure_tiny() {
+        // A miniature end-to-end pass through the harness with a tiny
+        // dataset to keep unit tests fast.
+        let h = HarnessConfig {
+            scale: 100_000,
+            targets_per_epoch: 200,
+            epochs: 1,
+            data_dir: std::env::temp_dir().join(format!("rs-bench-lib-{}", std::process::id())),
+            threads: 2,
+        };
+        let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
+        let graph = h.dataset(&spec).unwrap();
+        let o = measure_system(
+            SystemKind::RingSampler,
+            &graph,
+            &[3, 2],
+            64,
+            2,
+            &MemoryBudget::unlimited(),
+            &h,
+        )
+        .unwrap();
+        assert!(o.seconds().unwrap() > 0.0);
+        std::fs::remove_dir_all(&h.data_dir).ok();
+    }
+}

@@ -1,0 +1,155 @@
+//! Sample output types: per-layer COO blocks and the inter-layer
+//! deduplication step (paper Fig. 1b).
+
+use ringsampler_graph::NodeId;
+
+/// One sampled GNN layer: a bipartite COO block from the layer's target
+/// nodes to their sampled neighbors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayerSample {
+    /// The fanout this layer was sampled with.
+    pub fanout: usize,
+    /// The layer's target (seed) nodes, unique.
+    pub targets: Vec<NodeId>,
+    /// For every sampled edge, the position of its source in `targets`.
+    pub src_pos: Vec<u32>,
+    /// For every sampled edge, the neighbor's node id (parallel to
+    /// `src_pos`).
+    pub dst: Vec<NodeId>,
+}
+
+impl LayerSample {
+    /// Number of sampled edges in this layer.
+    pub fn num_edges(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Iterates `(source node, sampled neighbor)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the block is internally inconsistent (src_pos out of
+    /// range), which indicates a sampler bug.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.src_pos
+            .iter()
+            .zip(&self.dst)
+            .map(move |(&p, &d)| (self.targets[p as usize], d))
+    }
+
+    /// The deduplicated neighbor set — the next layer's targets
+    /// ("the list of sampled nodes is deduplicated in between layers",
+    /// §2.1).
+    pub fn unique_neighbors(&self) -> Vec<NodeId> {
+        let mut v = self.dst.clone();
+        sort_dedup(&mut v);
+        v
+    }
+}
+
+/// The complete multi-layer sample for one mini-batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchSample {
+    /// Sampled layers, outermost (seed layer) first.
+    pub layers: Vec<LayerSample>,
+}
+
+impl BatchSample {
+    /// The mini-batch's seed nodes.
+    pub fn seeds(&self) -> &[NodeId] {
+        self.layers.first().map(|l| l.targets.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total sampled edges across all layers.
+    pub fn num_sampled_edges(&self) -> usize {
+        self.layers.iter().map(LayerSample::num_edges).sum()
+    }
+
+    /// Every node appearing anywhere in the sample, deduplicated.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.targets.iter().copied().chain(l.dst.iter().copied()))
+            .collect();
+        sort_dedup(&mut v);
+        v
+    }
+}
+
+/// Sorts and deduplicates a node list in place (the paper's inter-layer
+/// dedup step).
+pub fn sort_dedup(nodes: &mut Vec<NodeId>) {
+    nodes.sort_unstable();
+    nodes.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_layer() -> LayerSample {
+        // Paper Fig. 1: target node 1 samples {2, 3, 6}.
+        LayerSample {
+            fanout: 3,
+            targets: vec![1],
+            src_pos: vec![0, 0, 0],
+            dst: vec![2, 3, 6],
+        }
+    }
+
+    #[test]
+    fn layer_edge_iteration() {
+        let l = fig1_layer();
+        let edges: Vec<_> = l.iter_edges().collect();
+        assert_eq!(edges, vec![(1, 2), (1, 3), (1, 6)]);
+        assert_eq!(l.num_edges(), 3);
+    }
+
+    #[test]
+    fn unique_neighbors_dedups() {
+        // Paper Fig. 1 layer 2: sample {10, 14, 12, 5, 10} → {5, 10, 12, 14}.
+        let l = LayerSample {
+            fanout: 2,
+            targets: vec![2, 3, 6],
+            src_pos: vec![0, 0, 1, 2, 2],
+            dst: vec![10, 14, 12, 5, 10],
+        };
+        assert_eq!(l.unique_neighbors(), vec![5, 10, 12, 14]);
+    }
+
+    #[test]
+    fn batch_aggregates() {
+        let b = BatchSample {
+            layers: vec![
+                fig1_layer(),
+                LayerSample {
+                    fanout: 2,
+                    targets: vec![2, 3, 6],
+                    src_pos: vec![0, 0, 1, 2, 2],
+                    dst: vec![10, 14, 12, 5, 10],
+                },
+            ],
+        };
+        assert_eq!(b.seeds(), &[1]);
+        assert_eq!(b.num_sampled_edges(), 8);
+        assert_eq!(b.all_nodes(), vec![1, 2, 3, 5, 6, 10, 12, 14]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = BatchSample::default();
+        assert!(b.seeds().is_empty());
+        assert_eq!(b.num_sampled_edges(), 0);
+        assert!(b.all_nodes().is_empty());
+    }
+
+    #[test]
+    fn sort_dedup_basics() {
+        let mut v = vec![5, 1, 5, 3, 1];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![1, 3, 5]);
+        let mut empty: Vec<NodeId> = vec![];
+        sort_dedup(&mut empty);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Sampler configuration (paper §4.1 defaults).
+
+use ringsampler_io::EngineKind;
+
+use crate::error::{Result, SamplerError};
+use crate::memory::MemoryBudget;
+
+/// How the per-thread I/O pipeline schedules groups (paper Fig. 3b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Overlap group *k*'s completion with group *k+1*'s preparation
+    /// (the paper's asynchronous pipeline; default).
+    #[default]
+    Async,
+    /// Prepare → submit → wait for each group before the next (the
+    /// baseline pipeline of Fig. 3b; kept for the ablation bench).
+    Sync,
+}
+
+/// Neighbor caching policy layered over the edge file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// No caching: every sampled entry is a 4-byte disk read (the paper's
+    /// core design).
+    #[default]
+    None,
+    /// Page-granular LRU cache. Reads are issued as aligned pages and
+    /// cached; hub pages get reused across batches. The budget explains
+    /// Fig. 8's 32- vs 64-thread crossover under a 4 GB limit.
+    Page {
+        /// Cache capacity in bytes (charged against the memory budget).
+        budget_bytes: u64,
+    },
+}
+
+/// Full sampler configuration.
+///
+/// Defaults mirror the paper's §4.1 setup: 3 layers with fanout
+/// `[20, 15, 10]`, mini-batch size 1024, 64 threads (clamped to available
+/// parallelism), ring size 512, completion polling.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Per-layer fanouts, outermost first.
+    pub fanouts: Vec<usize>,
+    /// Target nodes per mini-batch.
+    pub batch_size: usize,
+    /// Worker thread count.
+    pub num_threads: usize,
+    /// io_uring ring size / I/O group queue depth.
+    pub ring_entries: u32,
+    /// Force an I/O engine (`None` = best available).
+    pub engine: Option<EngineKind>,
+    /// Sync vs async group pipeline.
+    pub pipeline: PipelineMode,
+    /// Neighbor caching policy.
+    pub cache: CachePolicy,
+    /// Memory budget all allocations are charged against.
+    pub budget: MemoryBudget,
+    /// RNG seed; sampling is deterministic per (seed, batch index),
+    /// independent of thread count.
+    pub seed: u64,
+    /// Use kernel-side SQPOLL if the kernel permits (paper future work).
+    pub sqpoll: bool,
+    /// Register the edge file in each ring's fixed-file table
+    /// (`IOSQE_FIXED_FILE`): one kernel fd lookup saved per read.
+    pub register_file: bool,
+    /// Sample neighbors **with replacement** (DGL `replace=True`
+    /// semantics): always draw exactly `fanout` neighbors when the node
+    /// has any, duplicates allowed. Default: without replacement
+    /// ("up to fanout", the paper's Fig. 1 semantics).
+    pub with_replacement: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self {
+            fanouts: vec![20, 15, 10],
+            batch_size: 1024,
+            num_threads: default_threads(),
+            ring_entries: 512,
+            engine: None,
+            pipeline: PipelineMode::Async,
+            cache: CachePolicy::None,
+            budget: MemoryBudget::unlimited(),
+            seed: 0x5EED,
+            sqpoll: false,
+            register_file: true,
+            with_replacement: false,
+        }
+    }
+}
+
+/// The paper runs with 64 threads; we clamp to this machine's parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(64))
+        .unwrap_or(8)
+}
+
+impl SamplerConfig {
+    /// Starts from the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets per-layer fanouts (outermost first), e.g. `[20, 15, 10]`.
+    pub fn fanouts(mut self, fanouts: &[usize]) -> Self {
+        self.fanouts = fanouts.to_vec();
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Sets the ring size (queue depth per I/O group).
+    pub fn ring_entries(mut self, n: u32) -> Self {
+        self.ring_entries = n;
+        self
+    }
+
+    /// Forces a specific I/O engine.
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = Some(kind);
+        self
+    }
+
+    /// Selects the pipeline mode.
+    pub fn pipeline(mut self, mode: PipelineMode) -> Self {
+        self.pipeline = mode;
+        self
+    }
+
+    /// Selects the cache policy.
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Attaches a memory budget.
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Requests kernel-side submission polling.
+    pub fn sqpoll(mut self, enable: bool) -> Self {
+        self.sqpoll = enable;
+        self
+    }
+
+    /// Enables/disables the registered-file fast path (default on).
+    pub fn register_file(mut self, enable: bool) -> Self {
+        self.register_file = enable;
+        self
+    }
+
+    /// Switches to sampling with replacement (DGL `replace=True`).
+    pub fn with_replacement(mut self, enable: bool) -> Self {
+        self.with_replacement = enable;
+        self
+    }
+
+    /// Number of GNN layers (= hops) this configuration samples.
+    pub fn num_layers(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Errors
+    /// [`SamplerError::InvalidConfig`] listing the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.fanouts.is_empty() {
+            return Err(SamplerError::InvalidConfig("fanouts must be non-empty".into()));
+        }
+        if self.fanouts.iter().any(|&f| f == 0) {
+            return Err(SamplerError::InvalidConfig("fanout of 0 is meaningless".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(SamplerError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if self.num_threads == 0 {
+            return Err(SamplerError::InvalidConfig("need at least one thread".into()));
+        }
+        if self.ring_entries == 0 {
+            return Err(SamplerError::InvalidConfig("ring_entries must be positive".into()));
+        }
+        if let CachePolicy::Page { budget_bytes } = self.cache {
+            if budget_bytes == 0 {
+                return Err(SamplerError::InvalidConfig(
+                    "page cache budget must be positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SamplerConfig::default();
+        assert_eq!(c.fanouts, vec![20, 15, 10]);
+        assert_eq!(c.batch_size, 1024);
+        assert_eq!(c.ring_entries, 512);
+        assert_eq!(c.pipeline, PipelineMode::Async);
+        assert_eq!(c.cache, CachePolicy::None);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SamplerConfig::new()
+            .fanouts(&[5, 5])
+            .batch_size(64)
+            .threads(2)
+            .ring_entries(32)
+            .seed(7)
+            .pipeline(PipelineMode::Sync);
+        assert_eq!(c.num_layers(), 2);
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.pipeline, PipelineMode::Sync);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(SamplerConfig::new().fanouts(&[]).validate().is_err());
+        assert!(SamplerConfig::new().fanouts(&[5, 0]).validate().is_err());
+        assert!(SamplerConfig::new().batch_size(0).validate().is_err());
+        assert!(SamplerConfig::new().threads(0).validate().is_err());
+        assert!(SamplerConfig::new().ring_entries(0).validate().is_err());
+        assert!(SamplerConfig::new()
+            .cache(CachePolicy::Page { budget_bytes: 0 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn default_thread_count_positive() {
+        assert!(SamplerConfig::default().num_threads >= 1);
+        assert!(SamplerConfig::default().num_threads <= 64);
+    }
+}

@@ -1,0 +1,353 @@
+//! The multi-threaded epoch engine (paper Fig. 3a, lower half).
+//!
+//! Mini-batches are statically partitioned across worker threads
+//! round-robin ("equally distribute mini-batches across threads"); each
+//! thread owns a private [`SamplerWorker`] with its own io_uring, so the
+//! epoch runs with zero inter-thread synchronization besides the final
+//! metric merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ringsampler_graph::{NodeId, OnDiskGraph};
+
+use crate::block::BatchSample;
+use crate::config::SamplerConfig;
+use crate::error::{Result, SamplerError};
+use crate::memory::MemoryCharge;
+use crate::metrics::{EpochReport, SampleMetrics};
+use crate::worker::SamplerWorker;
+
+/// The RingSampler system handle: a stored graph plus a sampling
+/// configuration.
+///
+/// Construction charges the in-memory offset index against the memory
+/// budget (that is RingSampler's only `O(|V|)` resident structure);
+/// everything else is per-worker.
+#[derive(Debug)]
+pub struct RingSampler {
+    graph: Arc<OnDiskGraph>,
+    cfg: SamplerConfig,
+    _index_charge: MemoryCharge,
+}
+
+impl RingSampler {
+    /// Creates a sampler over `graph` with `cfg`.
+    ///
+    /// # Errors
+    /// Fails on invalid configuration or if the offset index does not fit
+    /// the memory budget (simulated OOM).
+    pub fn new(graph: OnDiskGraph, cfg: SamplerConfig) -> Result<Self> {
+        cfg.validate()?;
+        let index_charge = cfg.budget.charge(graph.metadata_bytes(), "offset index")?;
+        Ok(Self {
+            graph: Arc::new(graph),
+            cfg,
+            _index_charge: index_charge,
+        })
+    }
+
+    /// The stored graph.
+    pub fn graph(&self) -> &OnDiskGraph {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.cfg
+    }
+
+    /// Creates a standalone worker (e.g. for a training data loader that
+    /// pulls batches at its own pace).
+    ///
+    /// # Errors
+    /// Propagates worker construction failures.
+    pub fn worker(&self) -> Result<SamplerWorker> {
+        SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())
+    }
+
+    /// Samples one epoch over `targets`, discarding the samples (the
+    /// benchmark path: measures pure sampling time like the paper's
+    /// "execution time of the sampling phase per epoch").
+    ///
+    /// # Errors
+    /// Propagates the first worker error (I/O or OOM).
+    pub fn sample_epoch(&self, targets: &[NodeId]) -> Result<EpochReport> {
+        self.sample_epoch_with(targets, |_, _| {})
+    }
+
+    /// Samples one epoch, invoking `on_batch(batch_index, sample)` for
+    /// every completed mini-batch (possibly from multiple threads
+    /// concurrently).
+    ///
+    /// The target array is split into contiguous mini-batches of
+    /// `config.batch_size`; batch *i* is processed by thread
+    /// `i % num_threads`. Batch RNG streams depend only on
+    /// `(seed, batch index)`, so results are reproducible for any thread
+    /// count.
+    ///
+    /// # Errors
+    /// Propagates the first worker error (I/O or OOM).
+    pub fn sample_epoch_with<F>(&self, targets: &[NodeId], on_batch: F) -> Result<EpochReport>
+    where
+        F: Fn(usize, BatchSample) + Sync,
+    {
+        let batches: Vec<&[NodeId]> = targets.chunks(self.cfg.batch_size).collect();
+        let num_threads = self.cfg.num_threads.min(batches.len().max(1));
+        let start = Instant::now();
+
+        let mut merged = SampleMetrics::default();
+        let results: Vec<Result<SampleMetrics>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_threads);
+            for t in 0..num_threads {
+                let batches = &batches;
+                let on_batch = &on_batch;
+                handles.push(scope.spawn(move || -> Result<SampleMetrics> {
+                    let mut worker = SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())?;
+                    let mut idx = t;
+                    while idx < batches.len() {
+                        let sample = worker.sample_batch(batches[idx], idx as u64)?;
+                        on_batch(idx, sample);
+                        idx += num_threads;
+                    }
+                    Ok(worker.metrics())
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => Err(SamplerError::WorkerPanic(panic_message(&p))),
+                })
+                .collect()
+        });
+        for r in results {
+            merged.merge(&r?);
+        }
+        Ok(EpochReport {
+            metrics: merged,
+            wall: start.elapsed(),
+            threads: num_threads,
+        })
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Builds a deterministic pseudo-random permutation of `0..n` used as an
+/// epoch's target ordering (the paper shuffles target nodes into
+/// mini-batches each epoch).
+pub fn epoch_targets(num_nodes: u64, epoch: u64, seed: u64) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut order: Vec<NodeId> = (0..num_nodes as NodeId).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ epoch.wrapping_mul(0xA24B_AED4_963E_E407));
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Shared atomic counter helper for `on_batch` callbacks in tests/benches.
+#[derive(Debug, Default)]
+pub struct BatchCounter(AtomicU64);
+
+impl BatchCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Increments and returns the previous value.
+    pub fn bump(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineMode;
+    use crate::memory::MemoryBudget;
+    use ringsampler_graph::edgefile::write_csr;
+    use ringsampler_graph::gen::GeneratorSpec;
+    use ringsampler_graph::CsrGraph;
+
+    fn test_graph(tag: &str, nodes: u64, edges: u64) -> OnDiskGraph {
+        let base =
+            std::env::temp_dir().join(format!("rs-core-engine-{}-{tag}", std::process::id()));
+        let spec = GeneratorSpec::PowerLaw {
+            nodes,
+            edges,
+            exponent: 0.7,
+        };
+        let csr = CsrGraph::from_edges(
+            nodes as usize,
+            spec.stream(42).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        write_csr(&csr, &base).unwrap()
+    }
+
+    #[test]
+    fn epoch_covers_all_batches() {
+        let g = test_graph("cover", 500, 5_000);
+        let sampler = RingSampler::new(
+            g,
+            SamplerConfig::new()
+                .fanouts(&[3, 2])
+                .batch_size(64)
+                .threads(4)
+                .ring_entries(32),
+        )
+        .unwrap();
+        let targets = epoch_targets(500, 0, 1);
+        let counter = BatchCounter::new();
+        let report = sampler
+            .sample_epoch_with(&targets, |_, s| {
+                assert!(!s.seeds().is_empty());
+                counter.bump();
+            })
+            .unwrap();
+        assert_eq!(counter.get(), 500u64.div_ceil(64));
+        assert_eq!(report.metrics.batches, counter.get());
+        assert!(report.metrics.sampled_edges > 0);
+        assert!(report.seconds() > 0.0);
+        assert_eq!(report.threads, 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_samples() {
+        let g = test_graph("threads", 300, 3_000);
+        let collect = |threads: usize| -> Vec<(usize, usize)> {
+            let sampler = RingSampler::new(
+                g.clone(),
+                SamplerConfig::new()
+                    .fanouts(&[3, 2])
+                    .batch_size(50)
+                    .threads(threads)
+                    .ring_entries(16)
+                    .seed(77),
+            )
+            .unwrap();
+            let targets: Vec<NodeId> = (0..300).collect();
+            let acc = std::sync::Mutex::new(Vec::new());
+            sampler
+                .sample_epoch_with(&targets, |i, s| {
+                    acc.lock().unwrap().push((i, s.num_sampled_edges()));
+                })
+                .unwrap();
+            let mut v = acc.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(1), collect(4));
+    }
+
+    #[test]
+    fn more_threads_not_slower_smoke() {
+        // Not a perf assertion (CI noise), just exercises >1 thread paths.
+        let g = test_graph("smoke", 1_000, 20_000);
+        for threads in [1, 2, 8] {
+            let sampler = RingSampler::new(
+                g.clone(),
+                SamplerConfig::new()
+                    .fanouts(&[5, 5])
+                    .batch_size(128)
+                    .threads(threads),
+            )
+            .unwrap();
+            let targets: Vec<NodeId> = (0..1_000).collect();
+            let r = sampler.sample_epoch(&targets).unwrap();
+            assert_eq!(r.metrics.batches, 8);
+        }
+    }
+
+    #[test]
+    fn oom_propagates_from_workers() {
+        let g = test_graph("oom", 200, 2_000);
+        let meta = g.metadata_bytes();
+        // Budget fits the index but not the first worker workspace.
+        let sampler = RingSampler::new(
+            g,
+            SamplerConfig::new()
+                .fanouts(&[3])
+                .threads(2)
+                .budget(MemoryBudget::limited(meta + 1024)),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..200).collect();
+        match sampler.sample_epoch(&targets) {
+            Err(SamplerError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn index_charge_counts_against_budget() {
+        let g = test_graph("idx", 400, 1_000);
+        let meta = g.metadata_bytes();
+        let budget = MemoryBudget::limited(meta - 1);
+        match RingSampler::new(g, SamplerConfig::new().budget(budget)) {
+            Err(SamplerError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let g = test_graph("badcfg", 100, 500);
+        assert!(matches!(
+            RingSampler::new(g, SamplerConfig::new().fanouts(&[])),
+            Err(SamplerError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_targets_is_a_permutation() {
+        let t = epoch_targets(1000, 3, 9);
+        assert_eq!(t.len(), 1000);
+        let mut sorted = t.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_ne!(t, epoch_targets(1000, 4, 9));
+        assert_eq!(t, epoch_targets(1000, 3, 9));
+    }
+
+    #[test]
+    fn sync_pipeline_epoch_matches_async() {
+        let g = test_graph("syncasync", 300, 6_000);
+        let run = |mode| {
+            let sampler = RingSampler::new(
+                g.clone(),
+                SamplerConfig::new()
+                    .fanouts(&[4, 2])
+                    .batch_size(64)
+                    .threads(2)
+                    .ring_entries(8)
+                    .pipeline(mode)
+                    .seed(5),
+            )
+            .unwrap();
+            let targets: Vec<NodeId> = (0..300).collect();
+            let acc = std::sync::Mutex::new(std::collections::BTreeMap::new());
+            sampler
+                .sample_epoch_with(&targets, |i, s| {
+                    acc.lock().unwrap().insert(i, s);
+                })
+                .unwrap();
+            acc.into_inner().unwrap()
+        };
+        assert_eq!(run(PipelineMode::Async), run(PipelineMode::Sync));
+    }
+}

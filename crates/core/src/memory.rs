@@ -1,0 +1,264 @@
+//! Byte-accounted memory budget — the reproduction's stand-in for the
+//! paper's cgroup memory limits (§4.3).
+//!
+//! Every sizeable allocation in the sampler (offset index, thread
+//! workspaces, page cache) and in the out-of-core baselines (partition
+//! buffers, host-side staging) is charged against a [`MemoryBudget`].
+//! Exceeding the budget fails the charge, which systems surface exactly
+//! like the paper's OOM bars in Figures 4 and 5.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Result, SamplerError};
+
+/// A shareable memory budget with atomic accounting.
+///
+/// Cloning shares the underlying budget (like processes in one cgroup).
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    limit: u64,
+    used: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes.
+    pub fn limited(limit: u64) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                limit,
+                used: AtomicU64::new(0),
+                high_water: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// An effectively unlimited budget (the "Unlimited" bars of Fig. 5).
+    pub fn unlimited() -> Self {
+        Self::limited(u64::MAX)
+    }
+
+    /// The configured limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// Currently charged bytes.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Peak charged bytes over the budget's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.inner.limit.saturating_sub(self.used())
+    }
+
+    /// Attempts to charge `bytes` for `what`; returns a guard that releases
+    /// the charge on drop.
+    ///
+    /// # Errors
+    /// [`SamplerError::OutOfMemory`] if the charge would exceed the limit —
+    /// the caller should treat this as the paper treats a cgroup OOM kill.
+    pub fn charge(&self, bytes: u64, what: &'static str) -> Result<MemoryCharge> {
+        let mut current = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let proposed = current.saturating_add(bytes);
+            if proposed > self.inner.limit {
+                return Err(SamplerError::OutOfMemory {
+                    requested: bytes,
+                    available: self.inner.limit.saturating_sub(current),
+                    what,
+                });
+            }
+            match self.inner.used.compare_exchange_weak(
+                current,
+                proposed,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.high_water.fetch_max(proposed, Ordering::Relaxed);
+                    return Ok(MemoryCharge {
+                        budget: self.clone(),
+                        bytes,
+                    });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// RAII guard for a charged allocation; releases the bytes on drop.
+#[derive(Debug)]
+pub struct MemoryCharge {
+    budget: MemoryBudget,
+    bytes: u64,
+}
+
+impl MemoryCharge {
+    /// Size of this charge in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grows the charge by `extra` bytes in place.
+    ///
+    /// # Errors
+    /// [`SamplerError::OutOfMemory`] if the extra bytes do not fit; the
+    /// existing charge is left unchanged.
+    pub fn grow(&mut self, extra: u64, what: &'static str) -> Result<()> {
+        let g = self.budget.charge(extra, what)?;
+        self.bytes += extra;
+        std::mem::forget(g); // merged into self; released together on drop
+        Ok(())
+    }
+}
+
+impl Drop for MemoryCharge {
+    fn drop(&mut self) {
+        self.budget.inner.used.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// Parses budget strings like "4GB", "512MB", "unlimited" (Fig. 5 axis
+/// labels).
+///
+/// # Errors
+/// [`SamplerError::InvalidConfig`] on unparseable input.
+pub fn parse_budget(s: &str) -> Result<MemoryBudget> {
+    let t = s.trim().to_ascii_lowercase();
+    if t == "unlimited" || t == "inf" || t == "none" {
+        return Ok(MemoryBudget::unlimited());
+    }
+    let (num, mult) = if let Some(p) = t.strip_suffix("gb") {
+        (p, 1u64 << 30)
+    } else if let Some(p) = t.strip_suffix("mb") {
+        (p, 1 << 20)
+    } else if let Some(p) = t.strip_suffix("kb") {
+        (p, 1 << 10)
+    } else if let Some(p) = t.strip_suffix('b') {
+        (p, 1)
+    } else {
+        (t.as_str(), 1)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| SamplerError::InvalidConfig(format!("cannot parse budget {s:?}")))?;
+    if v < 0.0 {
+        return Err(SamplerError::InvalidConfig(format!(
+            "negative budget {s:?}"
+        )));
+    }
+    Ok(MemoryBudget::limited((v * mult as f64) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let b = MemoryBudget::limited(100);
+        let g = b.charge(60, "a").unwrap();
+        assert_eq!(b.used(), 60);
+        assert_eq!(b.available(), 40);
+        assert!(b.charge(50, "b").is_err());
+        drop(g);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.high_water(), 60);
+        assert!(b.charge(100, "c").is_ok());
+    }
+
+    #[test]
+    fn oom_error_carries_details() {
+        let b = MemoryBudget::limited(10);
+        match b.charge(11, "cache") {
+            Err(SamplerError::OutOfMemory {
+                requested,
+                available,
+                what,
+            }) => {
+                assert_eq!(requested, 11);
+                assert_eq!(available, 10);
+                assert_eq!(what, "cache");
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clone_shares_budget() {
+        let a = MemoryBudget::limited(100);
+        let b = a.clone();
+        let _g = a.charge(80, "x").unwrap();
+        assert!(b.charge(30, "y").is_err());
+        assert_eq!(b.used(), 80);
+    }
+
+    #[test]
+    fn grow_in_place() {
+        let b = MemoryBudget::limited(100);
+        let mut g = b.charge(40, "x").unwrap();
+        g.grow(40, "x").unwrap();
+        assert_eq!(b.used(), 80);
+        assert!(g.grow(40, "x").is_err());
+        assert_eq!(b.used(), 80);
+        drop(g);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn concurrent_charges_are_consistent() {
+        let b = MemoryBudget::limited(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if let Ok(g) = b.charge(3, "t") {
+                            drop(g);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn parse_budget_forms() {
+        assert_eq!(parse_budget("4GB").unwrap().limit(), 4 << 30);
+        assert_eq!(parse_budget("512mb").unwrap().limit(), 512 << 20);
+        assert_eq!(parse_budget("10 kb").unwrap().limit(), 10 << 10);
+        assert_eq!(parse_budget("123").unwrap().limit(), 123);
+        assert_eq!(parse_budget("unlimited").unwrap().limit(), u64::MAX);
+        assert!(parse_budget("lots").is_err());
+        assert!(parse_budget("-5gb").is_err());
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = MemoryBudget::unlimited();
+        let _g = b.charge(u64::MAX / 2, "big").unwrap();
+        assert!(b.charge(u64::MAX / 4, "more").is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! Sampling metrics: per-thread counters merged into per-epoch reports.
+
+use std::time::Duration;
+
+/// Counters accumulated while sampling (mergeable across threads).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SampleMetrics {
+    /// Mini-batches processed.
+    pub batches: u64,
+    /// Layer-sampling passes executed.
+    pub layers: u64,
+    /// Target nodes processed (summed over layers).
+    pub targets: u64,
+    /// Neighbor entries sampled (= edges in the output blocks).
+    pub sampled_edges: u64,
+    /// Individual disk read requests issued.
+    pub io_requests: u64,
+    /// Bytes read from disk.
+    pub io_bytes: u64,
+    /// I/O groups submitted.
+    pub io_groups: u64,
+    /// Syscalls issued by the I/O engine.
+    pub syscalls: u64,
+    /// Page-cache hits (0 when caching is off).
+    pub cache_hits: u64,
+    /// Page-cache misses.
+    pub cache_misses: u64,
+    /// Nanoseconds spent preparing + submitting I/O groups (CPU work).
+    pub prepare_nanos: u64,
+    /// Nanoseconds spent collecting completions (CQ polling / waiting).
+    pub complete_nanos: u64,
+}
+
+impl SampleMetrics {
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &SampleMetrics) {
+        self.batches += other.batches;
+        self.layers += other.layers;
+        self.targets += other.targets;
+        self.sampled_edges += other.sampled_edges;
+        self.io_requests += other.io_requests;
+        self.io_bytes += other.io_bytes;
+        self.io_groups += other.io_groups;
+        self.syscalls += other.syscalls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.prepare_nanos += other.prepare_nanos;
+        self.complete_nanos += other.complete_nanos;
+    }
+
+    /// Fraction of I/O-path time spent waiting on completions rather than
+    /// preparing work — the quantity the Fig. 3b async pipeline minimizes.
+    pub fn wait_fraction(&self) -> f64 {
+        let total = self.prepare_nanos + self.complete_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.complete_nanos as f64 / total as f64
+        }
+    }
+
+    /// Mean read requests per syscall — the io_uring batching win.
+    pub fn requests_per_syscall(&self) -> f64 {
+        if self.syscalls == 0 {
+            0.0
+        } else {
+            self.io_requests as f64 / self.syscalls as f64
+        }
+    }
+}
+
+/// The result of sampling one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Merged counters from all worker threads.
+    pub metrics: SampleMetrics,
+    /// Wall-clock duration of the epoch.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl EpochReport {
+    /// Epoch duration in seconds (the y-axis of Figures 4, 5, 7, 8).
+    pub fn seconds(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Sampled edges per second of wall time.
+    pub fn edges_per_second(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.metrics.sampled_edges as f64 / s
+        }
+    }
+}
+
+impl std::fmt::Display for EpochReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3}s: {} batches, {} edges sampled, {} reads ({} bytes) in {} groups, {} syscalls ({:.0} reqs/syscall), {} threads",
+            self.seconds(),
+            self.metrics.batches,
+            self.metrics.sampled_edges,
+            self.metrics.io_requests,
+            self.metrics.io_bytes,
+            self.metrics.io_groups,
+            self.metrics.syscalls,
+            self.metrics.requests_per_syscall(),
+            self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SampleMetrics {
+            batches: 1,
+            io_requests: 10,
+            io_bytes: 40,
+            ..Default::default()
+        };
+        let b = SampleMetrics {
+            batches: 2,
+            io_requests: 5,
+            syscalls: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.io_requests, 15);
+        assert_eq!(a.io_bytes, 40);
+        assert_eq!(a.syscalls, 3);
+        assert_eq!(a.requests_per_syscall(), 5.0);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = SampleMetrics::default();
+        assert_eq!(m.requests_per_syscall(), 0.0);
+        assert_eq!(m.wait_fraction(), 0.0);
+        let r = EpochReport::default();
+        assert_eq!(r.edges_per_second(), 0.0);
+    }
+
+    #[test]
+    fn wait_fraction_math() {
+        let m = SampleMetrics {
+            prepare_nanos: 250,
+            complete_nanos: 750,
+            ..Default::default()
+        };
+        assert!((m.wait_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_display() {
+        let r = EpochReport {
+            metrics: SampleMetrics {
+                batches: 4,
+                sampled_edges: 100,
+                io_requests: 100,
+                syscalls: 2,
+                ..Default::default()
+            },
+            wall: Duration::from_millis(500),
+            threads: 8,
+        };
+        let s = r.to_string();
+        assert!(s.contains("4 batches"));
+        assert!(s.contains("8 threads"));
+        assert!((r.seconds() - 0.5).abs() < 1e-9);
+        assert!((r.edges_per_second() - 200.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,616 @@
+//! Per-thread sampling worker: offset-based layer sampling driving the
+//! asynchronous I/O-group pipeline (paper §3.1, Figs. 2 and 3).
+//!
+//! Each worker owns everything it touches — a dedicated I/O reader (with
+//! its own io_uring SQ/CQ pair), an RNG, an [`OffsetSampler`], reusable
+//! scratch vectors, and an optional page cache — so threads never
+//! synchronize during an epoch ("Eliminating thread synchronization").
+
+use std::fs::File;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
+use ringsampler_io::engine::{GroupReader, PreadReader, ReadSlice, UringReader};
+use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
+
+use crate::block::{BatchSample, LayerSample};
+use crate::cache::{page_of, PageCache, PAGE_SIZE};
+use crate::config::{CachePolicy, PipelineMode, SamplerConfig};
+use crate::error::Result;
+use crate::memory::MemoryCharge;
+use crate::metrics::SampleMetrics;
+use crate::sampling::OffsetSampler;
+
+/// A single-threaded sampling worker bound to one graph.
+///
+/// Obtain via [`crate::engine::RingSampler::worker`]. Workers are `Send`
+/// (movable into a thread) but deliberately not `Sync`.
+pub struct SamplerWorker {
+    graph: Arc<OnDiskGraph>,
+    cfg: SamplerConfig,
+    reader: Box<dyn GroupReader>,
+    file_len: u64,
+    sampler: OffsetSampler,
+    cache: Option<PageCache>,
+    metrics: SampleMetrics,
+    // Reusable scratch (the paper's thread-local workspaces: offsets,
+    // neighbors, targets).
+    offsets: Vec<u64>,
+    src_pos: Vec<u32>,
+    reqs: Vec<ReadSlice>,
+    buf_pool: Vec<Vec<u8>>,
+    workspace_charge: MemoryCharge,
+    charged_bytes: u64,
+    last_reader_stats: ringsampler_io::ReaderStats,
+}
+
+impl std::fmt::Debug for SamplerWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplerWorker")
+            .field("engine", &self.reader.engine_name())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl SamplerWorker {
+    /// Creates a worker for `graph` under `cfg`.
+    ///
+    /// # Errors
+    /// Fails on reader/ring setup, page-cache allocation, or if the initial
+    /// workspace charge exceeds the memory budget.
+    pub(crate) fn new(graph: Arc<OnDiskGraph>, cfg: SamplerConfig) -> Result<Self> {
+        let file = File::open(graph.edge_path())
+            .map_err(|e| crate::error::SamplerError::Io(IoEngineError::File(e)))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| crate::error::SamplerError::Io(IoEngineError::File(e)))?
+            .len();
+        let engine = cfg.engine.unwrap_or_else(ringsampler_io::default_engine);
+        let reader: Box<dyn GroupReader> = match engine {
+            EngineKind::Uring => {
+                let mut b = RingBuilder::new();
+                b.entries(cfg.ring_entries).sqpoll(cfg.sqpoll);
+                let mut r = UringReader::with_file(file, b)?;
+                if cfg.register_file {
+                    // Best effort: fall back to plain fd addressing if the
+                    // kernel refuses registration.
+                    let _ = r.register_file();
+                }
+                Box::new(r)
+            }
+            EngineKind::Pread => Box::new(PreadReader::with_file(file, cfg.ring_entries)),
+        };
+        let cache = match cfg.cache {
+            CachePolicy::None => None,
+            CachePolicy::Page { budget_bytes } => Some(PageCache::new(budget_bytes, &cfg.budget)?),
+        };
+        // Initial workspace charge: ring buffers + a small floor; grows
+        // with actual vector capacity as batches expand.
+        let base = 2 * cfg.ring_entries as u64 * ENTRY_BYTES + 64 * 1024;
+        let workspace_charge = cfg.budget.charge(base, "thread workspace")?;
+        Ok(Self {
+            graph,
+            cfg,
+            reader,
+            file_len,
+            sampler: OffsetSampler::new(),
+            cache,
+            metrics: SampleMetrics::default(),
+            offsets: Vec::new(),
+            src_pos: Vec::new(),
+            reqs: Vec::new(),
+            buf_pool: Vec::new(),
+            workspace_charge,
+            charged_bytes: base,
+            last_reader_stats: ringsampler_io::ReaderStats::default(),
+        })
+    }
+
+    /// The graph this worker samples from.
+    pub(crate) fn graph_handle(&self) -> &OnDiskGraph {
+        &self.graph
+    }
+
+    /// Counters accumulated by this worker so far.
+    pub fn metrics(&self) -> SampleMetrics {
+        let mut m = self.metrics;
+        if let Some(c) = &self.cache {
+            m.cache_hits = c.hits();
+            m.cache_misses = c.misses();
+        }
+        m
+    }
+
+    /// Which engine backs this worker.
+    pub fn engine_name(&self) -> &'static str {
+        self.reader.engine_name()
+    }
+
+    /// Samples a full multi-layer mini-batch for `seeds`.
+    ///
+    /// Sampling is deterministic in `(config seed, batch_seed)` and
+    /// independent of which thread runs the batch.
+    ///
+    /// # Errors
+    /// Propagates I/O errors and memory-budget exhaustion.
+    pub fn sample_batch(&mut self, seeds: &[NodeId], batch_seed: u64) -> Result<BatchSample> {
+        let mut rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut targets: Vec<NodeId> = seeds.to_vec();
+        let fanouts = self.cfg.fanouts.clone();
+        let mut layers = Vec::with_capacity(fanouts.len());
+        for fanout in fanouts {
+            let layer = self.sample_layer(&targets, fanout, &mut rng)?;
+            targets = layer.unique_neighbors();
+            self.metrics.layers += 1;
+            self.metrics.sampled_edges += layer.num_edges() as u64;
+            layers.push(layer);
+        }
+        self.metrics.batches += 1;
+        self.ensure_workspace_charge()?;
+        Ok(BatchSample { layers })
+    }
+
+    fn sample_layer(
+        &mut self,
+        targets: &[NodeId],
+        fanout: usize,
+        rng: &mut StdRng,
+    ) -> Result<LayerSample> {
+        self.offsets.clear();
+        self.src_pos.clear();
+        let with_replacement = self.cfg.with_replacement;
+        for (pos, &t) in targets.iter().enumerate() {
+            let range = self.graph.neighbor_range(t);
+            let before = self.offsets.len();
+            if with_replacement {
+                self.sampler.sample_range_with_replacement(
+                    range.start,
+                    range.end,
+                    fanout,
+                    rng,
+                    &mut self.offsets,
+                );
+            } else {
+                self.sampler
+                    .sample_range(range.start, range.end, fanout, rng, &mut self.offsets);
+            }
+            for _ in before..self.offsets.len() {
+                self.src_pos.push(pos as u32);
+            }
+        }
+        self.metrics.targets += targets.len() as u64;
+        let entry_indices = std::mem::take(&mut self.offsets);
+        let dst = self.fetch_entries(&entry_indices)?;
+        self.offsets = entry_indices;
+        Ok(LayerSample {
+            fanout,
+            targets: targets.to_vec(),
+            src_pos: std::mem::take(&mut self.src_pos),
+            dst,
+        })
+    }
+
+    /// Fetches the neighbor values at `entry_indices` from the edge file,
+    /// through the page cache when enabled.
+    pub(crate) fn fetch_entries(&mut self, entry_indices: &[u64]) -> Result<Vec<NodeId>> {
+        if self.cache.is_some() {
+            self.fetch_entries_cached(entry_indices)
+        } else {
+            self.fetch_entries_raw(entry_indices)
+        }
+    }
+
+    /// Offset-based direct reads: exactly 4 bytes per sampled neighbor —
+    /// the paper's core I/O pattern (Fig. 2 steps 4–6).
+    fn fetch_entries_raw(&mut self, entry_indices: &[u64]) -> Result<Vec<NodeId>> {
+        self.reqs.clear();
+        self.reqs.extend(entry_indices.iter().map(|&e| {
+            ReadSlice::new(OnDiskGraph::entry_byte_offset(e), ENTRY_BYTES as u32)
+        }));
+        let reqs = std::mem::take(&mut self.reqs);
+        let mut out = Vec::with_capacity(entry_indices.len());
+        self.pipelined_read(&reqs, |buf| {
+            out.extend(
+                buf.chunks_exact(4)
+                    .map(|c| NodeId::from_le_bytes(c.try_into().expect("4 bytes"))),
+            );
+        })?;
+        self.reqs = reqs;
+        debug_assert_eq!(out.len(), entry_indices.len());
+        Ok(out)
+    }
+
+    /// Page-granular reads with LRU caching (CachePolicy::Page).
+    fn fetch_entries_cached(&mut self, entry_indices: &[u64]) -> Result<Vec<NodeId>> {
+        let mut out = vec![0 as NodeId; entry_indices.len()];
+        // Resolve hits; collect misses as (out position, page, offset).
+        let mut pending: Vec<(usize, u64, usize)> = Vec::new();
+        {
+            let cache = self.cache.as_mut().expect("cached mode");
+            for (i, &e) in entry_indices.iter().enumerate() {
+                let byte = OnDiskGraph::entry_byte_offset(e);
+                let (page, within) = page_of(byte);
+                if let Some(data) = cache.get(page) {
+                    out[i] =
+                        NodeId::from_le_bytes(data[within..within + 4].try_into().expect("4"));
+                } else {
+                    pending.push((i, page, within));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok(out);
+        }
+        // Unique miss pages, sorted for locality.
+        let mut pages: Vec<u64> = pending.iter().map(|p| p.1).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        self.reqs.clear();
+        for &p in &pages {
+            let start = p * PAGE_SIZE as u64;
+            let len = PAGE_SIZE.min((self.file_len - start) as usize) as u32;
+            self.reqs.push(ReadSlice::new(start, len));
+        }
+        let reqs = std::mem::take(&mut self.reqs);
+        // Read all miss pages; keep their bytes for resolution (a page may
+        // be evicted again before we resolve, so resolve from `page_data`).
+        let mut page_data: Vec<Vec<u8>> = Vec::with_capacity(pages.len());
+        self.pipelined_read(&reqs, |buf| {
+            // One group buffer may hold several pages back to back.
+            let mut cursor = 0usize;
+            while cursor < buf.len() {
+                let take = PAGE_SIZE.min(buf.len() - cursor);
+                page_data.push(buf[cursor..cursor + take].to_vec());
+                cursor += take;
+            }
+        })?;
+        self.reqs = reqs;
+        debug_assert_eq!(page_data.len(), pages.len());
+        let cache = self.cache.as_mut().expect("cached mode");
+        for (p, d) in pages.iter().zip(&page_data) {
+            cache.insert(*p, d);
+        }
+        for (i, page, within) in pending {
+            let slot = pages.binary_search(&page).expect("page read");
+            let data = &page_data[slot];
+            out[i] = NodeId::from_le_bytes(data[within..within + 4].try_into().expect("4"));
+        }
+        Ok(out)
+    }
+
+    /// Runs the I/O-group pipeline over `reqs`, invoking `consume` on each
+    /// completed group buffer **in submission order**.
+    ///
+    /// Async mode keeps two groups in flight: while the kernel works on
+    /// group *k*, the CPU prepares and submits group *k+1*, then polls
+    /// *k*'s completions from the CQ (paper Fig. 3b). Sync mode submits and
+    /// waits one group at a time.
+    fn pipelined_read<F>(&mut self, reqs: &[ReadSlice], mut consume: F) -> Result<()>
+    where
+        F: FnMut(&[u8]),
+    {
+        let qd = self.reader.queue_depth();
+        let mut prepare_nanos = 0u64;
+        let mut complete_nanos = 0u64;
+        match self.cfg.pipeline {
+            PipelineMode::Sync => {
+                for chunk in reqs.chunks(qd) {
+                    let buf = self.buf_pool.pop().unwrap_or_default();
+                    let t0 = std::time::Instant::now();
+                    let token = self.reader.submit_group(chunk, buf)?;
+                    prepare_nanos += t0.elapsed().as_nanos() as u64;
+                    let t1 = std::time::Instant::now();
+                    let filled = self.reader.complete_group(token)?;
+                    complete_nanos += t1.elapsed().as_nanos() as u64;
+                    consume(&filled);
+                    self.buf_pool.push(filled);
+                }
+            }
+            PipelineMode::Async => {
+                let mut prev = None;
+                for chunk in reqs.chunks(qd) {
+                    let buf = self.buf_pool.pop().unwrap_or_default();
+                    let t0 = std::time::Instant::now();
+                    let token = self.reader.submit_group(chunk, buf)?;
+                    prepare_nanos += t0.elapsed().as_nanos() as u64;
+                    if let Some(p) = prev.take() {
+                        let t1 = std::time::Instant::now();
+                        let filled = self.reader.complete_group(p)?;
+                        complete_nanos += t1.elapsed().as_nanos() as u64;
+                        consume(&filled);
+                        self.buf_pool.push(filled);
+                    }
+                    prev = Some(token);
+                }
+                if let Some(p) = prev {
+                    let t1 = std::time::Instant::now();
+                    let filled = self.reader.complete_group(p)?;
+                    complete_nanos += t1.elapsed().as_nanos() as u64;
+                    consume(&filled);
+                    self.buf_pool.push(filled);
+                }
+            }
+        }
+        self.metrics.prepare_nanos += prepare_nanos;
+        self.metrics.complete_nanos += complete_nanos;
+        // Fold reader deltas into worker metrics.
+        let s = self.reader.stats();
+        let d = &self.last_reader_stats;
+        self.metrics.io_requests += s.requests - d.requests;
+        self.metrics.io_bytes += s.bytes - d.bytes;
+        self.metrics.io_groups += s.groups - d.groups;
+        self.metrics.syscalls += s.syscalls.saturating_sub(d.syscalls);
+        self.last_reader_stats = s;
+        Ok(())
+    }
+
+    /// Grows the workspace memory charge to match actual scratch capacity;
+    /// the failure mode is the paper's OOM under cgroup limits.
+    fn ensure_workspace_charge(&mut self) -> Result<()> {
+        let actual = (self.offsets.capacity() * 8
+            + self.src_pos.capacity() * 4
+            + self.reqs.capacity() * std::mem::size_of::<ReadSlice>()
+            + self
+                .buf_pool
+                .iter()
+                .map(|b| b.capacity())
+                .sum::<usize>()) as u64
+            + 2 * self.cfg.ring_entries as u64 * ENTRY_BYTES
+            + 64 * 1024;
+        if actual > self.charged_bytes {
+            self.workspace_charge
+                .grow(actual - self.charged_bytes, "thread workspace")?;
+            self.charged_bytes = actual;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBudget;
+    use ringsampler_graph::edgefile::write_csr;
+    use ringsampler_graph::CsrGraph;
+
+    fn test_graph(tag: &str) -> Arc<OnDiskGraph> {
+        let base =
+            std::env::temp_dir().join(format!("rs-core-worker-{}-{tag}", std::process::id()));
+        // 64 nodes, each node v has neighbors (v+1..v+1+deg) % 64 where
+        // deg = v % 9, so degrees range 0..8.
+        let mut edges = Vec::new();
+        for v in 0..64u32 {
+            for j in 0..(v % 9) {
+                edges.push((v, (v + 1 + j) % 64));
+            }
+        }
+        let csr = CsrGraph::from_edges(64, edges).unwrap();
+        Arc::new(write_csr(&csr, &base).unwrap())
+    }
+
+    fn worker(graph: &Arc<OnDiskGraph>, cfg: SamplerConfig) -> SamplerWorker {
+        SamplerWorker::new(Arc::clone(graph), cfg).unwrap()
+    }
+
+    fn validate_sample(graph: &OnDiskGraph, csr: &CsrGraph, s: &BatchSample, fanouts: &[usize]) {
+        assert_eq!(s.layers.len(), fanouts.len());
+        for (l, &f) in s.layers.iter().zip(fanouts) {
+            assert_eq!(l.fanout, f);
+            for (src, dst) in l.iter_edges() {
+                assert!(
+                    csr.neighbors(src).contains(&dst),
+                    "{dst} is not a neighbor of {src}"
+                );
+            }
+            // Per-target counts: min(fanout, degree).
+            for (pos, &t) in l.targets.iter().enumerate() {
+                let got = l.src_pos.iter().filter(|&&p| p as usize == pos).count();
+                let expect = (graph.degree(t) as usize).min(f);
+                assert_eq!(got, expect, "target {t} fanout {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sample_is_valid_against_graph() {
+        let graph = test_graph("valid");
+        let csr = graph.load_csr().unwrap();
+        let cfg = SamplerConfig::new().fanouts(&[3, 2]).ring_entries(16).seed(1);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let s = w.sample_batch(&seeds, 0).unwrap();
+        validate_sample(&graph, &csr, &s, &[3, 2]);
+        let m = w.metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.layers, 2);
+        assert!(m.io_requests > 0);
+        assert_eq!(m.io_bytes, m.io_requests * 4);
+    }
+
+    #[test]
+    fn deterministic_across_workers() {
+        let graph = test_graph("det");
+        let cfg = SamplerConfig::new().fanouts(&[3, 2]).ring_entries(8).seed(7);
+        let mut w1 = worker(&graph, cfg.clone());
+        let mut w2 = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (10..30).collect();
+        let a = w1.sample_batch(&seeds, 5).unwrap();
+        let b = w2.sample_batch(&seeds, 5).unwrap();
+        assert_eq!(a, b);
+        let c = w2.sample_batch(&seeds, 6).unwrap();
+        assert_ne!(a, c, "different batch seeds should differ");
+    }
+
+    #[test]
+    fn sync_and_async_pipelines_agree() {
+        let graph = test_graph("pipe");
+        let mk = |mode| {
+            SamplerConfig::new()
+                .fanouts(&[4, 3])
+                .ring_entries(4) // force many groups per layer
+                .pipeline(mode)
+                .seed(3)
+        };
+        let mut wa = worker(&graph, mk(PipelineMode::Async));
+        let mut ws = worker(&graph, mk(PipelineMode::Sync));
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let a = wa.sample_batch(&seeds, 1).unwrap();
+        let s = ws.sample_batch(&seeds, 1).unwrap();
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn uring_and_pread_engines_agree() {
+        let graph = test_graph("engines");
+        let mk = |engine| {
+            SamplerConfig::new()
+                .fanouts(&[3, 2])
+                .ring_entries(8)
+                .engine(engine)
+                .seed(11)
+        };
+        let mut wu = worker(&graph, mk(EngineKind::Uring));
+        let mut wp = worker(&graph, mk(EngineKind::Pread));
+        assert_eq!(wu.engine_name(), "io_uring");
+        assert_eq!(wp.engine_name(), "pread");
+        let seeds: Vec<NodeId> = (0..40).collect();
+        let a = wu.sample_batch(&seeds, 2).unwrap();
+        let b = wp.sample_batch(&seeds, 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_mode_matches_raw_mode() {
+        let graph = test_graph("cache");
+        let raw_cfg = SamplerConfig::new().fanouts(&[4, 4]).ring_entries(16).seed(9);
+        let cached_cfg = raw_cfg.clone().cache(CachePolicy::Page {
+            budget_bytes: 64 * (PAGE_SIZE as u64 + 64),
+        });
+        let mut wr = worker(&graph, raw_cfg);
+        let mut wc = worker(&graph, cached_cfg);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        for batch in 0..4 {
+            let a = wr.sample_batch(&seeds, batch).unwrap();
+            let b = wc.sample_batch(&seeds, batch).unwrap();
+            assert_eq!(a, b);
+        }
+        let m = wc.metrics();
+        assert!(m.cache_hits > 0, "repeat batches must hit the cache");
+        // Cached mode reads pages, raw reads 4-byte entries: fewer requests.
+        assert!(m.io_requests < wr.metrics().io_requests);
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        // Cache with capacity 1 page: constant eviction, still correct.
+        let graph = test_graph("tinycache");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[4])
+            .ring_entries(8)
+            .seed(13)
+            .cache(CachePolicy::Page {
+                budget_bytes: PAGE_SIZE as u64 + 64,
+            });
+        let raw = SamplerConfig::new().fanouts(&[4]).ring_entries(8).seed(13);
+        let mut wc = worker(&graph, cfg);
+        let mut wr = worker(&graph, raw);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        assert_eq!(
+            wc.sample_batch(&seeds, 0).unwrap(),
+            wr.sample_batch(&seeds, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_degree_seeds_produce_empty_layers() {
+        let graph = test_graph("zero");
+        let cfg = SamplerConfig::new().fanouts(&[5, 5]).ring_entries(8);
+        let mut w = worker(&graph, cfg);
+        // Node 0 has degree 0 (0 % 9 == 0).
+        let s = w.sample_batch(&[0], 0).unwrap();
+        assert_eq!(s.layers[0].num_edges(), 0);
+        assert_eq!(s.layers[1].num_edges(), 0);
+        assert!(s.layers[1].targets.is_empty());
+    }
+
+    #[test]
+    fn oom_on_tiny_budget() {
+        let graph = test_graph("oom");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[3])
+            .ring_entries(8)
+            .budget(MemoryBudget::limited(100));
+        match SamplerWorker::new(graph, cfg) {
+            Err(crate::error::SamplerError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn with_replacement_always_fills_fanout() {
+        let graph = test_graph("replace");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[10])
+            .ring_entries(16)
+            .with_replacement(true)
+            .seed(3);
+        let mut w = worker(&graph, cfg);
+        // Node 10 has degree 1 (10 % 9); with replacement it must still
+        // contribute exactly 10 draws, all of the same neighbor.
+        let s = w.sample_batch(&[10], 0).unwrap();
+        assert_eq!(s.layers[0].num_edges(), 10);
+        let first = s.layers[0].dst[0];
+        assert!(s.layers[0].dst.iter().all(|&d| d == first));
+        // Zero-degree node 0 contributes nothing even with replacement.
+        let s0 = w.sample_batch(&[0], 1).unwrap();
+        assert_eq!(s0.layers[0].num_edges(), 0);
+    }
+
+    #[test]
+    fn registered_file_fast_path_matches_plain(){
+        let graph = test_graph("regfile");
+        let on = SamplerConfig::new().fanouts(&[3, 2]).ring_entries(8).seed(4).register_file(true);
+        let off = SamplerConfig::new().fanouts(&[3, 2]).ring_entries(8).seed(4).register_file(false);
+        let mut w_on = worker(&graph, on);
+        let mut w_off = worker(&graph, off);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        assert_eq!(
+            w_on.sample_batch(&seeds, 0).unwrap(),
+            w_off.sample_batch(&seeds, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn stage_timers_populated() {
+        let graph = test_graph("timers");
+        let cfg = SamplerConfig::new().fanouts(&[4, 4]).ring_entries(8);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let m = w.metrics();
+        assert!(m.prepare_nanos > 0, "prepare time recorded");
+        assert!(m.complete_nanos > 0, "completion time recorded");
+        let f = m.wait_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn metrics_accumulate_over_batches() {
+        let graph = test_graph("metrics");
+        let cfg = SamplerConfig::new().fanouts(&[2]).ring_entries(8);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..32).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let m1 = w.metrics();
+        w.sample_batch(&seeds, 1).unwrap();
+        let m2 = w.metrics();
+        assert_eq!(m2.batches, 2);
+        assert!(m2.io_requests >= m1.io_requests);
+        assert!(m2.sampled_edges > m1.sampled_edges);
+    }
+}

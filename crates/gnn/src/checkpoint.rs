@@ -1,0 +1,222 @@
+//! Model checkpointing: save/load [`SageModel`] parameters in a small
+//! self-describing binary format (magic + dims + little-endian f32s).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::model::SageModel;
+use crate::tensor::Matrix;
+
+const MAGIC: [u8; 4] = *b"RSCK";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_matrix(w: &mut impl Write, m: &Matrix) -> Result<(), CheckpointError> {
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    for v in m.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix(r: &mut impl Read) -> Result<Matrix, CheckpointError> {
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let rows = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let cols = u64::from_le_bytes(b8) as usize;
+    if rows.checked_mul(cols).is_none_or(|n| n > (1 << 30)) {
+        return Err(CheckpointError::Format(format!(
+            "implausible matrix shape {rows}x{cols}"
+        )));
+    }
+    let mut data = vec![0f32; rows * cols];
+    let mut b4 = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut b4)?;
+        *v = f32::from_le_bytes(b4);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Saves a model's parameters to `path`.
+///
+/// # Errors
+/// Propagates file I/O errors.
+pub fn save_model(model: &SageModel, path: &Path) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(model.layers().len() as u32).to_le_bytes())?;
+    for layer in model.layers() {
+        write_matrix(&mut w, &layer.w_self)?;
+        write_matrix(&mut w, &layer.w_neigh)?;
+        w.write_all(&(layer.bias.len() as u64).to_le_bytes())?;
+        for v in &layer.bias {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads parameters from `path` into `model` (shapes must match).
+///
+/// # Errors
+/// [`CheckpointError::Format`] on magic/version/shape mismatch; file I/O
+/// errors otherwise.
+pub fn load_model(model: &mut SageModel, path: &Path) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    r.read_exact(&mut b4)?;
+    let layers = u32::from_le_bytes(b4) as usize;
+    if layers != model.layers().len() {
+        return Err(CheckpointError::Format(format!(
+            "checkpoint has {layers} layers, model has {}",
+            model.layers().len()
+        )));
+    }
+    for i in 0..layers {
+        let w_self = read_matrix(&mut r)?;
+        let w_neigh = read_matrix(&mut r)?;
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let bias_len = u64::from_le_bytes(b8) as usize;
+        let mut bias = vec![0f32; bias_len];
+        for v in &mut bias {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        let layer = &mut model.layers_mut()[i];
+        let shape_ok = layer.w_self.rows() == w_self.rows()
+            && layer.w_self.cols() == w_self.cols()
+            && layer.w_neigh.rows() == w_neigh.rows()
+            && layer.w_neigh.cols() == w_neigh.cols()
+            && layer.bias.len() == bias.len();
+        if !shape_ok {
+            return Err(CheckpointError::Format(format!(
+                "layer {i} shape mismatch"
+            )));
+        }
+        layer.w_self = w_self;
+        layer.w_neigh = w_neigh;
+        layer.bias = bias;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rs-gnn-ckpt-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_parameters() {
+        let path = tmp("rt");
+        let model = SageModel::new(6, &[4], 3, 2, 77);
+        save_model(&model, &path).unwrap();
+        let mut other = SageModel::new(6, &[4], 3, 2, 999); // different init
+        load_model(&mut other, &path).unwrap();
+        for (a, b) in model.layers().iter().zip(other.layers()) {
+            assert_eq!(a.w_self, b.w_self);
+            assert_eq!(a.w_neigh, b.w_neigh);
+            assert_eq!(a.bias, b.bias);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        let mut model = SageModel::new(4, &[], 2, 1, 0);
+        assert!(matches!(
+            load_model(&mut model, &path),
+            Err(CheckpointError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let path = tmp("shape");
+        let model = SageModel::new(6, &[4], 3, 2, 1);
+        save_model(&model, &path).unwrap();
+        let mut wrong = SageModel::new(6, &[5], 3, 2, 1);
+        assert!(matches!(
+            load_model(&mut wrong, &path),
+            Err(CheckpointError::Format(_))
+        ));
+        let mut wrong_layers = SageModel::new(6, &[], 3, 1, 1);
+        assert!(matches!(
+            load_model(&mut wrong_layers, &path),
+            Err(CheckpointError::Format(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let path = tmp("trunc");
+        let model = SageModel::new(6, &[4], 3, 2, 1);
+        save_model(&model, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut m = SageModel::new(6, &[4], 3, 2, 2);
+        assert!(matches!(
+            load_model(&mut m, &path),
+            Err(CheckpointError::Io(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

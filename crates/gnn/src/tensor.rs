@@ -1,0 +1,321 @@
+//! Minimal dense matrix math for the GraphSAGE training substrate.
+//!
+//! Deliberately small: row-major `f32` matrices with just the operations
+//! SAGE layers need (matmul, transposed variants, row reductions). No BLAS
+//! dependency — the aggregation stage is not this reproduction's
+//! bottleneck; it only has to exist and be correct.
+
+/// A row-major dense `f32` matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Xavier-style random initialization with a deterministic seed.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        // Small deterministic xorshift so the crate stays rand-agnostic
+        // in its math core.
+        let mut state = seed | 1;
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map the top 53 bits to [-1, 1).
+            (state >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0
+        };
+        let data = (0..rows * cols).map(|_| next() * scale).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self × other` (shapes `m×k · k×n → m×n`).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &o) in dst.iter_mut().zip(orow) {
+                    *d += a * o;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` (shapes `m×k · n×k → m×n`).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                out.data[i * other.rows + j] =
+                    arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` (shapes `k×m · k×n → m×n`).
+    ///
+    /// # Panics
+    /// Panics on row-count mismatch.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(brow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length = cols) to every row.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (d, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *d += b;
+            }
+        }
+    }
+
+    /// In-place ReLU.
+    pub fn relu_inplace(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (d, &o) in self.data.iter_mut().zip(&other.data) {
+            *d += alpha * o;
+        }
+    }
+
+    /// Column-wise sum (length = cols).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Row-wise softmax + cross-entropy against integer labels.
+///
+/// Returns `(mean loss, dlogits)` where `dlogits` is the gradient of the
+/// mean loss w.r.t. the logits.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let n = logits.rows().max(1);
+    let mut dl = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss -= ((exps[label] / sum).max(1e-12) as f64).ln();
+        let drow = dl.row_mut(r);
+        for (j, &e) in exps.iter().enumerate() {
+            drow[j] = (e / sum - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, dl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, vec![1., 0., 2., 3., 1., 0., 0., 2., 1., 1., 1., 1.]);
+        // a (2x3) × bᵀ (3x4) = 2x4
+        let c = a.matmul_transposed(&b);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.row(0), &[7., 5., 7., 6.]);
+        // aᵀ (3x2) × a2 where rows match
+        let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let y = Matrix::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        let z = x.transposed_matmul(&y); // 3x2
+        assert_eq!(z.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn relu_and_bias() {
+        let mut m = Matrix::from_vec(2, 2, vec![-1., 2., 3., -4.]);
+        m.relu_inplace();
+        assert_eq!(m.as_slice(), &[0., 2., 3., 0.]);
+        m.add_row_bias(&[1., -1.]);
+        assert_eq!(m.as_slice(), &[1., 1., 4., -1.]);
+    }
+
+    #[test]
+    fn column_sums_and_norm() {
+        let m = Matrix::from_vec(2, 2, vec![3., 0., 4., 1.]);
+        assert_eq!(m.column_sums(), vec![7., 1.]);
+        assert!((m.norm() - (9.0f32 + 16.0 + 1.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Matrix::xavier(4, 4, 1);
+        let b = Matrix::xavier(4, 4, 1);
+        let c = Matrix::xavier(4, 4, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bound = (6.0 / 8.0f32).sqrt() + 1e-6;
+        assert!(a.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![10., -10., -10., -10., 10., -10.]);
+        let (loss, dl) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+        assert!(dl.norm() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_numerically() {
+        let logits = Matrix::from_vec(1, 3, vec![0.5, -0.2, 0.1]);
+        let labels = [2usize];
+        let (_, analytic) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = logits.clone();
+            plus.row_mut(0)[j] += eps;
+            let mut minus = logits.clone();
+            minus.row_mut(0)[j] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.row(0)[j]).abs() < 1e-3,
+                "grad mismatch at {j}: {numeric} vs {}",
+                analytic.row(0)[j]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

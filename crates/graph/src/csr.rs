@@ -1,0 +1,218 @@
+//! In-memory CSR (compressed sparse row) graph.
+//!
+//! Used by the in-memory baselines (DGL-CPU/GPU analogs) and as the source
+//! representation the preprocessor can serialize to disk. The layout is the
+//! in-memory twin of the on-disk edge file: `offsets[v]..offsets[v+1]`
+//! indexes `neighbors`.
+
+use crate::error::{GraphError, Result};
+use crate::types::NodeId;
+
+/// An immutable in-memory adjacency structure in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge iterator.
+    ///
+    /// Node count is `num_nodes`; every edge endpoint must be below it.
+    /// Neighbor lists preserve the per-source input order (a counting sort
+    /// by source, matching the preprocessor's "sort by source" step).
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] if an endpoint exceeds `num_nodes`.
+    pub fn from_edges<I>(num_nodes: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let check = |v: NodeId| -> Result<()> {
+            if (v as usize) < num_nodes {
+                Ok(())
+            } else {
+                Err(GraphError::NodeOutOfRange {
+                    node: v as u64,
+                    num_nodes: num_nodes as u64,
+                })
+            }
+        };
+
+        // Two-pass counting sort; the edge list is buffered because the
+        // iterator cannot be rewound. (Larger-than-memory inputs go through
+        // `preprocess::build_dataset` instead.)
+        let buffered: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        let mut degree = vec![0u64; num_nodes];
+        for &(s, d) in &buffered {
+            check(s)?;
+            check(d)?;
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..num_nodes].to_vec();
+        let mut neighbors = vec![0 as NodeId; buffered.len()];
+        for &(s, d) in &buffered {
+            let c = &mut cursor[s as usize];
+            neighbors[*c as usize] = d;
+            *c += 1;
+        }
+        Ok(Self { offsets, neighbors })
+    }
+
+    /// Builds directly from prevalidated CSR arrays.
+    ///
+    /// # Errors
+    /// [`GraphError::CorruptIndex`] if `offsets` is not monotone, does not
+    /// start at 0, or does not end at `neighbors.len()`.
+    pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Result<Self> {
+        if offsets.first() != Some(&0) {
+            return Err(GraphError::CorruptIndex("offsets must start at 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::CorruptIndex("offsets must be monotone".into()));
+        }
+        if offsets.last().copied() != Some(neighbors.len() as u64) {
+            return Err(GraphError::CorruptIndex(format!(
+                "offsets end at {:?}, neighbors has {}",
+                offsets.last(),
+                neighbors.len()
+            )));
+        }
+        Ok(Self { offsets, neighbors })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor slice of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// The raw offset array (`num_nodes + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array.
+    pub fn neighbor_array(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Approximate resident memory of this structure in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.neighbors.len() * 4) as u64
+    }
+
+    /// Iterator over all edges in CSR order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| (v, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        // Graph from the paper's Figure 1a, partially: node 1 has
+        // neighbors {2, 8, 6, 7, 11}, node 2 has {6, 8, 10, 14}.
+        CsrGraph::from_edges(
+            16,
+            vec![
+                (1, 2),
+                (1, 8),
+                (1, 6),
+                (1, 7),
+                (1, 11),
+                (2, 6),
+                (2, 8),
+                (2, 10),
+                (2, 14),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(1), 5);
+        assert_eq!(g.neighbors(1), &[2, 8, 6, 7, 11]);
+        assert_eq!(g.neighbors(2), &[6, 8, 10, 14]);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.neighbors(15).is_empty());
+    }
+
+    #[test]
+    fn input_order_preserved_per_source() {
+        let g = CsrGraph::from_edges(4, vec![(0, 3), (1, 2), (0, 1), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = CsrGraph::from_edges(4, vec![(0, 9)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 9, .. }));
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0]).is_ok());
+        assert!(CsrGraph::from_parts(vec![1, 2], vec![1]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 2, 1], vec![1, 0]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 1], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let g = sample();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges.len(), 9);
+        let g2 = CsrGraph::from_edges(16, edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, Vec::new()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = sample();
+        assert_eq!(g.memory_bytes(), (17 * 8 + 9 * 4) as u64);
+    }
+}

@@ -1,0 +1,591 @@
+//! On-disk edge file and offset index (the paper's hybrid data structure).
+//!
+//! Two files make up a stored graph:
+//!
+//! * **Edge file** (`.rsef`) — a 64-byte header followed by all destination
+//!   node ids as a flat little-endian `u32` array, grouped by source node in
+//!   ascending source order ("the edge file is constructed by sorting all
+//!   edges based on their source nodes, then storing only the destination
+//!   nodes as a flat list of integers", §3.1).
+//! * **Offset index** (`.rsix`) — a small header plus `|V| + 1` `u64`
+//!   entry offsets. The neighbors of node `x` live at entries
+//!   `[index[x], index[x+1])` of the edge file. This array is loaded fully
+//!   into memory (its size depends only on `|V|`).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::error::{GraphError, Result};
+use crate::types::{NodeId, ENTRY_BYTES};
+
+/// Magic bytes of the edge file.
+pub const EDGE_MAGIC: [u8; 4] = *b"RSEF";
+/// Magic bytes of the offset index file.
+pub const INDEX_MAGIC: [u8; 4] = *b"RSIX";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the edge-file header in bytes.
+pub const HEADER_BYTES: u64 = 64;
+
+/// File extension of edge files.
+pub const EDGE_EXT: &str = "rsef";
+/// File extension of offset index files.
+pub const INDEX_EXT: &str = "rsix";
+
+fn read_exact_at(f: &mut impl Read, buf: &mut [u8], path: &Path) -> Result<()> {
+    f.read_exact(buf)
+        .map_err(|e| GraphError::io_at(path, e))
+}
+
+fn u32_at(b: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(b[i..i + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(b: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"))
+}
+
+/// Parsed header of an edge file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFileHeader {
+    /// Number of nodes (offset index has this + 1 entries).
+    pub num_nodes: u64,
+    /// Number of stored neighbor entries (= directed edges).
+    pub num_edges: u64,
+}
+
+impl EdgeFileHeader {
+    fn to_bytes(self) -> [u8; HEADER_BYTES as usize] {
+        let mut h = [0u8; HEADER_BYTES as usize];
+        h[0..4].copy_from_slice(&EDGE_MAGIC);
+        h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        h[8..16].copy_from_slice(&self.num_nodes.to_le_bytes());
+        h[16..24].copy_from_slice(&self.num_edges.to_le_bytes());
+        h[24..28].copy_from_slice(&(ENTRY_BYTES as u32).to_le_bytes());
+        h
+    }
+
+    fn from_bytes(b: &[u8; HEADER_BYTES as usize], path: &Path) -> Result<Self> {
+        if b[0..4] != EDGE_MAGIC {
+            return Err(GraphError::BadMagic {
+                path: path.to_path_buf(),
+                found: b[0..4].try_into().expect("4 bytes"),
+            });
+        }
+        let version = u32_at(b, 4);
+        if version != FORMAT_VERSION {
+            return Err(GraphError::UnsupportedVersion(version));
+        }
+        let entry_width = u32_at(b, 24);
+        if entry_width as u64 != ENTRY_BYTES {
+            return Err(GraphError::CorruptIndex(format!(
+                "unsupported entry width {entry_width}"
+            )));
+        }
+        Ok(Self {
+            num_nodes: u64_at(b, 8),
+            num_edges: u64_at(b, 16),
+        })
+    }
+}
+
+/// Streaming writer producing an edge file + offset index pair.
+///
+/// Edges must be fed in non-decreasing source order (the preprocessor's
+/// external sort guarantees this); the writer accumulates the offset index
+/// as it goes, so memory use is `O(|V|)`.
+#[derive(Debug)]
+pub struct EdgeFileWriter {
+    edge_path: PathBuf,
+    index_path: PathBuf,
+    out: BufWriter<File>,
+    offsets: Vec<u64>,
+    current_src: Option<NodeId>,
+    num_nodes: u64,
+    num_edges: u64,
+}
+
+impl EdgeFileWriter {
+    /// Creates a writer for a graph with `num_nodes` nodes at
+    /// `base.{rsef,rsix}`.
+    ///
+    /// # Errors
+    /// Fails if the edge file cannot be created.
+    pub fn create(base: &Path, num_nodes: u64) -> Result<Self> {
+        let edge_path = base.with_extension(EDGE_EXT);
+        let index_path = base.with_extension(INDEX_EXT);
+        let f = File::create(&edge_path).map_err(|e| GraphError::io_at(&edge_path, e))?;
+        let mut out = BufWriter::new(f);
+        // Placeholder header, patched in finish().
+        out.write_all(
+            &EdgeFileHeader {
+                num_nodes,
+                num_edges: 0,
+            }
+            .to_bytes(),
+        )
+        .map_err(|e| GraphError::io_at(&edge_path, e))?;
+        let mut offsets = Vec::with_capacity(num_nodes as usize + 1);
+        offsets.push(0);
+        Ok(Self {
+            edge_path,
+            index_path,
+            out,
+            offsets,
+            current_src: None,
+            num_nodes,
+            num_edges: 0,
+        })
+    }
+
+    fn close_sources_up_to(&mut self, src: NodeId) {
+        // Every source between the previous one and `src` has degree 0 and
+        // repeats the running offset.
+        while self.offsets.len() <= src as usize {
+            self.offsets.push(self.num_edges);
+        }
+    }
+
+    /// Appends one edge. Sources must arrive in non-decreasing order.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] on out-of-order sources and
+    /// [`GraphError::NodeOutOfRange`] for endpoints ≥ `num_nodes`.
+    pub fn push(&mut self, src: NodeId, dst: NodeId) -> Result<()> {
+        if src as u64 >= self.num_nodes || dst as u64 >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: src.max(dst) as u64,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if let Some(prev) = self.current_src {
+            if src < prev {
+                return Err(GraphError::InvalidParameter(format!(
+                    "edges out of order: source {src} after {prev}"
+                )));
+            }
+        }
+        self.close_sources_up_to(src);
+        self.current_src = Some(src);
+        self.out
+            .write_all(&dst.to_le_bytes())
+            .map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Finalizes both files and returns the opened graph handle.
+    ///
+    /// # Errors
+    /// Fails on header patch or index write errors.
+    pub fn finish(mut self) -> Result<OnDiskGraph> {
+        // Close trailing zero-degree sources: offsets needs num_nodes+1 entries.
+        while self.offsets.len() <= self.num_nodes as usize {
+            self.offsets.push(self.num_edges);
+        }
+        // Patch the header with the final edge count.
+        let mut f = self
+            .out
+            .into_inner()
+            .map_err(|e| GraphError::io_at(&self.edge_path, e.into()))?;
+        f.seek(SeekFrom::Start(0))
+            .map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        f.write_all(
+            &EdgeFileHeader {
+                num_nodes: self.num_nodes,
+                num_edges: self.num_edges,
+            }
+            .to_bytes(),
+        )
+        .map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        f.sync_all().map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+
+        // Write the offset index.
+        let idx =
+            File::create(&self.index_path).map_err(|e| GraphError::io_at(&self.index_path, e))?;
+        let mut w = BufWriter::new(idx);
+        let mut header = [0u8; 24];
+        header[0..4].copy_from_slice(&INDEX_MAGIC);
+        header[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header[8..16].copy_from_slice(&self.num_nodes.to_le_bytes());
+        w.write_all(&header)
+            .map_err(|e| GraphError::io_at(&self.index_path, e))?;
+        for &o in &self.offsets {
+            w.write_all(&o.to_le_bytes())
+                .map_err(|e| GraphError::io_at(&self.index_path, e))?;
+        }
+        w.flush().map_err(|e| GraphError::io_at(&self.index_path, e))?;
+
+        OnDiskGraph::open_pair(&self.edge_path, &self.index_path)
+    }
+}
+
+/// A stored graph: loaded offset index + path to the on-disk edge file.
+///
+/// This is the structure RingSampler samples from: the offset index lives in
+/// memory (`O(|V|)`), the neighbor entries stay on disk and are fetched
+/// selectively through io_uring.
+#[derive(Debug, Clone)]
+pub struct OnDiskGraph {
+    edge_path: PathBuf,
+    offsets: Vec<u64>,
+    num_edges: u64,
+}
+
+impl OnDiskGraph {
+    /// Opens `base.rsef` + `base.rsix`.
+    ///
+    /// # Errors
+    /// Propagates open/validate errors from [`OnDiskGraph::open_pair`].
+    pub fn open(base: &Path) -> Result<Self> {
+        Self::open_pair(&base.with_extension(EDGE_EXT), &base.with_extension(INDEX_EXT))
+    }
+
+    /// Opens an explicit edge-file/index pair, validating headers, sizes,
+    /// and index monotonicity.
+    ///
+    /// # Errors
+    /// [`GraphError::BadMagic`], [`GraphError::Truncated`], or
+    /// [`GraphError::CorruptIndex`] on validation failure.
+    pub fn open_pair(edge_path: &Path, index_path: &Path) -> Result<Self> {
+        let mut ef = File::open(edge_path).map_err(|e| GraphError::io_at(edge_path, e))?;
+        let mut hb = [0u8; HEADER_BYTES as usize];
+        read_exact_at(&mut ef, &mut hb, edge_path)?;
+        let header = EdgeFileHeader::from_bytes(&hb, edge_path)?;
+
+        let expected = HEADER_BYTES + header.num_edges * ENTRY_BYTES;
+        let actual = ef
+            .metadata()
+            .map_err(|e| GraphError::io_at(edge_path, e))?
+            .len();
+        if actual < expected {
+            return Err(GraphError::Truncated {
+                path: edge_path.to_path_buf(),
+                expected,
+                actual,
+            });
+        }
+
+        let idx = File::open(index_path).map_err(|e| GraphError::io_at(index_path, e))?;
+        let mut r = BufReader::new(idx);
+        let mut ih = [0u8; 24];
+        read_exact_at(&mut r, &mut ih, index_path)?;
+        if ih[0..4] != INDEX_MAGIC {
+            return Err(GraphError::BadMagic {
+                path: index_path.to_path_buf(),
+                found: ih[0..4].try_into().expect("4 bytes"),
+            });
+        }
+        let version = u32_at(&ih, 4);
+        if version != FORMAT_VERSION {
+            return Err(GraphError::UnsupportedVersion(version));
+        }
+        let num_nodes = u64_at(&ih, 8);
+        if num_nodes != header.num_nodes {
+            return Err(GraphError::CorruptIndex(format!(
+                "index claims {num_nodes} nodes, edge file {}",
+                header.num_nodes
+            )));
+        }
+
+        let mut offsets = vec![0u64; num_nodes as usize + 1];
+        let mut buf = vec![0u8; (num_nodes as usize + 1) * 8];
+        read_exact_at(&mut r, &mut buf, index_path)?;
+        for (i, o) in offsets.iter_mut().enumerate() {
+            *o = u64_at(&buf, i * 8);
+        }
+        if offsets.first() != Some(&0) {
+            return Err(GraphError::CorruptIndex("first offset not 0".into()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::CorruptIndex("offsets not monotone".into()));
+        }
+        if offsets.last().copied() != Some(header.num_edges) {
+            return Err(GraphError::CorruptIndex(format!(
+                "last offset {:?} != edge count {}",
+                offsets.last(),
+                header.num_edges
+            )));
+        }
+
+        Ok(Self {
+            edge_path: edge_path.to_path_buf(),
+            offsets,
+            num_edges: header.num_edges,
+        })
+    }
+
+    /// Path of the on-disk edge file (open it with an I/O engine to read
+    /// neighbor entries).
+    pub fn edge_path(&self) -> &Path {
+        &self.edge_path
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u64 {
+        self.offsets.len() as u64 - 1
+    }
+
+    /// Number of stored neighbor entries.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v ≥ num_nodes`.
+    pub fn degree(&self, v: NodeId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Entry-index range of `v`'s neighbors in the edge file.
+    ///
+    /// # Panics
+    /// Panics if `v ≥ num_nodes`.
+    pub fn neighbor_range(&self, v: NodeId) -> Range<u64> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Byte offset in the edge file of entry index `entry`.
+    pub fn entry_byte_offset(entry: u64) -> u64 {
+        HEADER_BYTES + entry * ENTRY_BYTES
+    }
+
+    /// The in-memory offset index (`num_nodes + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Resident memory of the in-memory metadata in bytes — this is the
+    /// quantity the paper's Fig. 5 argues is independent of `|E|`.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.offsets.len() as u64 * 8
+    }
+
+    /// Reads the **full** neighbor list of `v` with plain file I/O.
+    ///
+    /// This is the "unnecessary I/O" code path of out-of-core baselines
+    /// (§2.2.1); RingSampler itself never calls it during sampling.
+    ///
+    /// # Errors
+    /// Propagates read errors.
+    pub fn read_neighbors(&self, file: &File, v: NodeId) -> Result<Vec<NodeId>> {
+        use std::os::unix::fs::FileExt;
+        let range = self.neighbor_range(v);
+        let mut buf = vec![0u8; ((range.end - range.start) * ENTRY_BYTES) as usize];
+        file.read_exact_at(&mut buf, Self::entry_byte_offset(range.start))
+            .map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| NodeId::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Loads the entire graph into an in-memory CSR (used by in-memory
+    /// baselines; requires `O(|E|)` memory by definition).
+    ///
+    /// # Errors
+    /// Propagates read errors.
+    pub fn load_csr(&self) -> Result<crate::csr::CsrGraph> {
+        let mut f = File::open(&self.edge_path).map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        f.seek(SeekFrom::Start(HEADER_BYTES))
+            .map_err(|e| GraphError::io_at(&self.edge_path, e))?;
+        let mut buf = vec![0u8; (self.num_edges * ENTRY_BYTES) as usize];
+        read_exact_at(&mut f, &mut buf, &self.edge_path)?;
+        let neighbors: Vec<NodeId> = buf
+            .chunks_exact(4)
+            .map(|c| NodeId::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        crate::csr::CsrGraph::from_parts(self.offsets.clone(), neighbors)
+    }
+}
+
+/// Serializes an in-memory CSR graph to `base.{rsef,rsix}`.
+///
+/// # Errors
+/// Propagates writer errors.
+pub fn write_csr(graph: &crate::csr::CsrGraph, base: &Path) -> Result<OnDiskGraph> {
+    let mut w = EdgeFileWriter::create(base, graph.num_nodes() as u64)?;
+    for v in 0..graph.num_nodes() as NodeId {
+        for &d in graph.neighbors(v) {
+            w.push(v, d)?;
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    fn tmp_base(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rs-graph-ef-{}-{tag}", std::process::id()))
+    }
+
+    fn fig1_graph() -> CsrGraph {
+        CsrGraph::from_edges(
+            16,
+            vec![
+                (1, 2),
+                (1, 8),
+                (1, 6),
+                (1, 7),
+                (1, 11),
+                (2, 6),
+                (2, 8),
+                (2, 10),
+                (2, 14),
+                (6, 1),
+                (6, 4),
+                (6, 9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_and_reopen_roundtrip() {
+        let base = tmp_base("roundtrip");
+        let g = fig1_graph();
+        let disk = write_csr(&g, &base).unwrap();
+        assert_eq!(disk.num_nodes(), 16);
+        assert_eq!(disk.num_edges(), 12);
+        assert_eq!(disk.degree(1), 5);
+        assert_eq!(disk.neighbor_range(1), 0..5);
+        assert_eq!(disk.neighbor_range(2), 5..9);
+        assert_eq!(disk.neighbor_range(6), 9..12);
+        assert_eq!(disk.degree(0), 0);
+        let loaded = disk.load_csr().unwrap();
+        assert_eq!(loaded, g);
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+        std::fs::remove_file(base.with_extension(INDEX_EXT)).ok();
+    }
+
+    #[test]
+    fn read_neighbors_matches() {
+        let base = tmp_base("readnbr");
+        let g = fig1_graph();
+        let disk = write_csr(&g, &base).unwrap();
+        let f = File::open(disk.edge_path()).unwrap();
+        assert_eq!(disk.read_neighbors(&f, 1).unwrap(), vec![2, 8, 6, 7, 11]);
+        assert_eq!(disk.read_neighbors(&f, 0).unwrap(), Vec::<NodeId>::new());
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+        std::fs::remove_file(base.with_extension(INDEX_EXT)).ok();
+    }
+
+    #[test]
+    fn out_of_order_sources_rejected() {
+        let base = tmp_base("order");
+        let mut w = EdgeFileWriter::create(&base, 4).unwrap();
+        w.push(2, 0).unwrap();
+        assert!(matches!(
+            w.push(1, 0),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+    }
+
+    #[test]
+    fn node_out_of_range_rejected() {
+        let base = tmp_base("range");
+        let mut w = EdgeFileWriter::create(&base, 4).unwrap();
+        assert!(w.push(0, 7).is_err());
+        assert!(w.push(9, 0).is_err());
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let base = tmp_base("magic");
+        let edge = base.with_extension(EDGE_EXT);
+        let idx = base.with_extension(INDEX_EXT);
+        std::fs::write(&edge, vec![0u8; 80]).unwrap();
+        std::fs::write(&idx, vec![0u8; 80]).unwrap();
+        assert!(matches!(
+            OnDiskGraph::open(&base),
+            Err(GraphError::BadMagic { .. })
+        ));
+        std::fs::remove_file(edge).ok();
+        std::fs::remove_file(idx).ok();
+    }
+
+    #[test]
+    fn truncated_edge_file_detected() {
+        let base = tmp_base("trunc");
+        let g = fig1_graph();
+        write_csr(&g, &base).unwrap();
+        let edge = base.with_extension(EDGE_EXT);
+        let full = std::fs::read(&edge).unwrap();
+        std::fs::write(&edge, &full[..full.len() - 8]).unwrap();
+        assert!(matches!(
+            OnDiskGraph::open(&base),
+            Err(GraphError::Truncated { .. })
+        ));
+        std::fs::remove_file(edge).ok();
+        std::fs::remove_file(base.with_extension(INDEX_EXT)).ok();
+    }
+
+    #[test]
+    fn corrupt_index_detected() {
+        let base = tmp_base("corrupt");
+        let g = fig1_graph();
+        write_csr(&g, &base).unwrap();
+        let idx_path = base.with_extension(INDEX_EXT);
+        let mut idx = std::fs::read(&idx_path).unwrap();
+        // Make offsets non-monotone: bump one middle offset sky-high.
+        let pos = 24 + 8 * 3;
+        idx[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&idx_path, idx).unwrap();
+        assert!(matches!(
+            OnDiskGraph::open(&base),
+            Err(GraphError::CorruptIndex(_))
+        ));
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+        std::fs::remove_file(idx_path).ok();
+    }
+
+    #[test]
+    fn unsupported_version_detected() {
+        let base = tmp_base("version");
+        let g = fig1_graph();
+        write_csr(&g, &base).unwrap();
+        let edge = base.with_extension(EDGE_EXT);
+        let mut bytes = std::fs::read(&edge).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&edge, bytes).unwrap();
+        assert!(matches!(
+            OnDiskGraph::open(&base),
+            Err(GraphError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_file(edge).ok();
+        std::fs::remove_file(base.with_extension(INDEX_EXT)).ok();
+    }
+
+    #[test]
+    fn entry_byte_offsets() {
+        assert_eq!(OnDiskGraph::entry_byte_offset(0), HEADER_BYTES);
+        assert_eq!(OnDiskGraph::entry_byte_offset(10), HEADER_BYTES + 40);
+    }
+
+    #[test]
+    fn metadata_scales_with_nodes_not_edges() {
+        let base1 = tmp_base("meta1");
+        let base2 = tmp_base("meta2");
+        let sparse = CsrGraph::from_edges(100, vec![(0, 1)]).unwrap();
+        let dense_edges: Vec<(NodeId, NodeId)> = (0..100u32)
+            .flat_map(|s| (0..50u32).map(move |d| (s, d)))
+            .collect();
+        let dense = CsrGraph::from_edges(100, dense_edges).unwrap();
+        let d1 = write_csr(&sparse, &base1).unwrap();
+        let d2 = write_csr(&dense, &base2).unwrap();
+        assert_eq!(d1.metadata_bytes(), d2.metadata_bytes());
+        for b in [base1, base2] {
+            std::fs::remove_file(b.with_extension(EDGE_EXT)).ok();
+            std::fs::remove_file(b.with_extension(INDEX_EXT)).ok();
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Error types for the graph storage substrate.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors produced by graph construction, storage, and preprocessing.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Underlying file I/O failure.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A file exists but is not a valid edge-file/index (bad magic).
+    BadMagic {
+        /// The file with the unrecognized header.
+        path: PathBuf,
+        /// The four bytes found.
+        found: [u8; 4],
+    },
+    /// File format version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// The file with the inconsistent length.
+        path: PathBuf,
+        /// Bytes the header implies.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// Edge references a node id ≥ the declared node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The declared node count.
+        num_nodes: u64,
+    },
+    /// The offset index is not monotonically non-decreasing or does not end
+    /// at the edge count.
+    CorruptIndex(String),
+    /// An invalid parameter was supplied (empty graph, zero fanout, ...).
+    InvalidParameter(String),
+    /// A text edge list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: u64,
+        /// The unparseable content (truncated).
+        content: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io { path, source } => match path {
+                Some(p) => write!(f, "i/o error on {}: {source}", p.display()),
+                None => write!(f, "i/o error: {source}"),
+            },
+            GraphError::BadMagic { path, found } => write!(
+                f,
+                "bad magic {:?} in {}",
+                String::from_utf8_lossy(found),
+                path.display()
+            ),
+            GraphError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            GraphError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{} truncated: header implies {expected} bytes, found {actual}",
+                path.display()
+            ),
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::CorruptIndex(msg) => write!(f, "corrupt offset index: {msg}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge list line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(source: io::Error) -> Self {
+        GraphError::Io { path: None, source }
+    }
+}
+
+impl GraphError {
+    /// Attaches a path to a bare I/O error for better diagnostics.
+    pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        GraphError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 99,
+            num_nodes: 10,
+        };
+        assert!(e.to_string().contains("99"));
+        let e = GraphError::Truncated {
+            path: PathBuf::from("/tmp/x"),
+            expected: 100,
+            actual: 50,
+        };
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn io_conversion_and_source() {
+        use std::error::Error;
+        let e: GraphError = io::Error::from_raw_os_error(libc_enoent()).into();
+        assert!(e.source().is_some());
+    }
+
+    fn libc_enoent() -> i32 {
+        2
+    }
+}

@@ -1,0 +1,181 @@
+//! Power-law (Zipf-like) edge generator.
+//!
+//! Endpoints are drawn independently from a bounded continuous power-law
+//! (bounded Pareto) over `[0, n)`: node rank `k` is hit with probability
+//! density ∝ `(k+1)^(-exponent)`. This reproduces the skewed degree
+//! distributions of the paper's social/web/citation graphs — the property
+//! that drives sampling cost (hub nodes with "hundreds of thousands of
+//! neighbors", §3.1) — without requiring the license-gated originals.
+//!
+//! The continuous inverse-CDF is exact and O(1) per sample, unlike a
+//! discrete Zipf table which would cost `O(n)` memory.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::NodeId;
+
+/// Draws node ids with `P(k) ∝ (k+1)^(-exponent)` over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct PowerLawNodes {
+    n: u64,
+    /// Precomputed `1 - exponent`.
+    one_minus_s: f64,
+    /// `upper^(1-s) - lower^(1-s)` for the bounded inverse CDF.
+    span: f64,
+}
+
+impl PowerLawNodes {
+    /// Creates a sampler over `n` nodes with skew `exponent` (> 0, ≠ 1;
+    /// exponent 1 is nudged to 1±ε).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `exponent <= 0`.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(exponent > 0.0, "exponent must be positive");
+        let s = if (exponent - 1.0).abs() < 1e-9 {
+            1.0 + 1e-6
+        } else {
+            exponent
+        };
+        let one_minus_s = 1.0 - s;
+        let lower = 1.0f64;
+        let upper = (n + 1) as f64;
+        let span = upper.powf(one_minus_s) - lower.powf(one_minus_s);
+        Self {
+            n,
+            one_minus_s,
+            span,
+        }
+    }
+
+    /// Samples one node id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let u: f64 = rng.gen::<f64>();
+        // Inverse CDF of the bounded Pareto over [1, n+1): then shift to
+        // 0-based node ids.
+        let x = (1.0 + u * self.span).powf(1.0 / self.one_minus_s);
+        let k = (x as u64).saturating_sub(1).min(self.n - 1);
+        k as NodeId
+    }
+}
+
+/// Streaming edge iterator with independent power-law endpoints.
+#[derive(Debug, Clone)]
+pub struct PowerLawEdges {
+    sampler: PowerLawNodes,
+    rng: StdRng,
+    remaining: u64,
+}
+
+impl PowerLawEdges {
+    /// Creates a stream of `edges` edges over `nodes` nodes with skew
+    /// `exponent`.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `exponent <= 0`.
+    pub fn new(nodes: u64, edges: u64, exponent: f64, seed: u64) -> Self {
+        Self {
+            sampler: PowerLawNodes::new(nodes, exponent),
+            rng: StdRng::seed_from_u64(seed ^ 0x504C_4157),
+            remaining: edges,
+        }
+    }
+}
+
+impl Iterator for PowerLawEdges {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let s = self.sampler.sample(&mut self.rng);
+        let d = self.sampler.sample(&mut self.rng);
+        Some((s, d))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PowerLawEdges {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let s = PowerLawNodes::new(100, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!((s.sample(&mut rng) as u64) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let s = PowerLawNodes::new(10_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if (s.sample(&mut rng) as u64) < 100 {
+                low += 1;
+            }
+        }
+        // Top 1% of ranks should receive far more than 1% of mass.
+        assert!(
+            low > total / 10,
+            "expected skew toward low ranks, got {low}/{total}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let mild = PowerLawNodes::new(10_000, 0.5);
+        let steep = PowerLawNodes::new(10_000, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let count_low = |s: &PowerLawNodes, rng: &mut StdRng| {
+            (0..50_000)
+                .filter(|_| (s.sample(rng) as u64) < 10)
+                .count()
+        };
+        let a = count_low(&mild, &mut rng);
+        let b = count_low(&steep, &mut rng);
+        assert!(b > 2 * a, "steeper exponent should concentrate: {a} vs {b}");
+    }
+
+    #[test]
+    fn exponent_one_is_handled() {
+        let s = PowerLawNodes::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!((s.sample(&mut rng) as u64) < 1000);
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let s = PowerLawNodes::new(1, 0.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn edge_stream_exact_count() {
+        let edges: Vec<_> = PowerLawEdges::new(64, 100, 0.7, 9).collect();
+        assert_eq!(edges.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = PowerLawNodes::new(0, 0.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Uniform (Erdős–Rényi `G(n, m)` style) edge generator — the low-skew
+//! control used by tests and ablations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::NodeId;
+
+/// Streaming iterator of `m` uniformly random edges over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct UniformEdges {
+    rng: StdRng,
+    nodes: u64,
+    remaining: u64,
+}
+
+impl UniformEdges {
+    /// Creates a stream of `edges` uniform edges over `nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0` or `nodes > u32::MAX + 1`.
+    pub fn new(nodes: u64, edges: u64, seed: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(nodes <= (1 << 32), "node ids must fit u32");
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x554E_4946),
+            nodes,
+            remaining: edges,
+        }
+    }
+}
+
+impl Iterator for UniformEdges {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let s = self.rng.gen_range(0..self.nodes) as NodeId;
+        let d = self.rng.gen_range(0..self.nodes) as NodeId;
+        Some((s, d))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for UniformEdges {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_and_range() {
+        let edges: Vec<_> = UniformEdges::new(50, 500, 0).collect();
+        assert_eq!(edges.len(), 500);
+        assert!(edges.iter().all(|&(s, d)| s < 50 && d < 50));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 64u64;
+        let m = 64_000u64;
+        let mut deg = vec![0u64; n as usize];
+        for (s, _) in UniformEdges::new(n, m, 11) {
+            deg[s as usize] += 1;
+        }
+        let mean = (m / n) as f64;
+        for (v, &d) in deg.iter().enumerate() {
+            assert!(
+                (d as f64) > mean * 0.5 && (d as f64) < mean * 1.5,
+                "node {v} degree {d} far from mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = UniformEdges::new(10, 20, 5).collect();
+        let b: Vec<_> = UniformEdges::new(10, 20, 5).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ringsampler-graph
+//!
+//! Graph storage substrate for the RingSampler reproduction (HotStorage
+//! '25): in-memory CSR, the on-disk edge-file + offset-index layout the
+//! sampler reads through io_uring, a larger-than-memory preprocessing
+//! pipeline (external merge sort), text edge-list I/O, synthetic graph
+//! generators, and the Table-1 dataset catalog.
+//!
+//! ## Example: generate, preprocess, inspect
+//!
+//! ```rust
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use ringsampler_graph::gen::GeneratorSpec;
+//! use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
+//! use ringsampler_graph::stats::GraphStats;
+//!
+//! let spec = GeneratorSpec::Rmat { scale: 10, edges: 8_192 };
+//! let base = std::env::temp_dir().join("ringsampler-graph-doc");
+//! let graph = build_dataset(
+//!     spec.num_nodes(),
+//!     spec.stream(42),
+//!     &base,
+//!     &PreprocessOptions::default(),
+//! )?;
+//! let stats = GraphStats::from_graph(&graph);
+//! assert_eq!(stats.num_edges, 8_192);
+//! assert!(stats.skew() > 3.0); // R-MAT is heavy-tailed
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csr;
+pub mod datasets;
+pub mod edgefile;
+pub mod error;
+pub mod gen;
+pub mod preprocess;
+pub mod stats;
+pub mod textparse;
+pub mod types;
+pub mod validate;
+
+pub use csr::CsrGraph;
+pub use datasets::{catalog, env_scale, DatasetId, DatasetSpec};
+pub use edgefile::{EdgeFileWriter, OnDiskGraph};
+pub use error::{GraphError, Result};
+pub use types::{Edge, NodeId, ENTRY_BYTES};
+pub use stats::{DegreeDistribution, GraphStats};
+pub use validate::{validate_graph, ValidationReport};

@@ -1,0 +1,254 @@
+//! Degree statistics and size accounting (feeds Table 1).
+
+use crate::edgefile::OnDiskGraph;
+use crate::types::ENTRY_BYTES;
+
+/// Summary statistics of a stored graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub num_nodes: u64,
+    /// Directed edge count.
+    pub num_edges: u64,
+    /// Minimum out-degree.
+    pub min_degree: u64,
+    /// Maximum out-degree.
+    pub max_degree: u64,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Fraction of nodes with zero out-degree.
+    pub isolated_fraction: f64,
+    /// p50 / p90 / p99 out-degree.
+    pub degree_percentiles: [u64; 3],
+    /// Binary edge-file payload size (Table 1 "Bin Size").
+    pub binary_bytes: u64,
+}
+
+impl GraphStats {
+    /// Computes statistics from a stored graph's offset index (no edge-file
+    /// reads needed).
+    pub fn from_graph(g: &OnDiskGraph) -> Self {
+        let n = g.num_nodes();
+        let mut degrees: Vec<u64> = (0..n).map(|v| g.degree(v as u32)).collect();
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let min = degrees.iter().copied().min().unwrap_or(0);
+        degrees.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if degrees.is_empty() {
+                0
+            } else {
+                degrees[((degrees.len() - 1) as f64 * p) as usize]
+            }
+        };
+        Self {
+            num_nodes: n,
+            num_edges: g.num_edges(),
+            min_degree: min,
+            max_degree: max,
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                isolated as f64 / n as f64
+            },
+            degree_percentiles: [pct(0.5), pct(0.9), pct(0.99)],
+            binary_bytes: g.num_edges() * ENTRY_BYTES,
+        }
+    }
+
+    /// Skew ratio `max_degree / mean_degree` — a quick heavy-tail check.
+    pub fn skew(&self) -> f64 {
+        if self.mean_degree == 0.0 {
+            0.0
+        } else {
+            self.max_degree as f64 / self.mean_degree
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} deg[min/mean/max]={}/{:.1}/{} p50/p90/p99={}/{}/{} bin={}B",
+            self.num_nodes,
+            self.num_edges,
+            self.min_degree,
+            self.mean_degree,
+            self.max_degree,
+            self.degree_percentiles[0],
+            self.degree_percentiles[1],
+            self.degree_percentiles[2],
+            self.binary_bytes
+        )
+    }
+}
+
+/// Degree histogram with a log-log power-law slope estimate.
+///
+/// For a heavy-tailed graph with `P(deg = k) ∝ k^(-α)`, the histogram is
+/// near-linear in log-log space; [`DegreeDistribution::loglog_slope`]
+/// estimates `-α` by least squares over the non-empty buckets. Used to
+/// verify that generated datasets carry the degree-skew class their
+/// real-world counterparts have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeDistribution {
+    /// `counts[i]` = number of nodes with out-degree in
+    /// `[2^i, 2^(i+1))`; bucket 0 additionally holds degree-1 nodes.
+    pub bucket_counts: Vec<u64>,
+    /// Nodes with zero out-degree (excluded from the slope fit).
+    pub zero_degree: u64,
+}
+
+impl DegreeDistribution {
+    /// Builds the log2-bucketed histogram from a stored graph.
+    pub fn from_graph(g: &OnDiskGraph) -> Self {
+        let mut bucket_counts = Vec::new();
+        let mut zero_degree = 0u64;
+        for v in 0..g.num_nodes() {
+            let d = g.degree(v as u32);
+            if d == 0 {
+                zero_degree += 1;
+                continue;
+            }
+            let b = 63 - d.leading_zeros() as usize; // floor(log2(d))
+            if bucket_counts.len() <= b {
+                bucket_counts.resize(b + 1, 0);
+            }
+            bucket_counts[b] += 1;
+        }
+        Self {
+            bucket_counts,
+            zero_degree,
+        }
+    }
+
+    /// Least-squares slope of `log2(count)` against `log2(degree)` over
+    /// non-empty buckets. Power-law graphs give distinctly negative slopes
+    /// (≈ −1 to −3); uniform-degree graphs give near-vertical histograms
+    /// with a single dominant bucket (slope undefined → `None` when fewer
+    /// than 3 non-empty buckets exist).
+    pub fn loglog_slope(&self) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .bucket_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as f64, (c as f64).log2()))
+            .collect();
+        if pts.len() < 3 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some((n * sxy - sx * sy) / denom)
+    }
+
+    /// Whether the distribution is heavy-tailed: at least `min_buckets`
+    /// occupied log2 buckets and a clearly negative log-log slope.
+    pub fn is_heavy_tailed(&self) -> bool {
+        self.bucket_counts.iter().filter(|&&c| c > 0).count() >= 6
+            && self.loglog_slope().is_some_and(|s| s < -0.5)
+    }
+}
+
+/// Formats a byte count like the paper's Table 1 (GB with one decimal).
+pub fn human_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::edgefile::write_csr;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let base =
+            std::env::temp_dir().join(format!("rs-graph-stats-{}", std::process::id()));
+        let g = CsrGraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 0)]).unwrap();
+        let disk = write_csr(&g, &base).unwrap();
+        let s = GraphStats::from_graph(&disk);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.min_degree, 0);
+        assert!((s.mean_degree - 1.0).abs() < 1e-9);
+        assert!((s.isolated_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(s.binary_bytes, 16);
+        assert!(s.skew() > 2.9);
+        assert!(s.to_string().contains("|V|=4"));
+        std::fs::remove_file(base.with_extension("rsef")).ok();
+        std::fs::remove_file(base.with_extension("rsix")).ok();
+    }
+
+    #[test]
+    fn degree_distribution_detects_skew() {
+        use crate::gen::GeneratorSpec;
+        use crate::preprocess::{build_dataset, PreprocessOptions};
+        let dir = std::env::temp_dir();
+        // Power-law graph → heavy-tailed.
+        let pl = GeneratorSpec::PowerLaw { nodes: 4_000, edges: 60_000, exponent: 0.8 };
+        let base = dir.join(format!("rs-stats-dd-pl-{}", std::process::id()));
+        let g = build_dataset(4_000, pl.stream(3), &base, &PreprocessOptions::default()).unwrap();
+        let dd = DegreeDistribution::from_graph(&g);
+        assert!(dd.is_heavy_tailed(), "slope {:?}", dd.loglog_slope());
+        assert!(dd.loglog_slope().unwrap() < -0.5);
+        // Uniform graph → not heavy-tailed.
+        let un = GeneratorSpec::Uniform { nodes: 4_000, edges: 60_000 };
+        let base2 = dir.join(format!("rs-stats-dd-un-{}", std::process::id()));
+        let g2 = build_dataset(4_000, un.stream(3), &base2, &PreprocessOptions::default()).unwrap();
+        let dd2 = DegreeDistribution::from_graph(&g2);
+        assert!(!dd2.is_heavy_tailed(), "uniform should not be heavy-tailed: {:?}", dd2.loglog_slope());
+        for b in [base, base2] {
+            std::fs::remove_file(b.with_extension("rsef")).ok();
+            std::fs::remove_file(b.with_extension("rsix")).ok();
+        }
+    }
+
+    #[test]
+    fn degree_distribution_edge_cases() {
+        use crate::csr::CsrGraph;
+        use crate::edgefile::write_csr;
+        let base = std::env::temp_dir().join(format!("rs-stats-dd-edge-{}", std::process::id()));
+        let g = write_csr(&CsrGraph::from_edges(4, vec![(0, 1)]).unwrap(), &base).unwrap();
+        let dd = DegreeDistribution::from_graph(&g);
+        assert_eq!(dd.zero_degree, 3);
+        assert_eq!(dd.bucket_counts, vec![1]);
+        assert_eq!(dd.loglog_slope(), None);
+        assert!(!dd.is_heavy_tailed());
+        std::fs::remove_file(base.with_extension("rsef")).ok();
+        std::fs::remove_file(base.with_extension("rsix")).ok();
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.0 GB");
+    }
+}

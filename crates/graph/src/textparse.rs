@@ -1,0 +1,196 @@
+//! Raw text edge-list parsing and writing (SNAP-style `src<ws>dst` lines).
+//!
+//! The paper's Table 1 reports graph sizes in "raw text" and "binary"
+//! format; this module produces and consumes the raw-text side.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{GraphError, Result};
+use crate::types::NodeId;
+
+/// A streaming parser over a SNAP-style text edge list.
+///
+/// Accepts `#`- and `%`-prefixed comment lines and blank lines; fields may
+/// be separated by any run of spaces or tabs.
+#[derive(Debug)]
+pub struct TextEdgeReader {
+    lines: std::io::Lines<BufReader<File>>,
+    path: PathBuf,
+    line_no: u64,
+}
+
+impl TextEdgeReader {
+    /// Opens a text edge list.
+    ///
+    /// # Errors
+    /// Fails if the file cannot be opened.
+    pub fn open(path: &Path) -> Result<Self> {
+        let f = File::open(path).map_err(|e| GraphError::io_at(path, e))?;
+        Ok(Self {
+            lines: BufReader::new(f).lines(),
+            path: path.to_path_buf(),
+            line_no: 0,
+        })
+    }
+}
+
+impl Iterator for TextEdgeReader {
+    type Item = Result<(NodeId, NodeId)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(GraphError::io_at(&self.path, e))),
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            let parse = |tok: Option<&str>, line_no: u64, full: &str| -> Result<NodeId> {
+                tok.and_then(|t| t.parse::<NodeId>().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        content: full.chars().take(80).collect(),
+                    })
+            };
+            let src = match parse(it.next(), self.line_no, trimmed) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            };
+            let dst = match parse(it.next(), self.line_no, trimmed) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(e)),
+            };
+            return Some(Ok((src, dst)));
+        }
+    }
+}
+
+/// Writes edges as a text edge list; returns the number of bytes written
+/// (the "raw size" of Table 1).
+///
+/// # Errors
+/// Propagates file I/O errors.
+pub fn write_text_edges<I>(path: &Path, edges: I) -> Result<u64>
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    let f = File::create(path).map_err(|e| GraphError::io_at(path, e))?;
+    let mut w = CountingWriter {
+        inner: BufWriter::new(f),
+        bytes: 0,
+    };
+    for (s, d) in edges {
+        writeln!(w, "{s}\t{d}").map_err(|e| GraphError::io_at(path, e))?;
+    }
+    w.inner.flush().map_err(|e| GraphError::io_at(path, e))?;
+    Ok(w.bytes)
+}
+
+struct CountingWriter<W: Write> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Computes the raw-text byte size of an edge stream without writing a file
+/// (each line is `len(src) + 1 + len(dst) + 1` bytes).
+pub fn text_size_bytes<I>(edges: I) -> u64
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    fn digits(mut v: NodeId) -> u64 {
+        let mut n = 1;
+        while v >= 10 {
+            v /= 10;
+            n += 1;
+        }
+        n
+    }
+    edges
+        .into_iter()
+        .map(|(s, d)| digits(s) + digits(d) + 2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rs-graph-txt-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let path = tmp("rt");
+        let edges = vec![(0u32, 1u32), (5, 2), (1000000, 7)];
+        let bytes = write_text_edges(&path, edges.iter().copied()).unwrap();
+        assert!(bytes > 0);
+        let back: Vec<_> = TextEdgeReader::open(&path)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(back, edges);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let path = tmp("comments");
+        std::fs::write(&path, "# header\n\n% more\n1 2\n  3\t4  \n").unwrap();
+        let back: Vec<_> = TextEdgeReader::open(&path)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(back, vec![(1, 2), (3, 4)]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let path = tmp("bad");
+        std::fs::write(&path, "1 2\nnot numbers\n").unwrap();
+        let results: Vec<_> = TextEdgeReader::open(&path).unwrap().collect();
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(*line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_second_field_is_error() {
+        let path = tmp("short");
+        std::fs::write(&path, "42\n").unwrap();
+        let results: Vec<_> = TextEdgeReader::open(&path).unwrap().collect();
+        assert!(matches!(results[0], Err(GraphError::Parse { .. })));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn text_size_matches_actual_file() {
+        let path = tmp("size");
+        let edges = vec![(0u32, 1u32), (99, 100), (123456, 7)];
+        let predicted = text_size_bytes(edges.iter().copied());
+        let actual = write_text_edges(&path, edges.iter().copied()).unwrap();
+        assert_eq!(predicted, actual);
+        std::fs::remove_file(path).ok();
+    }
+}

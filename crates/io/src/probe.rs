@@ -1,0 +1,105 @@
+//! Runtime capability probing and engine selection.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use crate::engine::{GroupReader, PreadReader, UringReader};
+use crate::error::Result;
+use crate::ring::Ring;
+
+/// Which read engine backs a reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Real io_uring (the paper's system).
+    Uring,
+    /// Synchronous `pread` fallback.
+    Pread,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Uring => write!(f, "io_uring"),
+            EngineKind::Pread => write!(f, "pread"),
+        }
+    }
+}
+
+/// Returns whether this kernel/sandbox supports io_uring (cached).
+pub fn uring_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| Ring::new(2).is_ok())
+}
+
+/// The best engine available on this system.
+pub fn default_engine() -> EngineKind {
+    if uring_available() {
+        EngineKind::Uring
+    } else {
+        EngineKind::Pread
+    }
+}
+
+/// Opens a [`GroupReader`] for `path` using `kind` (or the best available
+/// engine if `None`).
+///
+/// # Errors
+/// Fails if the file cannot be opened or the requested engine cannot be
+/// initialized.
+pub fn open_reader(
+    path: &Path,
+    queue_depth: u32,
+    kind: Option<EngineKind>,
+) -> Result<Box<dyn GroupReader>> {
+    match kind.unwrap_or_else(default_engine) {
+        EngineKind::Uring => Ok(Box::new(UringReader::open(path, queue_depth)?)),
+        EngineKind::Pread => Ok(Box::new(PreadReader::open(path, queue_depth)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_consistent() {
+        let a = uring_available();
+        let b = uring_available();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_engine_matches_probe() {
+        if uring_available() {
+            assert_eq!(default_engine(), EngineKind::Uring);
+        } else {
+            assert_eq!(default_engine(), EngineKind::Pread);
+        }
+    }
+
+    #[test]
+    fn open_reader_both_kinds() {
+        let path = std::env::temp_dir().join(format!("rs-io-probe-{}", std::process::id()));
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        let r = open_reader(&path, 8, Some(EngineKind::Pread)).unwrap();
+        assert_eq!(r.engine_name(), "pread");
+        if uring_available() {
+            let r = open_reader(&path, 8, Some(EngineKind::Uring)).unwrap();
+            assert_eq!(r.engine_name(), "io_uring");
+        }
+        let _ = open_reader(&path, 8, None).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EngineKind::Uring.to_string(), "io_uring");
+        assert_eq!(EngineKind::Pread.to_string(), "pread");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let path = Path::new("/nonexistent/definitely/missing");
+        assert!(open_reader(path, 8, Some(EngineKind::Pread)).is_err());
+    }
+}

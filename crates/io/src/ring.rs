@@ -1,0 +1,879 @@
+//! Safe(ish) wrapper around a kernel io_uring instance.
+//!
+//! A [`Ring`] owns the uring file descriptor, the three shared-memory
+//! mappings (SQ ring, CQ ring, SQE array), and cached atomic pointers into
+//! them. It is intentionally a *single-threaded* handle — RingSampler's
+//! design gives every worker thread a dedicated ring (paper §3.1,
+//! "Eliminating thread synchronization"), so no internal locking exists.
+//!
+//! Memory-ordering protocol (matching `io_uring.pdf` / liburing):
+//! * SQ: the application is the producer. It writes SQEs, then publishes the
+//!   new tail with a release store; the kernel consumes `head` (we read it
+//!   with acquire to learn free space).
+//! * CQ: the kernel is the producer. We read `tail` with acquire, consume
+//!   entries, then publish the new `head` with a release store.
+
+use std::io;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::error::{IoEngineError, Result};
+use crate::mmap::Mmap;
+use crate::sys;
+
+/// Default ring size used across RingSampler (the paper's setting: 512).
+pub const DEFAULT_RING_ENTRIES: u32 = 512;
+
+/// A completed I/O request, decoupled from the raw CQE layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The `user_data` tag given at submission.
+    pub user_data: u64,
+    /// Bytes transferred on success, or the negated errno on failure.
+    pub result: i32,
+}
+
+impl Completion {
+    /// Converts the raw result into `Ok(bytes)` or the errno as an error.
+    ///
+    /// # Errors
+    /// Returns the kernel errno carried in the CQE when `result < 0`.
+    pub fn bytes(self) -> io::Result<u32> {
+        if self.result < 0 {
+            Err(io::Error::from_raw_os_error(-self.result))
+        } else {
+            Ok(self.result as u32)
+        }
+    }
+}
+
+/// Builder for [`Ring`] with the tuning knobs RingSampler exposes.
+#[derive(Debug, Clone)]
+pub struct RingBuilder {
+    entries: u32,
+    sqpoll: bool,
+    sqpoll_idle_ms: u32,
+    single_issuer: bool,
+}
+
+impl Default for RingBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RingBuilder {
+    /// Starts a builder with the default ring size (512 entries).
+    pub fn new() -> Self {
+        Self {
+            entries: DEFAULT_RING_ENTRIES,
+            sqpoll: false,
+            sqpoll_idle_ms: 1000,
+            single_issuer: false,
+        }
+    }
+
+    /// Sets the submission-queue size (rounded up to a power of two by the
+    /// kernel). Values are clamped to `[1, 32768]`.
+    pub fn entries(&mut self, entries: u32) -> &mut Self {
+        self.entries = entries.clamp(1, 32768);
+        self
+    }
+
+    /// Enables kernel-side submission polling (`IORING_SETUP_SQPOLL`).
+    ///
+    /// The paper lists this as future work; we support it behind this flag.
+    /// Requires privileges on older kernels; setup falls back to a normal
+    /// ring if the kernel refuses.
+    pub fn sqpoll(&mut self, enable: bool) -> &mut Self {
+        self.sqpoll = enable;
+        self
+    }
+
+    /// Idle time before the SQPOLL kernel thread sleeps, in milliseconds.
+    pub fn sqpoll_idle_ms(&mut self, ms: u32) -> &mut Self {
+        self.sqpoll_idle_ms = ms;
+        self
+    }
+
+    /// Hints the kernel that only one thread will ever submit
+    /// (`IORING_SETUP_SINGLE_ISSUER`); ignored by older kernels.
+    pub fn single_issuer(&mut self, enable: bool) -> &mut Self {
+        self.single_issuer = enable;
+        self
+    }
+
+    /// Creates the ring.
+    ///
+    /// # Errors
+    /// Fails if the kernel rejects `io_uring_setup` or any of the ring
+    /// mmaps. If SQPOLL or SINGLE_ISSUER were requested and the kernel
+    /// refuses them (`EPERM`/`EINVAL`), the builder transparently retries
+    /// without the optional flags.
+    pub fn build(&self) -> Result<Ring> {
+        let mut flags = 0u32;
+        if self.sqpoll {
+            flags |= sys::IORING_SETUP_SQPOLL;
+        }
+        if self.single_issuer {
+            flags |= sys::IORING_SETUP_SINGLE_ISSUER;
+        }
+        match Ring::with_flags(self.entries, flags, self.sqpoll_idle_ms) {
+            Ok(r) => Ok(r),
+            Err(IoEngineError::Ring { .. }) if flags != 0 => {
+                // Optional feature refused: fall back to a plain ring.
+                Ring::with_flags(self.entries, 0, 0)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An owned io_uring instance: fd + shared rings + SQE array.
+#[derive(Debug)]
+pub struct Ring {
+    fd: i32,
+    sqpoll: bool,
+    // Mappings (kept alive for the pointers below). `_cq_ring` is None when
+    // the kernel supports IORING_FEAT_SINGLE_MMAP and shares the SQ mapping.
+    _sq_ring: Mmap,
+    _cq_ring: Option<Mmap>,
+    sqes: Mmap,
+
+    // Submission queue pointers.
+    sq_head: *const AtomicU32,
+    sq_tail: *const AtomicU32,
+    sq_mask: u32,
+    sq_entries: u32,
+    sq_flags: *const AtomicU32,
+    sq_dropped: *const AtomicU32,
+    sq_array: *mut u32,
+    /// Local (unpublished) tail; published on submit.
+    sq_tail_local: u32,
+    /// Number of pushed-but-unsubmitted entries.
+    pending: u32,
+
+    // Completion queue pointers.
+    cq_head: *const AtomicU32,
+    cq_tail: *const AtomicU32,
+    cq_mask: u32,
+    cq_entries: u32,
+    cqes: *const sys::IoUringCqe,
+
+    /// Total SQEs submitted over the ring's lifetime (metrics).
+    submitted_total: u64,
+    /// Total `io_uring_enter` syscalls issued (metrics).
+    enter_calls: u64,
+}
+
+// SAFETY: a Ring is only ever used by one thread at a time (it is not Sync),
+// but moving it across threads is fine: all state is owned.
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// Creates a ring with `entries` SQ slots and default settings.
+    ///
+    /// # Errors
+    /// See [`RingBuilder::build`].
+    pub fn new(entries: u32) -> Result<Self> {
+        RingBuilder::new().entries(entries).build()
+    }
+
+    /// Returns a builder for customized rings.
+    pub fn builder() -> RingBuilder {
+        RingBuilder::new()
+    }
+
+    fn with_flags(entries: u32, flags: u32, sqpoll_idle_ms: u32) -> Result<Self> {
+        let mut params = sys::IoUringParams {
+            flags,
+            sq_thread_idle: sqpoll_idle_ms,
+            ..Default::default()
+        };
+        let fd = sys::io_uring_setup(entries, &mut params).map_err(|source| {
+            IoEngineError::Ring {
+                op: "setup",
+                source,
+            }
+        })?;
+
+        // Sizes of the two ring regions.
+        let sq_size = params.sq_off.array as usize
+            + params.sq_entries as usize * std::mem::size_of::<u32>();
+        let cq_size = params.cq_off.cqes as usize
+            + params.cq_entries as usize * std::mem::size_of::<sys::IoUringCqe>();
+
+        let single_mmap = params.features & sys::IORING_FEAT_SINGLE_MMAP != 0;
+        let map_err = |op: &'static str| {
+            move |source: io::Error| IoEngineError::Ring { op, source }
+        };
+
+        let close_on_err = CloseGuard(fd);
+
+        let (sq_ring, cq_ring) = if single_mmap {
+            let len = sq_size.max(cq_size);
+            let m = Mmap::map(fd, len, sys::IORING_OFF_SQ_RING).map_err(map_err("mmap sq"))?;
+            (m, None)
+        } else {
+            let sq = Mmap::map(fd, sq_size, sys::IORING_OFF_SQ_RING).map_err(map_err("mmap sq"))?;
+            let cq = Mmap::map(fd, cq_size, sys::IORING_OFF_CQ_RING).map_err(map_err("mmap cq"))?;
+            (sq, Some(cq))
+        };
+
+        let sqes = Mmap::map(
+            fd,
+            params.sq_entries as usize * std::mem::size_of::<sys::IoUringSqe>(),
+            sys::IORING_OFF_SQES,
+        )
+        .map_err(map_err("mmap sqes"))?;
+
+        let cq_base: &Mmap = cq_ring.as_ref().unwrap_or(&sq_ring);
+
+        // SAFETY: all offsets come from the kernel's params and are in
+        // bounds of the mapped regions (validated by offset_as).
+        let ring = Ring {
+            fd,
+            sqpoll: flags & sys::IORING_SETUP_SQPOLL != 0,
+            sq_head: sq_ring.offset_as::<AtomicU32>(params.sq_off.head),
+            sq_tail: sq_ring.offset_as::<AtomicU32>(params.sq_off.tail),
+            sq_mask: {
+                // SAFETY: in-bounds per kernel offsets.
+                unsafe { *sq_ring.offset_as::<u32>(params.sq_off.ring_mask) }
+            },
+            sq_entries: params.sq_entries,
+            sq_flags: sq_ring.offset_as::<AtomicU32>(params.sq_off.flags),
+            sq_dropped: sq_ring.offset_as::<AtomicU32>(params.sq_off.dropped),
+            sq_array: sq_ring.offset_as::<u32>(params.sq_off.array),
+            sq_tail_local: {
+                // SAFETY: tail is a valid AtomicU32 in the mapping.
+                unsafe { (*sq_ring.offset_as::<AtomicU32>(params.sq_off.tail)).load(Ordering::Relaxed) }
+            },
+            pending: 0,
+            cq_head: cq_base.offset_as::<AtomicU32>(params.cq_off.head),
+            cq_tail: cq_base.offset_as::<AtomicU32>(params.cq_off.tail),
+            cq_mask: {
+                // SAFETY: in-bounds per kernel offsets.
+                unsafe { *cq_base.offset_as::<u32>(params.cq_off.ring_mask) }
+            },
+            cq_entries: params.cq_entries,
+            cqes: cq_base.offset_as::<sys::IoUringCqe>(params.cq_off.cqes),
+            submitted_total: 0,
+            enter_calls: 0,
+            _sq_ring: sq_ring,
+            _cq_ring: cq_ring,
+            sqes,
+        };
+        std::mem::forget(close_on_err);
+        Ok(ring)
+    }
+
+    /// Number of SQ slots.
+    pub fn capacity(&self) -> usize {
+        self.sq_entries as usize
+    }
+
+    /// Number of CQ slots (usually 2× the SQ).
+    pub fn cq_capacity(&self) -> usize {
+        self.cq_entries as usize
+    }
+
+    /// Free SQ slots available for [`Ring::prepare_read`] right now.
+    pub fn sq_space(&self) -> usize {
+        // SAFETY: sq_head points into the live mapping.
+        let head = unsafe { (*self.sq_head).load(Ordering::Acquire) };
+        (self.sq_entries - self.sq_tail_local.wrapping_sub(head)) as usize
+    }
+
+    /// Entries pushed but not yet passed to the kernel.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Lifetime count of submitted SQEs.
+    pub fn submitted_total(&self) -> u64 {
+        self.submitted_total
+    }
+
+    /// Lifetime count of `io_uring_enter` syscalls (the paper's async
+    /// pipeline aims to minimize these per I/O group).
+    pub fn enter_calls(&self) -> u64 {
+        self.enter_calls
+    }
+
+    /// Whether this ring runs with a kernel SQPOLL thread.
+    pub fn is_sqpoll(&self) -> bool {
+        self.sqpoll
+    }
+
+    fn push_sqe(&mut self, sqe: sys::IoUringSqe) -> Result<()> {
+        if self.sq_space() == 0 {
+            return Err(IoEngineError::SubmissionQueueFull);
+        }
+        let idx = self.sq_tail_local & self.sq_mask;
+        // SAFETY: idx < sq_entries, so both the SQE slot and the index-array
+        // slot are within their mappings; the kernel does not read this slot
+        // until we publish the tail.
+        unsafe {
+            *(self.sqes.as_ptr().cast::<sys::IoUringSqe>()).add(idx as usize) = sqe;
+            *self.sq_array.add(idx as usize) = idx;
+        }
+        self.sq_tail_local = self.sq_tail_local.wrapping_add(1);
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Queues a no-op request (used by self-tests and queue-depth probing).
+    ///
+    /// # Errors
+    /// [`IoEngineError::SubmissionQueueFull`] if no SQ slot is free.
+    pub fn prepare_nop(&mut self, user_data: u64) -> Result<()> {
+        self.push_sqe(sys::IoUringSqe {
+            opcode: sys::IORING_OP_NOP,
+            user_data,
+            ..Default::default()
+        })
+    }
+
+    /// Queues a `pread`-style read of `len` bytes from `fd` at byte
+    /// `offset` into `buf`.
+    ///
+    /// # Errors
+    /// [`IoEngineError::SubmissionQueueFull`] if no SQ slot is free.
+    ///
+    /// # Safety
+    /// `buf` must point to at least `len` writable bytes that stay valid
+    /// (not moved, freed, or aliased mutably) until the matching completion
+    /// has been reaped from this ring.
+    pub unsafe fn prepare_read(
+        &mut self,
+        fd: i32,
+        buf: *mut u8,
+        len: u32,
+        offset: u64,
+        user_data: u64,
+    ) -> Result<()> {
+        self.push_sqe(sys::IoUringSqe {
+            opcode: sys::IORING_OP_READ,
+            fd,
+            off: offset,
+            addr: buf as u64,
+            len,
+            user_data,
+            ..Default::default()
+        })
+    }
+
+    /// Queues a read like [`Ring::prepare_read`] but addressing the file
+    /// by its **registered-file index** (`IOSQE_FIXED_FILE`), skipping
+    /// per-I/O fd refcounting in the kernel. The file table must have been
+    /// installed with [`Ring::register_files`].
+    ///
+    /// # Errors
+    /// [`IoEngineError::SubmissionQueueFull`] if no SQ slot is free.
+    ///
+    /// # Safety
+    /// Same contract as [`Ring::prepare_read`]: `buf` must stay valid and
+    /// exclusively borrowed until the completion is reaped. Additionally,
+    /// `file_index` must refer to a live slot in the registered table.
+    pub unsafe fn prepare_read_fixed(
+        &mut self,
+        file_index: u32,
+        buf: *mut u8,
+        len: u32,
+        offset: u64,
+        user_data: u64,
+    ) -> Result<()> {
+        self.push_sqe(sys::IoUringSqe {
+            opcode: sys::IORING_OP_READ,
+            flags: sys::IOSQE_FIXED_FILE,
+            fd: file_index as i32,
+            off: offset,
+            addr: buf as u64,
+            len,
+            user_data,
+            ..Default::default()
+        })
+    }
+
+    /// Queues a `pwrite`-style write (used by tests and the dataset
+    /// preprocessor's direct path).
+    ///
+    /// # Errors
+    /// [`IoEngineError::SubmissionQueueFull`] if no SQ slot is free.
+    ///
+    /// # Safety
+    /// `buf` must point to `len` readable bytes valid until completion.
+    pub unsafe fn prepare_write(
+        &mut self,
+        fd: i32,
+        buf: *const u8,
+        len: u32,
+        offset: u64,
+        user_data: u64,
+    ) -> Result<()> {
+        self.push_sqe(sys::IoUringSqe {
+            opcode: sys::IORING_OP_WRITE,
+            fd,
+            off: offset,
+            addr: buf as u64,
+            len,
+            user_data,
+            ..Default::default()
+        })
+    }
+
+    /// Publishes pending SQEs to the kernel without waiting for completions
+    /// (one `io_uring_enter` syscall, or zero under SQPOLL).
+    ///
+    /// # Errors
+    /// Propagates `io_uring_enter` errors and reports kernel-dropped SQEs.
+    pub fn submit(&mut self) -> Result<usize> {
+        self.submit_inner(0)
+    }
+
+    /// Publishes pending SQEs and blocks until at least `min_complete`
+    /// completions are available.
+    ///
+    /// # Errors
+    /// Propagates `io_uring_enter` errors.
+    pub fn submit_and_wait(&mut self, min_complete: u32) -> Result<usize> {
+        self.submit_inner(min_complete)
+    }
+
+    fn submit_inner(&mut self, min_complete: u32) -> Result<usize> {
+        let to_submit = self.pending;
+        // Publish the tail so the kernel sees the new entries.
+        // SAFETY: sq_tail points into the live mapping.
+        unsafe { (*self.sq_tail).store(self.sq_tail_local, Ordering::Release) };
+
+        let mut flags = 0;
+        let mut need_enter = to_submit > 0 || min_complete > 0;
+        if self.sqpoll {
+            // SAFETY: sq_flags points into the live mapping.
+            let kflags = unsafe { (*self.sq_flags).load(Ordering::Acquire) };
+            if kflags & sys::IORING_SQ_NEED_WAKEUP != 0 {
+                flags |= sys::IORING_ENTER_SQ_WAKEUP;
+            } else if min_complete == 0 {
+                // SQPOLL thread is awake: no syscall needed at all.
+                need_enter = false;
+            }
+        }
+        if min_complete > 0 {
+            flags |= sys::IORING_ENTER_GETEVENTS;
+        }
+
+        let mut consumed = to_submit as usize;
+        if need_enter {
+            loop {
+                match sys::io_uring_enter(self.fd, to_submit, min_complete, flags) {
+                    Ok(n) => {
+                        self.enter_calls += 1;
+                        consumed = n as usize;
+                        break;
+                    }
+                    Err(e) if e.raw_os_error() == Some(libc::EINTR) => continue,
+                    Err(source) => {
+                        return Err(IoEngineError::Ring {
+                            op: "enter",
+                            source,
+                        })
+                    }
+                }
+            }
+        }
+
+        // SAFETY: sq_dropped points into the live mapping.
+        let dropped = unsafe { (*self.sq_dropped).load(Ordering::Acquire) };
+        if dropped != 0 {
+            return Err(IoEngineError::Dropped(dropped));
+        }
+        self.pending = 0;
+        self.submitted_total += to_submit as u64;
+        Ok(consumed)
+    }
+
+    /// Non-blocking completion poll: returns the next CQE if one is ready.
+    ///
+    /// This is the paper's "completion polling mode": the CQ tail is read
+    /// from shared memory without any syscall.
+    pub fn peek_completion(&mut self) -> Option<Completion> {
+        // SAFETY: cq_head/cq_tail/cqes point into the live mapping.
+        unsafe {
+            let head = (*self.cq_head).load(Ordering::Relaxed);
+            let tail = (*self.cq_tail).load(Ordering::Acquire);
+            if head == tail {
+                return None;
+            }
+            let cqe = *self.cqes.add((head & self.cq_mask) as usize);
+            (*self.cq_head).store(head.wrapping_add(1), Ordering::Release);
+            Some(Completion {
+                user_data: cqe.user_data,
+                result: cqe.res,
+            })
+        }
+    }
+
+    /// Blocks until a completion is available and returns it.
+    ///
+    /// Spins on the CQ first (cheap when I/O is already done), then parks in
+    /// `io_uring_enter(GETEVENTS)`.
+    ///
+    /// # Errors
+    /// Propagates `io_uring_enter` errors.
+    pub fn wait_completion(&mut self) -> Result<Completion> {
+        // Fast path: poll a bounded number of times before syscalling.
+        for _ in 0..64 {
+            if let Some(c) = self.peek_completion() {
+                return Ok(c);
+            }
+            std::hint::spin_loop();
+        }
+        loop {
+            if let Some(c) = self.peek_completion() {
+                return Ok(c);
+            }
+            match sys::io_uring_enter(self.fd, 0, 1, sys::IORING_ENTER_GETEVENTS) {
+                Ok(_) => self.enter_calls += 1,
+                Err(e) if e.raw_os_error() == Some(libc::EINTR) => continue,
+                Err(source) => {
+                    return Err(IoEngineError::Ring {
+                        op: "enter(getevents)",
+                        source,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Drains all currently-ready completions into `out`; returns how many
+    /// were reaped. Never blocks and never syscalls.
+    pub fn drain_completions(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut n = 0;
+        while let Some(c) = self.peek_completion() {
+            out.push(c);
+            n += 1;
+        }
+        n
+    }
+
+    /// Registers `fds` as the ring's fixed-file table, enabling
+    /// `IOSQE_FIXED_FILE` submissions that skip per-I/O fd refcounting.
+    ///
+    /// # Errors
+    /// Propagates `io_uring_register` errors (`EBUSY` if already registered).
+    pub fn register_files(&mut self, fds: &[i32]) -> Result<()> {
+        // SAFETY: `fds` is a valid slice of i32 file descriptors for the
+        // duration of the call, as required by IORING_REGISTER_FILES.
+        unsafe {
+            sys::io_uring_register(
+                self.fd,
+                sys::IORING_REGISTER_FILES,
+                fds.as_ptr().cast(),
+                fds.len() as u32,
+            )
+        }
+        .map_err(|source| IoEngineError::Ring {
+            op: "register_files",
+            source,
+        })
+    }
+
+    /// Removes a previously registered fixed-file table.
+    ///
+    /// # Errors
+    /// Propagates `io_uring_register` errors (`ENXIO` if none registered).
+    pub fn unregister_files(&mut self) -> Result<()> {
+        // SAFETY: unregister takes no argument pointer.
+        unsafe {
+            sys::io_uring_register(self.fd, sys::IORING_UNREGISTER_FILES, std::ptr::null(), 0)
+        }
+        .map_err(|source| IoEngineError::Ring {
+            op: "unregister_files",
+            source,
+        })
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this ring and closed exactly once; the
+        // mmaps are unmapped afterwards by their own Drop impls.
+        unsafe {
+            libc::close(self.fd);
+        }
+    }
+}
+
+/// Closes an fd on drop unless defused with `mem::forget` (setup cleanup).
+struct CloseGuard(i32);
+impl Drop for CloseGuard {
+    fn drop(&mut self) {
+        // SAFETY: guard owns the fd until forgotten.
+        unsafe {
+            libc::close(self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+
+    fn temp_file(content: &[u8]) -> (std::path::PathBuf, std::fs::File) {
+        let path = std::env::temp_dir().join(format!(
+            "rs-io-ring-test-{}-{:x}",
+            std::process::id(),
+            content.as_ptr() as usize
+        ));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content).unwrap();
+        f.sync_all().unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+        (path, f)
+    }
+
+    #[test]
+    fn nop_roundtrip() {
+        let mut ring = Ring::new(8).unwrap();
+        ring.prepare_nop(7).unwrap();
+        assert_eq!(ring.pending(), 1);
+        let n = ring.submit_and_wait(1).unwrap();
+        assert_eq!(n, 1);
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.user_data, 7);
+        assert_eq!(c.result, 0);
+    }
+
+    #[test]
+    fn read_matches_file_contents() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let (path, f) = temp_file(&data);
+        let mut ring = Ring::new(8).unwrap();
+        let mut buf = vec![0u8; 16];
+        // SAFETY: buf outlives the completion reaped below.
+        unsafe {
+            ring.prepare_read(f.as_raw_fd(), buf.as_mut_ptr(), 16, 100, 1)
+                .unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.user_data, 1);
+        assert_eq!(c.bytes().unwrap(), 16);
+        assert_eq!(&buf[..], &data[100..116]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn many_scattered_reads_in_one_submit() {
+        let data: Vec<u8> = (0..8192u32).flat_map(|x| x.to_le_bytes()).collect();
+        let (path, f) = temp_file(&data);
+        let mut ring = Ring::new(64).unwrap();
+        let n = 64usize;
+        let mut bufs = vec![0u8; 4 * n];
+        for i in 0..n {
+            let off = (i * 97 % 8192) as u64 * 4;
+            // SAFETY: bufs outlives all completions below.
+            unsafe {
+                ring.prepare_read(
+                    f.as_raw_fd(),
+                    bufs.as_mut_ptr().add(4 * i),
+                    4,
+                    off,
+                    i as u64,
+                )
+                .unwrap();
+            }
+        }
+        ring.submit_and_wait(n as u32).unwrap();
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let c = ring.wait_completion().unwrap();
+            assert_eq!(c.bytes().unwrap(), 4);
+            seen[c.user_data as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for i in 0..n {
+            let val = u32::from_le_bytes(bufs[4 * i..4 * i + 4].try_into().unwrap());
+            assert_eq!(val as usize, i * 97 % 8192);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sq_full_is_reported() {
+        let mut ring = Ring::new(4).unwrap();
+        let cap = ring.capacity();
+        for i in 0..cap {
+            ring.prepare_nop(i as u64).unwrap();
+        }
+        assert!(matches!(
+            ring.prepare_nop(99),
+            Err(IoEngineError::SubmissionQueueFull)
+        ));
+        ring.submit_and_wait(cap as u32).unwrap();
+        // After submitting, space frees up again.
+        for _ in 0..cap {
+            ring.wait_completion().unwrap();
+        }
+        assert_eq!(ring.sq_space(), cap);
+    }
+
+    #[test]
+    fn read_past_eof_yields_zero_bytes() {
+        let (path, f) = temp_file(b"tiny");
+        let mut ring = Ring::new(4).unwrap();
+        let mut buf = [0u8; 8];
+        // SAFETY: buf outlives the completion.
+        unsafe {
+            ring.prepare_read(f.as_raw_fd(), buf.as_mut_ptr(), 8, 1 << 20, 0)
+                .unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.bytes().unwrap(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_bad_fd_reports_errno() {
+        let mut ring = Ring::new(4).unwrap();
+        let mut buf = [0u8; 4];
+        // SAFETY: buf outlives the completion.
+        unsafe {
+            ring.prepare_read(-1, buf.as_mut_ptr(), 4, 0, 0).unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert!(c.bytes().is_err());
+        assert_eq!(
+            c.bytes().unwrap_err().raw_os_error(),
+            Some(libc::EBADF)
+        );
+    }
+
+    #[test]
+    fn peek_returns_none_when_idle() {
+        let mut ring = Ring::new(4).unwrap();
+        assert!(ring.peek_completion().is_none());
+    }
+
+    #[test]
+    fn drain_collects_everything() {
+        let mut ring = Ring::new(16).unwrap();
+        for i in 0..10 {
+            ring.prepare_nop(i).unwrap();
+        }
+        ring.submit_and_wait(10).unwrap();
+        let mut out = Vec::new();
+        // NOPs complete synchronously, so they must all be ready.
+        let n = ring.drain_completions(&mut out);
+        assert_eq!(n, 10);
+        let mut tags: Vec<u64> = out.iter().map(|c| c.user_data).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn register_files_roundtrip() {
+        let (path, f) = temp_file(b"0123456789abcdef");
+        let mut ring = Ring::new(4).unwrap();
+        ring.register_files(&[f.as_raw_fd()]).unwrap();
+        ring.unregister_files().unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fixed_file_read_matches_plain_read() {
+        let data: Vec<u8> = (0..2048u32).flat_map(|x| x.to_le_bytes()).collect();
+        let (path, f) = temp_file(&data);
+        let mut ring = Ring::new(8).unwrap();
+        ring.register_files(&[f.as_raw_fd()]).unwrap();
+        let mut buf = [0u8; 8];
+        // SAFETY: buf outlives the completion; index 0 is registered.
+        unsafe {
+            ring.prepare_read_fixed(0, buf.as_mut_ptr(), 8, 64, 9).unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.user_data, 9);
+        assert_eq!(c.bytes().unwrap(), 8);
+        assert_eq!(&buf[..], &data[64..72]);
+        ring.unregister_files().unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn enter_call_accounting() {
+        let mut ring = Ring::new(8).unwrap();
+        let before = ring.enter_calls();
+        ring.prepare_nop(0).unwrap();
+        ring.submit().unwrap();
+        assert_eq!(ring.enter_calls(), before + 1);
+        assert_eq!(ring.submitted_total(), 1);
+    }
+
+    #[test]
+    fn sqpoll_request_builds_a_working_ring() {
+        // SQPOLL may be refused by the kernel/sandbox; the builder must
+        // fall back to a plain ring and reads must still work either way.
+        let data: Vec<u8> = (0..1024u32).flat_map(|x| x.to_le_bytes()).collect();
+        let (path, f) = temp_file(&data);
+        let mut b = RingBuilder::new();
+        b.entries(8).sqpoll(true).sqpoll_idle_ms(100);
+        let mut ring = b.build().unwrap();
+        let mut buf = [0u8; 4];
+        // SAFETY: buf outlives the completion.
+        unsafe {
+            ring.prepare_read(f.as_raw_fd(), buf.as_mut_ptr(), 4, 40, 1)
+                .unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.bytes().unwrap(), 4);
+        assert_eq!(u32::from_le_bytes(buf), 10);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn single_issuer_hint_accepted_or_ignored() {
+        let mut b = RingBuilder::new();
+        b.entries(4).single_issuer(true);
+        let mut ring = b.build().unwrap();
+        ring.prepare_nop(1).unwrap();
+        ring.submit_and_wait(1).unwrap();
+        assert_eq!(ring.wait_completion().unwrap().user_data, 1);
+    }
+
+    #[test]
+    fn builder_clamps_entries() {
+        let mut b = RingBuilder::new();
+        b.entries(0);
+        let ring = b.build().unwrap();
+        assert!(ring.capacity() >= 1);
+    }
+
+    #[test]
+    fn writes_then_reads_back() {
+        let path = std::env::temp_dir().join(format!("rs-io-ring-w-{}", std::process::id()));
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        let mut ring = Ring::new(4).unwrap();
+        let data = b"hello ring";
+        // SAFETY: data is a static-lifetime array outliving the completion.
+        unsafe {
+            ring.prepare_write(f.as_raw_fd(), data.as_ptr(), data.len() as u32, 0, 1)
+                .unwrap();
+        }
+        ring.submit_and_wait(1).unwrap();
+        let c = ring.wait_completion().unwrap();
+        assert_eq!(c.bytes().unwrap() as usize, data.len());
+        assert_eq!(std::fs::read(&path).unwrap(), data);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! Out-of-core showcase: sample a graph under a memory budget that could
+//! never hold the edge list, and compare against baselines under the same
+//! budget (a miniature of the paper's Fig. 5 story).
+//!
+//! Run with: `cargo run --release --example out_of_core`
+
+use ringsampler::{epoch_targets, MemoryBudget, RingSampler, SamplerConfig, SamplerError};
+use ringsampler_baselines::{InMemorySampler, MariusLikeSampler, NeighborSampler};
+use ringsampler_graph::gen::GeneratorSpec;
+use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
+use ringsampler_graph::stats::human_bytes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("ringsampler-ooc");
+    std::fs::create_dir_all(&dir)?;
+    let base = dir.join("yahoo-like");
+    let spec = GeneratorSpec::PowerLaw {
+        nodes: 200_000,
+        edges: 4_000_000,
+        exponent: 0.9,
+    };
+    let graph = build_dataset(
+        spec.num_nodes(),
+        spec.stream(5),
+        &base,
+        &PreprocessOptions::default(),
+    )?;
+    let edge_bytes = graph.num_edges() * 4;
+    println!(
+        "graph: {} nodes / {} edges ({} edge file, {} offset index)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        human_bytes(edge_bytes),
+        human_bytes(graph.metadata_bytes())
+    );
+
+    // Budget: 60% of the edge file — the full graph cannot be resident.
+    let budget_bytes = edge_bytes * 3 / 5;
+    println!(
+        "\nmemory budget: {} (edge list is {})\n",
+        human_bytes(budget_bytes),
+        human_bytes(edge_bytes)
+    );
+    let fanouts = [15usize, 10, 5];
+    let targets: Vec<u32> = epoch_targets(graph.num_nodes(), 0, 3)
+        .into_iter()
+        .take(20_000)
+        .collect();
+
+    // RingSampler: index + workspaces only — fits easily.
+    {
+        let budget = MemoryBudget::limited(budget_bytes);
+        let sampler = RingSampler::new(
+            graph.clone(),
+            SamplerConfig::new()
+                .fanouts(&fanouts)
+                .batch_size(128) // small batches keep workspaces within budget
+                .threads(2)
+                .budget(budget.clone()),
+        )?;
+        let r = sampler.sample_epoch(&targets)?;
+        println!(
+            "RingSampler : {:>8.3}s  (peak memory {} of {})",
+            r.seconds(),
+            human_bytes(budget.high_water()),
+            human_bytes(budget_bytes)
+        );
+    }
+
+    // Marius-like: only one partition slot fits this budget (each slot
+    // also carries its feature partition), so it swaps constantly.
+    {
+        let budget = MemoryBudget::limited(budget_bytes);
+        let built = MariusLikeSampler::with_capacity(&graph, 32, 1, &fanouts, 1024, &budget, 1)
+            .map(|m| {
+                // Swap reads hit the page cache here; the disk model reports
+                // what those whole-partition reads cost on real storage
+                // (bandwidth scaled for this host, see DESIGN.md §2.1).
+                m.with_disk_model(
+                    ringsampler_baselines::marius_like::DiskModel::default().rates_scaled(1, 64),
+                )
+            });
+        match built {
+            Ok(mut marius) => {
+                let r = marius.sample_epoch(&targets)?;
+                println!(
+                    "Marius-like : {:>8.3}s  ({} partition swaps, {} swapped in)",
+                    r.reported_seconds(),
+                    marius.swaps(),
+                    human_bytes(r.measured.metrics.io_bytes)
+                );
+            }
+            Err(SamplerError::OutOfMemory { .. }) => println!("Marius-like : OOM"),
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // In-memory DGL-CPU analog: cannot even load the graph.
+    {
+        let budget = MemoryBudget::limited(budget_bytes);
+        match InMemorySampler::new(&graph, &fanouts, 1024, 4, &budget, 1) {
+            Ok(_) => println!("DGL-CPU     : unexpectedly fit"),
+            Err(SamplerError::OutOfMemory {
+                requested,
+                available,
+                ..
+            }) => println!(
+                "DGL-CPU     : OOM (needs {}, budget has {})",
+                human_bytes(requested),
+                human_bytes(available)
+            ),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}

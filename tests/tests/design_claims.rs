@@ -1,0 +1,193 @@
+//! Each test pins one measurable design claim from the paper's §3.
+
+use ringsampler::{CachePolicy, MemoryBudget, RingSampler, SamplerConfig};
+use ringsampler_graph::gen::GeneratorSpec;
+use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
+use ringsampler_graph::{NodeId, OnDiskGraph};
+
+fn graph(tag: &str, nodes: u64, edges: u64) -> OnDiskGraph {
+    let base =
+        std::env::temp_dir().join(format!("rs-it-claims-{}-{tag}", std::process::id()));
+    let spec = GeneratorSpec::PowerLaw {
+        nodes,
+        edges,
+        exponent: 0.7,
+    };
+    build_dataset(nodes, spec.stream(31), &base, &PreprocessOptions::default()).unwrap()
+}
+
+/// §3.1 "Overlapping computation and I/O": batching a whole I/O group per
+/// `io_uring_enter` means hundreds of reads per syscall; the pread engine
+/// needs one syscall per read.
+#[test]
+fn claim_io_uring_batches_hundreds_of_reads_per_syscall() {
+    use ringsampler_io::EngineKind;
+    let g = graph("batching", 3_000, 60_000);
+    let targets: Vec<NodeId> = (0..3_000).collect();
+    let run = |engine| {
+        let s = RingSampler::new(
+            g.clone(),
+            SamplerConfig::new()
+                .fanouts(&[10, 10])
+                .batch_size(512)
+                .threads(1)
+                .ring_entries(512)
+                .engine(engine)
+                .seed(3),
+        )
+        .unwrap();
+        s.sample_epoch(&targets).unwrap().metrics
+    };
+    let uring = run(EngineKind::Uring);
+    let pread = run(EngineKind::Pread);
+    assert!(
+        uring.requests_per_syscall() > 100.0,
+        "io_uring should batch >100 reads/syscall, got {:.1}",
+        uring.requests_per_syscall()
+    );
+    assert!(
+        pread.requests_per_syscall() <= 1.01,
+        "pread is one syscall per read, got {:.1}",
+        pread.requests_per_syscall()
+    );
+    assert!(uring.syscalls * 50 < pread.syscalls);
+}
+
+/// §3.1 offset-based sampling: disk traffic is exactly 4 bytes per sampled
+/// neighbor — full lists are never fetched.
+#[test]
+fn claim_reads_exactly_four_bytes_per_sampled_edge() {
+    let g = graph("exact", 2_000, 100_000); // avg degree 50 ≫ fanout
+    let s = RingSampler::new(
+        g,
+        SamplerConfig::new().fanouts(&[5, 5]).batch_size(256).threads(1),
+    )
+    .unwrap();
+    let targets: Vec<NodeId> = (0..2_000).collect();
+    let m = s.sample_epoch(&targets).unwrap().metrics;
+    assert_eq!(m.io_bytes, m.sampled_edges * 4, "exactly 4 B per edge");
+    assert_eq!(m.io_requests, m.sampled_edges, "one read per edge");
+}
+
+/// §4.3: auxiliary memory depends on |V| and configuration only — two
+/// graphs with the same node count but 5× different edge counts need the
+/// same budget.
+#[test]
+fn claim_memory_independent_of_edge_count() {
+    // Workspace size is bounded by batch × fanout products, never by |E|:
+    // with every degree ≥ fanout, two graphs 5× apart in |E| need the
+    // same memory (the paper's §4.3 argument for Fig. 5's flat curve).
+    let sparse = graph("mem-sparse", 5_000, 50_000); // avg degree 10
+    let dense = graph("mem-dense", 5_000, 250_000); // avg degree 50
+    let need = |g: &OnDiskGraph| -> u64 {
+        let budget = MemoryBudget::unlimited();
+        let s = RingSampler::new(
+            g.clone(),
+            SamplerConfig::new()
+                .fanouts(&[4, 4])
+                .batch_size(256)
+                .threads(1)
+                .budget(budget.clone())
+                .seed(1),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..5_000).collect();
+        s.sample_epoch(&targets).unwrap();
+        budget.high_water()
+    };
+    let a = need(&sparse);
+    let b = need(&dense);
+    let ratio = b as f64 / a as f64;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "5x edges should not change memory need: {a} vs {b}"
+    );
+}
+
+/// §2.1 inter-layer dedup: next-layer targets are strictly smaller-or-
+/// equal than raw samples and contain no duplicates.
+#[test]
+fn claim_dedup_between_layers() {
+    let g = graph("dedup", 500, 25_000);
+    let s = RingSampler::new(
+        g,
+        SamplerConfig::new().fanouts(&[20, 10]).batch_size(128).seed(9),
+    )
+    .unwrap();
+    let mut w = s.worker().unwrap();
+    let seeds: Vec<NodeId> = (0..128).collect();
+    let b = w.sample_batch(&seeds, 0).unwrap();
+    let raw = b.layers[0].num_edges();
+    let unique = b.layers[1].targets.len();
+    assert!(unique <= raw);
+    let mut sorted = b.layers[1].targets.clone();
+    sorted.dedup();
+    assert_eq!(sorted.len(), unique, "targets must be unique");
+}
+
+/// §4.4 note: "a smart caching strategy would be needed to further
+/// improve responsiveness" — the optional page cache composes with the
+/// on-demand mode, stays correct, and actually hits.
+#[test]
+fn claim_on_demand_composes_with_page_cache() {
+    let g = graph("odcache", 1_000, 50_000);
+    let cached = RingSampler::new(
+        g.clone(),
+        SamplerConfig::new()
+            .fanouts(&[5, 3])
+            .batch_size(1)
+            .threads(1)
+            .cache(CachePolicy::Page {
+                budget_bytes: 4 << 20,
+            })
+            .seed(4),
+    )
+    .unwrap();
+    let targets: Vec<NodeId> = (0..500).collect();
+    let report = ringsampler::run_on_demand(&cached, &targets).unwrap();
+    assert_eq!(report.requests, 500);
+    // With 4 MiB of cache over a ~200 KiB edge file, repeat requests for
+    // hub pages must hit.
+    let m = {
+        let mut worker = cached.worker().unwrap();
+        for (i, &t) in targets.iter().enumerate() {
+            worker.sample_batch(&[t], i as u64).unwrap();
+        }
+        worker.metrics()
+    };
+    assert!(
+        m.cache_hits > m.cache_misses,
+        "cache should mostly hit: {} hits / {} misses",
+        m.cache_hits,
+        m.cache_misses
+    );
+}
+
+/// §3.1 "memory usage scales with the number of threads": high-water mark
+/// grows roughly linearly as threads are added.
+#[test]
+fn claim_memory_scales_with_threads() {
+    let g = graph("threadmem", 4_000, 40_000);
+    let need = |threads: usize| -> u64 {
+        let budget = MemoryBudget::unlimited();
+        let s = RingSampler::new(
+            g.clone(),
+            SamplerConfig::new()
+                .fanouts(&[10, 10])
+                .batch_size(256)
+                .threads(threads)
+                .budget(budget.clone())
+                .seed(6),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..4_000).collect();
+        s.sample_epoch(&targets).unwrap();
+        budget.high_water()
+    };
+    let one = need(1);
+    let four = need(4);
+    assert!(
+        four as f64 > one as f64 * 1.8,
+        "4 threads should need noticeably more memory: {one} vs {four}"
+    );
+}

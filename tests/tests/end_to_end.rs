@@ -1,0 +1,110 @@
+//! End-to-end integration: generate → external-sort preprocess → sample
+//! through io_uring → train GraphSAGE → verify learning, exercising every
+//! crate in one flow (the paper's §5 integration story).
+
+use ringsampler::{RingSampler, SamplerConfig};
+use ringsampler_gnn::features::SyntheticFeatures;
+use ringsampler_gnn::model::SageModel;
+use ringsampler_gnn::train::{evaluate, train_epoch};
+use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
+use ringsampler_graph::NodeId;
+
+#[test]
+fn full_pipeline_learns_a_homophilous_task() {
+    let classes = 4u32;
+    let n: u32 = 2_000;
+    // Homophilous graph (class = v % classes), forced through the
+    // external-sort path with tiny chunks.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in 0..n {
+        for j in 1..=6u32 {
+            edges.push((v, (v + classes * j * 17) % n));
+        }
+    }
+    let base = std::env::temp_dir().join(format!("rs-it-e2e-{}", std::process::id()));
+    let graph = build_dataset(
+        n as u64,
+        edges.into_iter(),
+        &base,
+        &PreprocessOptions {
+            chunk_edges: 1_000, // force many external-sort runs
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(graph.num_edges(), 6 * n as u64);
+
+    let sampler = RingSampler::new(
+        graph,
+        SamplerConfig::new()
+            .fanouts(&[5, 3])
+            .batch_size(128)
+            .threads(2)
+            .seed(17),
+    )
+    .unwrap();
+    let feats = SyntheticFeatures::new(8, classes as usize, 0.4, 23);
+    let mut model = SageModel::new(8, &[16], classes as usize, 2, 31);
+
+    let train: Vec<NodeId> = (0..1_800).collect();
+    let valid: Vec<NodeId> = (1_800..2_000).collect();
+
+    let before = evaluate(&sampler, &model, &feats, |v| feats.label(v), &valid).unwrap();
+    for _ in 0..3 {
+        train_epoch(&sampler, &mut model, &feats, |v| feats.label(v), &train, 0.3).unwrap();
+    }
+    let after = evaluate(&sampler, &model, &feats, |v| feats.label(v), &valid).unwrap();
+
+    assert!(
+        after.loss < before.loss,
+        "validation loss should drop: {} -> {}",
+        before.loss,
+        after.loss
+    );
+    assert!(
+        after.accuracy > 0.6,
+        "validation accuracy {} should decisively beat 25% chance",
+        after.accuracy
+    );
+}
+
+#[test]
+fn engines_produce_identical_epochs() {
+    use ringsampler_io::EngineKind;
+    let n = 1_000u32;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for v in 0..n {
+        for j in 0..(v % 7) {
+            edges.push((v, (v * 13 + j) % n));
+        }
+    }
+    let base = std::env::temp_dir().join(format!("rs-it-engines-{}", std::process::id()));
+    let graph = build_dataset(n as u64, edges.into_iter(), &base, &PreprocessOptions::default())
+        .unwrap();
+
+    let run = |engine: EngineKind| {
+        let sampler = RingSampler::new(
+            graph.clone(),
+            SamplerConfig::new()
+                .fanouts(&[4, 3])
+                .batch_size(64)
+                .threads(2)
+                .engine(engine)
+                .seed(8),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..n).collect();
+        let acc = std::sync::Mutex::new(std::collections::BTreeMap::new());
+        sampler
+            .sample_epoch_with(&targets, |i, s| {
+                acc.lock().unwrap().insert(i, s);
+            })
+            .unwrap();
+        acc.into_inner().unwrap()
+    };
+
+    let uring = run(EngineKind::Uring);
+    let pread = run(EngineKind::Pread);
+    assert_eq!(uring.len(), pread.len());
+    assert_eq!(uring, pread, "engines must be bit-identical");
+}

@@ -1,0 +1,150 @@
+//! Property-based integration tests: core invariants hold on arbitrary
+//! graphs and configurations (proptest-generated).
+
+use proptest::prelude::*;
+
+use ringsampler::{RingSampler, SamplerConfig};
+use ringsampler_graph::edgefile::write_csr;
+use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
+use ringsampler_graph::{CsrGraph, NodeId};
+
+static CASE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn unique_base(tag: &str) -> std::path::PathBuf {
+    let id = CASE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rs-it-prop-{tag}-{}-{id}", std::process::id()))
+}
+
+/// Arbitrary small graphs: node count 1..=64, up to 400 edges.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (1usize..=64).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        proptest::collection::vec(edge, 0..400).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Edge file + offset index round-trip is the identity on CSR graphs.
+    #[test]
+    fn edge_file_roundtrip((n, edges) in arb_graph()) {
+        let csr = CsrGraph::from_edges(n, edges).unwrap();
+        let base = unique_base("roundtrip");
+        let disk = write_csr(&csr, &base).unwrap();
+        let back = disk.load_csr().unwrap();
+        prop_assert_eq!(&back, &csr);
+        std::fs::remove_file(base.with_extension("rsef")).ok();
+        std::fs::remove_file(base.with_extension("rsix")).ok();
+    }
+
+    /// External-sort preprocessing equals in-memory preprocessing for any
+    /// input order and chunk size.
+    #[test]
+    fn preprocess_chunking_invariant(
+        (n, edges) in arb_graph(),
+        chunk in 1usize..64,
+    ) {
+        let base_a = unique_base("ppa");
+        let base_b = unique_base("ppb");
+        let a = build_dataset(
+            n as u64,
+            edges.iter().copied(),
+            &base_a,
+            &PreprocessOptions::default(),
+        ).unwrap();
+        let b = build_dataset(
+            n as u64,
+            edges.iter().copied(),
+            &base_b,
+            &PreprocessOptions { chunk_edges: chunk, ..Default::default() },
+        ).unwrap();
+        prop_assert_eq!(a.load_csr().unwrap(), b.load_csr().unwrap());
+        for base in [base_a, base_b] {
+            std::fs::remove_file(base.with_extension("rsef")).ok();
+            std::fs::remove_file(base.with_extension("rsix")).ok();
+        }
+    }
+
+    /// RingSampler invariants on arbitrary graphs:
+    /// sampled neighbors are true neighbors, per-target counts equal
+    /// min(fanout, degree), layer targets are sorted-unique, and sampling
+    /// is deterministic in the seed.
+    #[test]
+    fn sampler_invariants(
+        (n, edges) in arb_graph(),
+        fanout1 in 1usize..6,
+        fanout2 in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let csr = CsrGraph::from_edges(n, edges).unwrap();
+        let base = unique_base("sample");
+        let disk = write_csr(&csr, &base).unwrap();
+        let cfg = SamplerConfig::new()
+            .fanouts(&[fanout1, fanout2])
+            .batch_size(16)
+            .threads(1)
+            .ring_entries(8)
+            .seed(seed);
+        let sampler = RingSampler::new(disk.clone(), cfg).unwrap();
+        let mut w1 = sampler.worker().unwrap();
+        let mut w2 = sampler.worker().unwrap();
+        let seeds: Vec<NodeId> = (0..n as NodeId).collect();
+
+        let s1 = w1.sample_batch(&seeds, 3).unwrap();
+        let s2 = w2.sample_batch(&seeds, 3).unwrap();
+        prop_assert_eq!(&s1, &s2, "determinism");
+
+        for (li, layer) in s1.layers.iter().enumerate() {
+            // Valid neighbors.
+            for (src, dst) in layer.iter_edges() {
+                prop_assert!(
+                    csr.neighbors(src).contains(&dst),
+                    "layer {}: {} is not a neighbor of {}", li, dst, src
+                );
+            }
+            // Exact per-target counts.
+            for (pos, &t) in layer.targets.iter().enumerate() {
+                let got = layer.src_pos.iter().filter(|&&p| p as usize == pos).count();
+                let expect = (csr.degree(t) as usize).min(layer.fanout);
+                prop_assert_eq!(got, expect, "layer {} target {}", li, t);
+            }
+            // Next-layer targets sorted & unique.
+            if li + 1 < s1.layers.len() {
+                let next = &s1.layers[li + 1].targets;
+                prop_assert!(next.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            }
+        }
+        std::fs::remove_file(base.with_extension("rsef")).ok();
+        std::fs::remove_file(base.with_extension("rsix")).ok();
+    }
+
+    /// Memory accounting: after dropping the sampler, the budget returns
+    /// to zero regardless of configuration.
+    #[test]
+    fn budget_returns_to_zero(
+        (n, edges) in arb_graph(),
+        threads in 1usize..4,
+    ) {
+        let csr = CsrGraph::from_edges(n, edges).unwrap();
+        let base = unique_base("budget");
+        let disk = write_csr(&csr, &base).unwrap();
+        let budget = ringsampler::MemoryBudget::limited(1 << 30);
+        {
+            let sampler = RingSampler::new(
+                disk,
+                SamplerConfig::new()
+                    .fanouts(&[2])
+                    .batch_size(8)
+                    .threads(threads)
+                    .ring_entries(8)
+                    .budget(budget.clone()),
+            ).unwrap();
+            let seeds: Vec<NodeId> = (0..n as NodeId).collect();
+            sampler.sample_epoch(&seeds).unwrap();
+        }
+        prop_assert_eq!(budget.used(), 0, "all charges released");
+        std::fs::remove_file(base.with_extension("rsef")).ok();
+        std::fs::remove_file(base.with_extension("rsix")).ok();
+    }
+}
