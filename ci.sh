@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the RingSampler workspace. Runs the full verification
+# pipeline and stops at the first failure:
+#
+#   1. release build of every crate
+#   2. the complete test suite (unit + integration + property tests)
+#   3. clippy with warnings denied
+#   4. ringlint — the workspace invariant checker (see DESIGN.md §7)
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ringlint"
+cargo run -q -p ringlint
+
+echo "CI: all gates passed."

@@ -188,7 +188,7 @@ impl SamplerConfig {
         if self.fanouts.is_empty() {
             return Err(SamplerError::InvalidConfig("fanouts must be non-empty".into()));
         }
-        if self.fanouts.iter().any(|&f| f == 0) {
+        if self.fanouts.contains(&0) {
             return Err(SamplerError::InvalidConfig("fanout of 0 is meaningless".into()));
         }
         if self.batch_size == 0 {

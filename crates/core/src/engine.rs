@@ -107,6 +107,7 @@ impl RingSampler {
                     let mut worker = SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())?;
                     let mut idx = t;
                     while idx < batches.len() {
+                        // ringlint: allow(panic-free-hot-path) — idx < batches.len() is the loop condition
                         let sample = worker.sample_batch(batches[idx], idx as u64)?;
                         on_batch(idx, sample);
                         idx += num_threads;

@@ -27,6 +27,10 @@ pub enum SamplerError {
     InvalidConfig(String),
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// An internal pipeline invariant was violated — an accounting bug
+    /// reported as an error instead of a hot-path panic
+    /// (see the `panic-free-hot-path` ringlint rule).
+    Internal(&'static str),
 }
 
 impl fmt::Display for SamplerError {
@@ -44,6 +48,7 @@ impl fmt::Display for SamplerError {
             ),
             SamplerError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SamplerError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            SamplerError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

@@ -65,6 +65,7 @@ impl OffsetSampler {
             for i in 0..k {
                 let j = rng.gen_range(i..n);
                 self.scratch.swap(i, j);
+                // ringlint: allow(panic-free-hot-path) — i < k ≤ deg = scratch.len() in this branch
                 out.push(self.scratch[i]);
             }
         } else {

@@ -19,7 +19,7 @@ use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
 use crate::block::{BatchSample, LayerSample};
 use crate::cache::{page_of, PageCache, PAGE_SIZE};
 use crate::config::{CachePolicy, PipelineMode, SamplerConfig};
-use crate::error::Result;
+use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
 use crate::metrics::SampleMetrics;
 use crate::sampling::OffsetSampler;
@@ -53,6 +53,28 @@ impl std::fmt::Debug for SamplerWorker {
             .field("engine", &self.reader.engine_name())
             .field("metrics", &self.metrics)
             .finish()
+    }
+}
+
+/// Decodes the little-endian entry at byte `within` of a page buffer.
+///
+/// An entry extending past the page's valid bytes means the edge file
+/// ended mid-entry (truncated or corrupt graph); that is reported as a
+/// short read at `entry_byte` rather than a hot-path panic.
+/// [`ENTRY_BYTES`] as `usize`, for slice arithmetic.
+const ENTRY_SZ: usize = ENTRY_BYTES as usize;
+
+fn entry_in_page(data: &[u8], within: usize, entry_byte: u64) -> Result<NodeId> {
+    match data
+        .get(within..within + ENTRY_SZ)
+        .and_then(|b| <[u8; ENTRY_SZ]>::try_from(b).ok())
+    {
+        Some(le) => Ok(NodeId::from_le_bytes(le)),
+        None => Err(SamplerError::Io(IoEngineError::ShortRead {
+            offset: entry_byte,
+            expected: ENTRY_BYTES as u32,
+            got: data.len().saturating_sub(within) as i32,
+        })),
     }
 }
 
@@ -215,10 +237,10 @@ impl SamplerWorker {
         let reqs = std::mem::take(&mut self.reqs);
         let mut out = Vec::with_capacity(entry_indices.len());
         self.pipelined_read(&reqs, |buf| {
-            out.extend(
-                buf.chunks_exact(4)
-                    .map(|c| NodeId::from_le_bytes(c.try_into().expect("4 bytes"))),
-            );
+            out.extend(buf.chunks_exact(ENTRY_SZ).map(|c| {
+                // ringlint: allow(panic-free-hot-path) — chunks_exact yields exactly ENTRY_SZ bytes per chunk
+                NodeId::from_le_bytes(c.try_into().expect("exact chunk"))
+            }));
         })?;
         self.reqs = reqs;
         debug_assert_eq!(out.len(), entry_indices.len());
@@ -231,13 +253,17 @@ impl SamplerWorker {
         // Resolve hits; collect misses as (out position, page, offset).
         let mut pending: Vec<(usize, u64, usize)> = Vec::new();
         {
-            let cache = self.cache.as_mut().expect("cached mode");
+            let Some(cache) = self.cache.as_mut() else {
+                return Err(SamplerError::Internal(
+                    "fetch_entries_cached called without a page cache",
+                ));
+            };
             for (i, &e) in entry_indices.iter().enumerate() {
                 let byte = OnDiskGraph::entry_byte_offset(e);
                 let (page, within) = page_of(byte);
                 if let Some(data) = cache.get(page) {
-                    out[i] =
-                        NodeId::from_le_bytes(data[within..within + 4].try_into().expect("4"));
+                    // ringlint: allow(panic-free-hot-path) — i < out.len(): positions come from enumerate() over entry_indices
+                    out[i] = entry_in_page(data, within, byte)?;
                 } else {
                     pending.push((i, page, within));
                 }
@@ -271,14 +297,22 @@ impl SamplerWorker {
         })?;
         self.reqs = reqs;
         debug_assert_eq!(page_data.len(), pages.len());
-        let cache = self.cache.as_mut().expect("cached mode");
+        let Some(cache) = self.cache.as_mut() else {
+            return Err(SamplerError::Internal(
+                "page cache vanished during cached fetch",
+            ));
+        };
         for (p, d) in pages.iter().zip(&page_data) {
             cache.insert(*p, d);
         }
         for (i, page, within) in pending {
-            let slot = pages.binary_search(&page).expect("page read");
-            let data = &page_data[slot];
-            out[i] = NodeId::from_le_bytes(data[within..within + 4].try_into().expect("4"));
+            let data = pages
+                .binary_search(&page)
+                .ok()
+                .and_then(|slot| page_data.get(slot))
+                .ok_or(SamplerError::Internal("miss page absent from read batch"))?;
+            // ringlint: allow(panic-free-hot-path) — i < out.len(): pending positions come from enumerate() over entry_indices
+            out[i] = entry_in_page(data, within, page * PAGE_SIZE as u64 + within as u64)?;
         }
         Ok(out)
     }

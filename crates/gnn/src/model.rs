@@ -240,11 +240,11 @@ impl SageModel {
             .collect();
 
         let mut dz = dlogits.clone(); // layer 0 has no activation
-        for l in 0..l_count {
+        for (l, grad) in grads.iter_mut().enumerate() {
             // Parameter gradients.
-            grads[l].w_self = dz.transposed_matmul(&cache.x_self[l]);
-            grads[l].w_neigh = dz.transposed_matmul(&cache.x_neigh[l]);
-            grads[l].bias = dz.column_sums();
+            grad.w_self = dz.transposed_matmul(&cache.x_self[l]);
+            grad.w_neigh = dz.transposed_matmul(&cache.x_neigh[l]);
+            grad.bias = dz.column_sums();
 
             if l + 1 == l_count {
                 break;
@@ -359,7 +359,9 @@ mod tests {
 
         let eps = 3e-3;
         // Check a selection of parameters across both layers and all
-        // parameter kinds.
+        // parameter kinds. `l` indexes both `model` (borrowed mutably in
+        // the loop body) and `grads`, so a range loop is the clear form.
+        #[allow(clippy::needless_range_loop)]
         for l in 0..2 {
             for (pick_r, pick_c) in [(0usize, 0usize), (1, 2)] {
                 // w_self

@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn text_size_matches_actual_file() {
         let path = tmp("size");
-        let edges = vec![(0u32, 1u32), (99, 100), (123456, 7)];
+        let edges = [(0u32, 1u32), (99, 100), (123456, 7)];
         let predicted = text_size_bytes(edges.iter().copied());
         let actual = write_text_edges(&path, edges.iter().copied()).unwrap();
         assert_eq!(predicted, actual);

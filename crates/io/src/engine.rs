@@ -218,19 +218,26 @@ impl UringReader {
         let gid = c.user_data >> 20;
         let idx = (c.user_data & 0xFFFFF) as usize;
         if let Some(slot) = self.slots.get_mut(&gid) {
-            let (offset, len) = slot.reqs[idx];
-            match c.bytes() {
-                Ok(n) if n == len => {}
-                Ok(n) => {
-                    slot.error.get_or_insert(IoEngineError::ShortRead {
-                        offset,
-                        expected: len,
-                        got: n as i32,
-                    });
-                }
-                Err(source) => {
+            match slot.reqs.get(idx).copied() {
+                Some((offset, len)) => match c.bytes() {
+                    Ok(n) if n == len => {}
+                    Ok(n) => {
+                        slot.error.get_or_insert(IoEngineError::ShortRead {
+                            offset,
+                            expected: len,
+                            got: n as i32,
+                        });
+                    }
+                    Err(source) => {
+                        slot.error
+                            .get_or_insert(IoEngineError::Completion { offset, source });
+                    }
+                },
+                // A CQE whose user_data indexes outside the group it names:
+                // a ring accounting bug, reported instead of panicking.
+                None => {
                     slot.error
-                        .get_or_insert(IoEngineError::Completion { offset, source });
+                        .get_or_insert(IoEngineError::InvalidToken(c.user_data));
                 }
             }
             slot.remaining -= 1;
@@ -336,7 +343,10 @@ impl GroupReader for UringReader {
                 self.pump_one(true)?;
             }
         }
-        let slot = self.slots.remove(&token.id).expect("slot exists");
+        let slot = self
+            .slots
+            .remove(&token.id)
+            .ok_or(IoEngineError::InvalidToken(token.id))?;
         self.stats.syscalls = self.ring.enter_calls();
         match slot.error {
             Some(e) => Err(e),
@@ -435,6 +445,7 @@ impl GroupReader for PreadReader {
         let mut outcome: std::result::Result<(), IoEngineError> = Ok(());
         for r in reqs {
             let dst = &mut buf[cursor..cursor + r.len as usize];
+            // ringlint: allow(no-blocking-io) — PreadReader is the synchronous fallback and differential-testing oracle; pread(2) at submit time is its contract
             match self.file.read_at(dst, r.offset) {
                 Ok(n) if n == r.len as usize => {}
                 Ok(n) => {
@@ -472,7 +483,7 @@ impl GroupReader for PreadReader {
     fn complete_group(&mut self, token: GroupToken) -> Result<Vec<u8>> {
         self.ready
             .remove(&token.id)
-            .expect("token from this reader")
+            .unwrap_or(Err(IoEngineError::InvalidToken(token.id)))
     }
 
     fn stats(&self) -> ReaderStats {
@@ -590,24 +601,23 @@ mod tests {
     #[test]
     fn short_read_detected_at_eof() {
         let path = write_u32_file(4);
-        for qd in [8u32] {
-            let mut u = UringReader::open(&path, qd).unwrap();
-            let t = u
-                .submit_group(&[ReadSlice::new(1 << 20, 4)], Vec::new())
-                .unwrap();
-            assert!(matches!(
-                u.complete_group(t),
-                Err(IoEngineError::ShortRead { .. })
-            ));
-            let mut p = PreadReader::open(&path, qd).unwrap();
-            let t = p
-                .submit_group(&[ReadSlice::new(1 << 20, 4)], Vec::new())
-                .unwrap();
-            assert!(matches!(
-                p.complete_group(t),
-                Err(IoEngineError::ShortRead { .. })
-            ));
-        }
+        let qd = 8u32;
+        let mut u = UringReader::open(&path, qd).unwrap();
+        let t = u
+            .submit_group(&[ReadSlice::new(1 << 20, 4)], Vec::new())
+            .unwrap();
+        assert!(matches!(
+            u.complete_group(t),
+            Err(IoEngineError::ShortRead { .. })
+        ));
+        let mut p = PreadReader::open(&path, qd).unwrap();
+        let t = p
+            .submit_group(&[ReadSlice::new(1 << 20, 4)], Vec::new())
+            .unwrap();
+        assert!(matches!(
+            p.complete_group(t),
+            Err(IoEngineError::ShortRead { .. })
+        ));
         std::fs::remove_file(path).ok();
     }
 

@@ -44,6 +44,10 @@ pub enum IoEngineError {
     Dropped(u32),
     /// A plain file I/O error outside the ring (fallback engine, opens).
     File(io::Error),
+    /// A completion token (or CQE `user_data`) that this reader never
+    /// issued, or that was already completed. Indicates an accounting bug
+    /// surfaced as an error instead of a hot-path panic.
+    InvalidToken(u64),
 }
 
 impl fmt::Display for IoEngineError {
@@ -73,6 +77,9 @@ impl fmt::Display for IoEngineError {
             }
             IoEngineError::Dropped(n) => write!(f, "kernel dropped {n} submission entries"),
             IoEngineError::File(e) => write!(f, "file I/O error: {e}"),
+            IoEngineError::InvalidToken(ud) => {
+                write!(f, "completion token {ud} does not belong to this reader")
+            }
         }
     }
 }

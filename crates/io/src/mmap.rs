@@ -16,6 +16,8 @@ pub struct Mmap {
 // SAFETY: the mapping is plain shared memory; all concurrent access inside
 // this crate goes through atomics with explicit ordering.
 unsafe impl Send for Mmap {}
+// SAFETY: same argument as Send above — `&Mmap` only exposes the base
+// pointer and length; shared-memory reads/writes go through atomics.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {

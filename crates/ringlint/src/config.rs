@@ -1,0 +1,111 @@
+//! Rule scoping: which rules apply to which workspace files.
+//!
+//! Scopes mirror the paper's architecture (see DESIGN.md "Enforced
+//! invariants"): the *hot path* is every module a sampler worker executes
+//! per batch — neighbor sampling, the worker loop, the epoch driver and the
+//! io_uring submission/completion machinery. The *io path* is the subset
+//! that sits between a submitted SQE and a reaped CQE, where a blocking
+//! syscall would stall the whole pipeline (paper Fig. 3b). The *atomic
+//! path* is the two modules that speak the kernel's SQ/CQ memory-ordering
+//! protocol.
+
+use crate::rules::{
+    RULE_ATOMIC, RULE_BLOCKING, RULE_PANIC, RULE_SYNC, RULE_UNSAFE,
+};
+
+/// Modules executed per-batch by sampler workers (paper §3.1: the
+/// sync-free, panic-free region).
+pub const HOT_PATH: &[&str] = &[
+    "crates/core/src/worker.rs",
+    "crates/core/src/sampling.rs",
+    "crates/core/src/engine.rs",
+    "crates/io/src/ring.rs",
+    "crates/io/src/engine.rs",
+];
+
+/// Modules on the io_uring submission/completion path. Blocking reads here
+/// would serialize the async pipeline (paper Fig. 3b). `mmap.rs` and
+/// `ondemand.rs` are deliberately absent: they are the synchronous fallback
+/// engines and oracle readers.
+pub const IO_PATH: &[&str] = &[
+    "crates/io/src/ring.rs",
+    "crates/io/src/sys.rs",
+    "crates/io/src/engine.rs",
+    "crates/core/src/worker.rs",
+];
+
+/// Modules implementing the kernel SQ/CQ shared-memory protocol, where
+/// every atomic access must follow the acquire/release discipline.
+pub const ATOMIC_PATH: &[&str] = &[
+    "crates/io/src/ring.rs",
+    "crates/io/src/sys.rs",
+];
+
+/// Returns true if `rel` (forward-slash, workspace-relative) ends with any
+/// of the given module paths.
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|s| rel == *s || rel.ends_with(&format!("/{s}")))
+}
+
+/// The rules that apply to a workspace-relative path. `unsafe-audit`
+/// applies everywhere; the others only in their scoped module lists.
+pub fn rules_for(rel: &str) -> Vec<&'static str> {
+    let mut rules = vec![RULE_UNSAFE];
+    if in_scope(rel, HOT_PATH) {
+        rules.push(RULE_SYNC);
+        rules.push(RULE_PANIC);
+    }
+    if in_scope(rel, IO_PATH) {
+        rules.push(RULE_BLOCKING);
+    }
+    if in_scope(rel, ATOMIC_PATH) {
+        rules.push(RULE_ATOMIC);
+    }
+    rules
+}
+
+/// Whether a workspace-relative path should be scanned at all. Lint
+/// fixtures are intentionally-bad snippets; `target/` is build output.
+pub fn is_scanned(rel: &str) -> bool {
+    let skip_components = ["target", "fixtures"];
+    !rel.split('/').any(|c| skip_components.contains(&c)) && rel.ends_with(".rs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_gets_all_applicable_rules() {
+        let rules = rules_for("crates/io/src/ring.rs");
+        assert!(rules.contains(&RULE_UNSAFE));
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_BLOCKING));
+        assert!(rules.contains(&RULE_ATOMIC));
+    }
+
+    #[test]
+    fn fallback_engines_not_in_io_scope() {
+        let rules = rules_for("crates/io/src/mmap.rs");
+        assert_eq!(rules, vec![RULE_UNSAFE]);
+        let rules = rules_for("crates/io/src/ondemand.rs");
+        assert_eq!(rules, vec![RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn sampling_is_hot_but_not_io() {
+        let rules = rules_for("crates/core/src/sampling.rs");
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(!rules.contains(&RULE_BLOCKING));
+        assert!(!rules.contains(&RULE_ATOMIC));
+    }
+
+    #[test]
+    fn fixtures_and_target_excluded() {
+        assert!(!is_scanned("crates/ringlint/tests/fixtures/bad_sync.rs"));
+        assert!(!is_scanned("target/debug/build/foo.rs"));
+        assert!(is_scanned("crates/core/src/worker.rs"));
+        assert!(!is_scanned("README.md"));
+    }
+}

@@ -1,0 +1,424 @@
+//! A small Rust lexer: enough syntax awareness to lint token streams
+//! without rustc internals (so ringlint builds on stable, offline).
+//!
+//! The lexer produces a flat token list (identifiers, punctuation,
+//! literals) with 1-based line numbers, plus the per-line comment text the
+//! rules need for `SAFETY:` audits and `ringlint: allow(..)` exemptions.
+//! Strings, raw strings, byte strings, char literals and both comment
+//! styles (including nested block comments) are consumed correctly so that
+//! rule patterns never match inside literal or comment text.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `(`, `[`, `#`, ...). Multi-char
+    /// operators are emitted as single chars except `::` and `..`, which
+    /// the rules need as units.
+    Punct,
+    /// Numeric, string, char or byte literal (text not preserved for
+    /// strings; a placeholder is stored instead).
+    Literal,
+    /// Lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (strings collapse to `""`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment with its position: `//`, `///`, `//!` or block body text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text including the leading `//` / `/*`.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Tok>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+    /// For each 1-based line: does any non-comment token start there?
+    pub line_has_code: Vec<bool>,
+}
+
+impl Lexed {
+    /// Comments that start on `line`.
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+
+    /// Whether any non-comment token starts on `line`.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.line_has_code
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let total_lines = src.lines().count() + 2;
+    out.line_has_code = vec![false; total_lines];
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push_tok = |out: &mut Lexed, kind: TokKind, text: String, line: u32| {
+        if let Some(slot) = out.line_has_code.get_mut(line as usize) {
+            *slot = true;
+        }
+        out.tokens.push(Tok { kind, text, line });
+    };
+
+    while i < bytes.len() {
+        // `i` is always a char boundary: every branch advances by whole
+        // chars, and string/comment scans stop at ASCII delimiters (which
+        // never appear as UTF-8 continuation bytes).
+        let c = match src[i..].chars().next() {
+            Some(c) => c,
+            None => break,
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += c.len_utf8(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (also doc comments).
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust rules.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i.min(src.len())].to_string(),
+                });
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                push_tok(&mut out, TokKind::Literal, String::from("\"\""), line);
+            }
+            'r' | 'b' if is_raw_or_byte_string(bytes, i) => {
+                let l0 = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                push_tok(&mut out, TokKind::Literal, String::from("\"\""), l0);
+            }
+            '\'' => {
+                // Lifetime vs char literal. Lifetime identifiers in this
+                // workspace are ASCII; a non-ASCII char after `'` is a
+                // char literal.
+                let next = bytes.get(i + 1).copied().unwrap_or(0) as char;
+                let after = bytes.get(i + 2).copied().unwrap_or(0) as char;
+                if (next.is_ascii_alphabetic() || next == '_') && after != '\'' {
+                    // Lifetime.
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    push_tok(
+                        &mut out,
+                        TokKind::Lifetime,
+                        src[start..i].to_string(),
+                        line,
+                    );
+                } else {
+                    // Char literal: handle escapes.
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'\\' {
+                        i += 2;
+                        // Skip the rest of unicode escapes like \u{1F600}.
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            if bytes[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing quote
+                    push_tok(&mut out, TokKind::Literal, String::from("''"), line);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = match src[i..].chars().next() {
+                        Some(ch) => ch,
+                        None => break,
+                    };
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                push_tok(&mut out, TokKind::Ident, src[start..i].to_string(), line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    // Stop a number's `.` from eating `..` or a method call.
+                    if bytes[i] == b'.'
+                        && (bytes.get(i + 1) == Some(&b'.')
+                            || bytes
+                                .get(i + 1)
+                                .is_some_and(|&b| (b as char).is_alphabetic() || b == b'_'))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                push_tok(&mut out, TokKind::Literal, src[start..i].to_string(), line);
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                push_tok(&mut out, TokKind::Punct, String::from("::"), line);
+                i += 2;
+            }
+            '.' if bytes.get(i + 1) == Some(&b'.') => {
+                // `..`, `..=`, `...` all start with `..`; emit as one token.
+                let len = if bytes.get(i + 2) == Some(&b'=') || bytes.get(i + 2) == Some(&b'.') {
+                    3
+                } else {
+                    2
+                };
+                push_tok(&mut out, TokKind::Punct, src[i..i + len].to_string(), line);
+                i += len;
+            }
+            _ => {
+                push_tok(&mut out, TokKind::Punct, c.to_string(), line);
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // r"..", r#".."#, b"..", br"..", rb? (rb is not valid Rust; br is)
+    let c = bytes[i];
+    if c == b'r' {
+        matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+            && raw_hashes_then_quote(bytes, i + 1)
+    } else if c == b'b' {
+        match bytes.get(i + 1) {
+            Some(&b'"') => true,
+            Some(&b'r') => raw_hashes_then_quote(bytes, i + 2),
+            _ => false,
+        }
+    } else {
+        false
+    }
+}
+
+fn raw_hashes_then_quote(bytes: &[u8], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"')
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Skip the prefix letters.
+    let mut raw = false;
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        raw |= bytes[i] == b'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    if !raw {
+        // Plain byte string: escapes apply.
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return i + 1,
+                b'\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    // Raw string: ends at `"` followed by `hashes` hashes.
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0;
+            while h < hashes && bytes.get(j) == Some(&b'#') {
+                j += 1;
+                h += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+        }
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            texts("fn main() { x.unwrap(); }"),
+            ["fn", "main", "(", ")", "{", "x", ".", "unwrap", "(", ")", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("// SAFETY: fine\nunsafe { }\n/* block\ncomment */ x");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("SAFETY"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 3);
+        let toks: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(toks, ["unsafe", "{", "}", "x"]);
+        // x is on line 4 (block comment spans 3..4).
+        assert_eq!(l.tokens[3].line, 4);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let l = lex(r#"let s = "Mutex::new() // not a comment"; y"#);
+        assert!(l.comments.is_empty());
+        assert!(!l.tokens.iter().any(|t| t.text == "Mutex"));
+        assert!(l.tokens.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r###"let s = r#"has "quotes" and Mutex"#; z"###);
+        assert!(!l.tokens.iter().any(|t| t.text == "Mutex"));
+        assert!(l.tokens.iter().any(|t| t.text == "z"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.text == "''").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn double_colon_and_dotdot_are_units() {
+        assert!(texts("Ordering::Relaxed").contains(&"::".to_string()));
+        assert!(texts("&buf[a..b]").contains(&"..".to_string()));
+        assert!(texts("0..=n").contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn float_literal_does_not_eat_range() {
+        let t = texts("1.5 + x.len() + (0..4)");
+        assert!(t.contains(&"1.5".to_string()));
+        assert!(t.contains(&"len".to_string()));
+        assert!(t.contains(&"..".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_advance_in_multiline_strings() {
+        let l = lex("let a = \"x\ny\nz\";\nfinal_tok");
+        let f = l.tokens.iter().find(|t| t.text == "final_tok").unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn line_has_code_tracks_comment_only_lines() {
+        let l = lex("let a = 1;\n// only a comment\nlet b = 2;");
+        assert!(l.has_code_on(1));
+        assert!(!l.has_code_on(2));
+        assert!(l.has_code_on(3));
+    }
+}

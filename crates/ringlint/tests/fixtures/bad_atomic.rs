@@ -1,0 +1,9 @@
+pub fn reap(head: &AtomicU32, tail: &AtomicU32) -> bool {
+    let h = head.load(Ordering::Relaxed);
+    let t = tail.load(Ordering::SeqCst);
+    if h == t {
+        return false;
+    }
+    head.store(h.wrapping_add(1), Ordering::Relaxed);
+    true
+}

@@ -1,0 +1,12 @@
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+
+pub fn load(path: &str) -> Vec<u8> {
+    fs::read(path).unwrap_or_default()
+}
+
+pub fn slurp(file: &mut std::fs::File, buf: &mut Vec<u8>) -> std::io::Result<u64> {
+    let n = file.seek(SeekFrom::Start(0))?;
+    file.read_to_end(buf)?;
+    Ok(n)
+}

@@ -1,0 +1,8 @@
+pub fn pick(values: &[u64], idx: usize) -> u64 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("len >= 2");
+    if idx > values.len() {
+        panic!("index out of range");
+    }
+    *first + *second + values[idx]
+}

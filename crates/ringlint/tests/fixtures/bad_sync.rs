@@ -1,0 +1,11 @@
+use std::sync::{Arc, Mutex};
+use std::sync::atomic::AtomicU64;
+
+pub struct SharedState {
+    counter: Arc<AtomicU64>,
+    guard: Mutex<Vec<u64>>,
+}
+
+pub fn drain(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {
+    rx.try_recv().ok()
+}

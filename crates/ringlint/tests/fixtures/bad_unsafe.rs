@@ -1,0 +1,9 @@
+pub fn read_tail(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub unsafe fn poke(p: *mut u32) {
+    *p = 1;
+}
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,13 @@
+pub fn reap(head: &AtomicU32, tail: &AtomicU32) -> bool {
+    let t = tail.load(Ordering::Acquire);
+    let h = head.load(Ordering::Acquire);
+    if h == t {
+        return false;
+    }
+    head.store(h.wrapping_add(1), Ordering::Release);
+    true
+}
+
+pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b).then(std::cmp::Ordering::Equal)
+}

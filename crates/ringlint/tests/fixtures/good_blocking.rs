@@ -1,0 +1,7 @@
+pub fn submit(ring: &mut Ring, offset: u64, len: u32) -> Result<(), SubmitError> {
+    ring.push_read(offset, len)
+}
+
+pub fn reap(ring: &mut Ring) -> Option<Completion> {
+    ring.peek_completion()
+}

@@ -1,0 +1,10 @@
+pub fn pick(values: &[u64], idx: usize) -> Option<u64> {
+    let first = values.first()?;
+    let second = values.get(1)?;
+    let third = values.get(idx)?;
+    Some(*first + *second + *third)
+}
+
+pub fn window(values: &[u64]) -> &[u64] {
+    &values[1..]
+}

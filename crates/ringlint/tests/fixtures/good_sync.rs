@@ -1,0 +1,11 @@
+use std::sync::Arc;
+
+pub struct WorkerState {
+    graph: Arc<GraphHandle>,
+    scratch: Vec<u64>,
+    seed: u64,
+}
+
+pub fn advance(state: &mut WorkerState) {
+    state.seed = state.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+}

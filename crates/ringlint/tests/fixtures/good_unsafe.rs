@@ -1,0 +1,18 @@
+pub fn read_tail(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` points into the live CQ mapping.
+    unsafe { *p }
+}
+
+/// Pokes a value.
+///
+/// # Safety
+/// `p` must be valid for writes.
+#[inline]
+pub unsafe fn poke(p: *mut u32) {
+    *p = 1;
+}
+
+// SAFETY: Wrapper owns its allocation exclusively.
+unsafe impl Send for Wrapper {}
+
+type RawHook = unsafe fn(u32) -> u32;

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("ringsampler-train");
     std::fs::create_dir_all(&dir)?;
     let base = dir.join("homophily");
-    let mut state = 0x1234_5678_9ABC_DEFu64;
+    let mut state = 0x0123_4567_89AB_CDEF_u64;
     let mut rand = move |m: u32| {
         state ^= state << 13;
         state ^= state >> 7;

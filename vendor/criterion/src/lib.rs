@@ -1,0 +1,273 @@
+//! Vendored, minimal `criterion`-compatible benchmark harness.
+//!
+//! The container has no crates.io access, so this reimplements the subset
+//! of the criterion 0.5 API the repo's benches use: `Criterion` with
+//! builder-style config, benchmark groups with `throughput` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a warm-up, then
+//! timed batches until `measurement_time` elapses (at least `sample_size`
+//! batches), and reports min / median / mean ns-per-iteration plus derived
+//! throughput. No HTML reports, no regression analysis — enough to compare
+//! engines and queue depths on one machine, which is what the paper's
+//! figures need.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id made of the parameter display value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing loop handle.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Filled in by `iter`: (total iterations, per-sample ns/iter).
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-sample nanoseconds-per-iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until warm_up_time elapses, measuring cost to pick
+        // a batch size that keeps timer overhead negligible.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters_done as f64;
+        // Aim for ~1ms batches, at least 1 iteration.
+        let batch = ((1_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let bench_start = Instant::now();
+        while self.samples.len() < self.cfg.sample_size
+            || bench_start.elapsed() < self.cfg.measurement_time
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+            if self.samples.len() >= self.cfg.sample_size * 64 {
+                break; // fast routines: cap the sample count
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Top-level benchmark driver (builder-style configuration).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement wall-time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up wall-time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing throughput units.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher { cfg: &self.criterion.cfg, samples: Vec::new() };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b.samples, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher { cfg: &self.criterion.cfg, samples: Vec::new() };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let rate = |ns: f64, n: u64| {
+        let per_sec = n as f64 * 1e9 / ns;
+        if per_sec >= 1e9 {
+            format!("{:.2}G/s", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.2}M/s", per_sec / 1e6)
+        } else {
+            format!("{:.1}K/s", per_sec / 1e3)
+        }
+    };
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => format!("  [{} elems]", rate(median, n)),
+        Some(Throughput::Bytes(n)) => format!("  [{} bytes]", rate(median, n)),
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: min {min:.0} ns/iter, median {median:.0} ns/iter, mean {mean:.0} ns/iter ({} samples){thr}",
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("f", 2).to_string(), "f/2");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

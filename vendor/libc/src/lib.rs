@@ -1,0 +1,125 @@
+//! Vendored, minimal `libc` replacement for offline builds.
+//!
+//! The container building this repository has no access to crates.io, so
+//! this crate declares — by hand — exactly the slice of the C ABI that
+//! RingSampler uses: `syscall(2)` (for the io_uring entry points),
+//! `mmap(2)`/`munmap(2)` (for the shared rings) and `close(2)`, plus the
+//! constants and types those call sites need. Everything links against the
+//! system C library, so behaviour is identical to the real `libc` crate
+//! for this subset.
+//!
+//! Values are the Linux generic (asm-generic) ones, correct for x86_64 and
+//! aarch64 glibc/musl targets, which is what this repo targets (io_uring is
+//! Linux-only anyway).
+
+#![allow(non_camel_case_types)]
+#![cfg_attr(not(test), no_std)]
+
+// --- primitive type aliases (linux 64-bit) ---
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+
+/// glibc `sigset_t`: 1024 bits. Only ever passed by (null) pointer here, so
+/// layout size is what matters.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+/// `struct iovec` from `<sys/uio.h>` (used by `IORING_REGISTER_BUFFERS`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct iovec {
+    pub iov_base: *mut c_void,
+    pub iov_len: size_t,
+}
+
+// --- errno values (asm-generic, linux) ---
+
+pub const EPERM: c_int = 1;
+pub const EINTR: c_int = 4;
+pub const EIO: c_int = 5;
+pub const EBADF: c_int = 9;
+pub const EAGAIN: c_int = 11;
+pub const ENOMEM: c_int = 12;
+pub const EFAULT: c_int = 14;
+pub const EBUSY: c_int = 16;
+pub const EINVAL: c_int = 22;
+pub const ENOSYS: c_int = 38;
+
+// --- mmap constants (asm-generic, linux) ---
+
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_POPULATE: c_int = 0x8000;
+/// `mmap` failure sentinel: `(void *)-1`.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+extern "C" {
+    /// Indirect system call. Variadic, exactly like the glibc prototype.
+    pub fn syscall(num: c_long, ...) -> c_long;
+
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigset_is_128_bytes() {
+        assert_eq!(core::mem::size_of::<sigset_t>(), 128);
+    }
+
+    #[test]
+    fn mmap_anonymous_roundtrip() {
+        // SAFETY: fresh anonymous private mapping, unmapped below.
+        let p = unsafe {
+            mmap(
+                core::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        assert_ne!(p, MAP_FAILED);
+        // SAFETY: in-bounds write/read of our own fresh mapping.
+        unsafe {
+            *(p as *mut u8) = 7;
+            assert_eq!(*(p as *const u8), 7);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn close_bad_fd_returns_minus_one() {
+        // SAFETY: closing an invalid fd is harmless and returns -1/EBADF.
+        assert_eq!(unsafe { close(-1) }, -1);
+    }
+}
