@@ -20,7 +20,7 @@ cargo test -q --workspace
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> ringlint"
+echo "==> ringlint (workspace, incl. crates/ringstat hot-path recorders)"
 cargo run -q -p ringlint
 
 echo "CI: all gates passed."

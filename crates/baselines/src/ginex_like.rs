@@ -189,6 +189,7 @@ impl NeighborSampler for GinexLikeSampler {
                 metrics,
                 wall: start.elapsed(),
                 threads: 1,
+                ..Default::default()
             },
             modeled_seconds: None,
         })

@@ -258,6 +258,7 @@ impl NeighborSampler for GpuSimSampler {
                 metrics,
                 wall: start.elapsed(),
                 threads,
+                ..Default::default()
             },
             modeled_seconds: Some(modeled),
         })

@@ -123,6 +123,7 @@ impl NeighborSampler for InMemorySampler {
             metrics,
             wall: start.elapsed(),
             threads: self.threads,
+            ..Default::default()
         };
         let modeled_seconds = self.model_framework_overhead.then(|| {
             measured.seconds()

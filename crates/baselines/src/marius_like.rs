@@ -408,6 +408,7 @@ impl NeighborSampler for MariusLikeSampler {
             metrics,
             wall: start.elapsed(),
             threads: 1,
+            ..Default::default()
         };
         let modeled_seconds = self.disk_model.map(|d| {
             measured.seconds()

@@ -4,9 +4,39 @@
 
 use std::process::Command;
 
+/// Rewrites `--stats-json` / `--trace` / `--prometheus` values so each
+/// child writes `path.<bin>.<ext>` instead of all children overwriting one
+/// `path`: `run.json` becomes `run.fig4_overall.json`.
+fn per_bin_args(args: &[String], bin: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut rewrite_next = false;
+    for a in args {
+        if rewrite_next {
+            let p = std::path::Path::new(a);
+            out.push(match (p.file_stem(), p.extension()) {
+                (Some(stem), Some(ext)) => p
+                    .with_file_name(format!(
+                        "{}.{bin}.{}",
+                        stem.to_string_lossy(),
+                        ext.to_string_lossy()
+                    ))
+                    .display()
+                    .to_string(),
+                _ => format!("{a}.{bin}"),
+            });
+            rewrite_next = false;
+            continue;
+        }
+        rewrite_next = matches!(a.as_str(), "--stats-json" | "--trace" | "--prometheus");
+        out.push(a.clone());
+    }
+    out
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exe = std::env::current_exe()?;
     let dir = exe.parent().expect("binary directory");
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = [
         ("table1", "Table 1 (datasets)"),
         ("fig4_overall", "Figure 4 (overall comparison)"),
@@ -18,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let started = std::time::Instant::now();
     for (bin, label) in experiments {
         println!("\n===== {label} =====");
-        let status = Command::new(dir.join(bin)).status()?;
+        let status = Command::new(dir.join(bin))
+            .args(per_bin_args(&args, bin))
+            .status()?;
         if !status.success() {
             eprintln!("{bin} failed with {status}");
             std::process::exit(status.code().unwrap_or(1));

@@ -9,12 +9,13 @@
 //! 30–60×; Marius OOMs in preprocessing on Yahoo/Synthetic.
 
 use ringsampler_bench::{
-    measure_system, HarnessConfig, SystemKind, DEFAULT_BATCH, DEFAULT_FANOUTS,
+    measure_system_observed, HarnessConfig, StatsSink, SystemKind, DEFAULT_BATCH, DEFAULT_FANOUTS,
 };
 use ringsampler_graph::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = HarnessConfig::from_env();
+    let mut sink = StatsSink::from_args();
     println!(
         "Figure 4 at 1/{} scale: {} targets/epoch, {} epochs, fanout {:?}, batch {}\n",
         h.scale, h.targets_per_epoch, h.epochs, DEFAULT_FANOUTS, DEFAULT_BATCH
@@ -36,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let graph = h.dataset(spec)?;
             // Fresh scaled 256 GB budget per run (one cgroup per job).
             let budget = h.host_budget();
-            let outcome = measure_system(
+            let outcome = measure_system_observed(
                 kind,
                 &graph,
                 &DEFAULT_FANOUTS,
@@ -44,6 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 h.threads,
                 &budget,
                 &h,
+                &format!("{}/{}", kind.name(), spec.id.name()),
+                &mut sink,
             )?;
             eprintln!("  {} / {}: {}", kind.name(), spec.id.name(), outcome);
             cells.push(outcome);
@@ -72,5 +75,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     ringsampler_bench::emit_table("fig4_overall", &header, &rows)?;
+    sink.finish()?;
     Ok(())
 }

@@ -15,11 +15,12 @@ use ringsampler::{MemoryBudget, SamplerError};
 use ringsampler_baselines::{
     MariusLikeSampler, NeighborSampler, RingSamplerSystem, SmartSsdModel, SmartSsdSampler,
 };
-use ringsampler_bench::{HarnessConfig, Outcome, DEFAULT_BATCH, DEFAULT_FANOUTS};
+use ringsampler_bench::{HarnessConfig, Outcome, StatsSink, DEFAULT_BATCH, DEFAULT_FANOUTS};
 use ringsampler_graph::{DatasetId, DatasetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = HarnessConfig::from_env();
+    let mut sink = StatsSink::from_args();
     let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
     let graph = h.dataset(&spec)?;
     println!(
@@ -78,6 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 budget_of(),
                 &h,
                 &graph,
+                &format!("RingSampler/{label}/t{threads}"),
+                &mut sink,
             )?;
             if let Outcome::Seconds(_) = outcome {
                 rs_outcome = outcome;
@@ -103,6 +106,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             budget_of(),
             &h,
             &graph,
+            &format!("SmartSSD/{label}"),
+            &mut sink,
         )?);
 
         // Marius: preprocessing outside the cgroup (Fig.-5 semantics).
@@ -127,6 +132,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             budget_of(),
             &h,
             &graph,
+            &format!("Marius/{label}"),
+            &mut sink,
         )?);
 
         eprintln!("  {label}: RS={} SSD={} Marius={}", cells[0], cells[1], cells[2]);
@@ -146,6 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(String::new());
     rows.extend(charts);
     ringsampler_bench::emit_table("fig5_memory", &header, &rows)?;
+    sink.finish()?;
     Ok(())
 }
 
@@ -154,6 +162,8 @@ fn run<F>(
     budget: MemoryBudget,
     h: &HarnessConfig,
     graph: &ringsampler_graph::OnDiskGraph,
+    label: &str,
+    sink: &mut StatsSink,
 ) -> Result<Outcome, SamplerError>
 where
     F: Fn(&MemoryBudget) -> Result<Box<dyn NeighborSampler>, SamplerError>,
@@ -167,7 +177,10 @@ where
     for epoch in 0..h.epochs {
         let targets = h.epoch_targets(graph, epoch as u64);
         match system.sample_epoch(&targets) {
-            Ok(r) => total += r.reported_seconds(),
+            Ok(r) => {
+                sink.note(&format!("{label}/epoch{epoch}"), &r.measured);
+                total += r.reported_seconds();
+            }
             Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
             Err(e) => return Err(e),
         }

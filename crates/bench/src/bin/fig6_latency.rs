@@ -7,11 +7,12 @@
 
 use ringsampler::ondemand::run_on_demand;
 use ringsampler::{RingSampler, SamplerConfig};
-use ringsampler_bench::{HarnessConfig, DEFAULT_FANOUTS};
+use ringsampler_bench::{HarnessConfig, StatsSink, DEFAULT_FANOUTS};
 use ringsampler_graph::{DatasetId, DatasetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = HarnessConfig::from_env();
+    let mut sink = StatsSink::from_args();
     let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
     let graph = h.dataset(&spec)?;
     let requests = h.targets_per_epoch;
@@ -31,6 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let targets = h.epoch_targets(&graph, 0);
     let report = run_on_demand(&sampler, &targets)?;
+    sink.note("on_demand", &report.epoch);
 
     let header = format!("{:<12} {:>12} {:>18}", "percentile", "time (s)", "requests done");
     let mut rows = Vec::new();
@@ -69,5 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nP99/P50 ratio: {:.2} (paper: 2.28/1.15 = 1.98 — narrow median-to-tail gap)",
         p99 / p50.max(1e-9)
     );
+    sink.finish()?;
     Ok(())
 }

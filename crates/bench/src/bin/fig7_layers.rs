@@ -10,11 +10,12 @@ use ringsampler::MemoryBudget;
 use ringsampler_baselines::{
     MariusLikeSampler, NeighborSampler, RingSamplerSystem, SmartSsdModel, SmartSsdSampler,
 };
-use ringsampler_bench::{HarnessConfig, DEFAULT_BATCH};
+use ringsampler_bench::{HarnessConfig, StatsSink, DEFAULT_BATCH};
 use ringsampler_graph::{DatasetId, DatasetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = HarnessConfig::from_env();
+    let mut sink = StatsSink::from_args();
     let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
     let graph = h.dataset(&spec)?;
     println!(
@@ -62,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut secs = [0.0f64; 3];
         for epoch in 0..h.epochs {
             let targets = h.epoch_targets(&graph, epoch as u64);
-            secs[0] += rs.sample_epoch(&targets)?.reported_seconds();
+            let r = rs.sample_epoch(&targets)?;
+            sink.note(&format!("RingSampler/{}-hop/epoch{epoch}", k + 1), &r.measured);
+            secs[0] += r.reported_seconds();
             secs[1] += ssd.sample_epoch(&targets)?.reported_seconds();
             secs[2] += marius.sample_epoch(&targets)?.reported_seconds();
         }
@@ -97,5 +100,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.push(String::new());
     rows.extend(charts);
     ringsampler_bench::emit_table("fig7_layers", &header, &rows)?;
+    sink.finish()?;
     Ok(())
 }

@@ -14,11 +14,12 @@
 //! ([`CachePolicy::Page`]), exactly the mechanism §A.2 describes.
 
 use ringsampler::{CachePolicy, MemoryBudget, RingSampler, SamplerConfig};
-use ringsampler_bench::{HarnessConfig, DEFAULT_FANOUTS};
+use ringsampler_bench::{HarnessConfig, StatsSink, DEFAULT_FANOUTS};
 use ringsampler_graph::{DatasetId, DatasetSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = HarnessConfig::from_env();
+    let mut sink = StatsSink::from_args();
     let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
     let graph = h.dataset(&spec)?;
 
@@ -87,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let mut total = 0.0;
             for e in 0..h.epochs {
-                total += s.sample_epoch(&h.epoch_targets(&graph, e as u64))?.seconds();
+                let r = s.sample_epoch(&h.epoch_targets(&graph, e as u64))?;
+                sink.note(&format!("unlimited/t{threads}/epoch{e}"), &r);
+                total += r.seconds();
             }
             total / h.epochs as f64
         };
@@ -123,6 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 for e in 0..h.epochs {
                     match s.sample_epoch(&h.epoch_targets(&graph, e as u64)) {
                         Ok(r) => {
+                            sink.note(&format!("constrained/t{threads}/epoch{e}"), &r);
                             total += r.seconds();
                             hits += r.metrics.cache_hits;
                             misses += r.metrics.cache_misses;
@@ -158,5 +162,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     ringsampler_bench::emit_table("fig8_threads", &header, &rows)?;
+    sink.finish()?;
     Ok(())
 }

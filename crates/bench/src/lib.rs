@@ -30,9 +30,12 @@
 #![warn(rust_2018_idioms)]
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use ringsampler::{epoch_targets, MemoryBudget, RingSampler, SamplerConfig, SamplerError};
+use ringsampler::{
+    epoch_targets, EpochReport, MemoryBudget, RingSampler, SamplerConfig, SamplerError,
+};
+use ringstat::{ChromeTrace, Json, PromWriter};
 use ringsampler_baselines::marius_like::DiskModel;
 use ringsampler_baselines::{
     DeviceModel, GpuFlavor, GpuMode, GpuSimSampler, InMemorySampler, MariusLikeSampler,
@@ -242,6 +245,155 @@ pub fn build_system(
     })
 }
 
+/// Collects labeled [`EpochReport`]s during an experiment and writes the
+/// structured artifacts requested on the command line:
+///
+/// * `--stats-json PATH` — all reports as one JSON document
+///   (`{"schema_version": 1, "reports": [{"label", "report"}, ...]}`);
+/// * `--prometheus PATH` — Prometheus text exposition, one series set per
+///   report with a `run` label;
+/// * `--trace PATH` — Chrome `trace.json` (Perfetto-loadable) with one
+///   timeline row per sampling worker.
+///
+/// With no flags the sink is disabled and [`note`](Self::note) is free.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    json_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
+    prom_path: Option<PathBuf>,
+    reports: Vec<(String, EpochReport)>,
+}
+
+impl StatsSink {
+    /// A sink that records and writes nothing.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Parses `--stats-json`, `--trace` and `--prometheus` from the
+    /// process arguments. Unknown arguments are ignored (the experiment
+    /// binaries take their main knobs from `RS_*` environment variables).
+    pub fn from_args() -> Self {
+        Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    /// [`from_args`](Self::from_args) over an explicit argument list.
+    pub fn from_arg_list(args: &[String]) -> Self {
+        let mut sink = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let value = args.get(i + 1).map(PathBuf::from);
+            match args[i].as_str() {
+                "--stats-json" => {
+                    sink.json_path = value;
+                    i += 1;
+                }
+                "--trace" => {
+                    sink.trace_path = value;
+                    i += 1;
+                }
+                "--prometheus" => {
+                    sink.prom_path = value;
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        sink
+    }
+
+    /// True if any output path was requested.
+    pub fn is_enabled(&self) -> bool {
+        self.json_path.is_some() || self.trace_path.is_some() || self.prom_path.is_some()
+    }
+
+    /// Number of reports recorded so far.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if no reports were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Records one labeled report (no-op when the sink is disabled).
+    pub fn note(&mut self, label: &str, report: &EpochReport) {
+        if self.is_enabled() {
+            self.reports.push((label.to_string(), report.clone()));
+        }
+    }
+
+    /// The JSON document content (exposed for tests; [`finish`](Self::finish)
+    /// writes it to the `--stats-json` path).
+    pub fn json_document(&self) -> String {
+        let mut reports = Vec::with_capacity(self.reports.len());
+        for (label, report) in &self.reports {
+            reports.push(
+                Json::object()
+                    .with("label", Json::str(label))
+                    .with("report", report.to_json_value()),
+            );
+        }
+        Json::object()
+            .with("schema_version", Json::U64(1))
+            .with("reports", Json::Array(reports))
+            .to_string_pretty()
+    }
+
+    /// The Prometheus exposition content (one series set per report,
+    /// distinguished by a `run` label).
+    pub fn prometheus_document(&self) -> String {
+        let mut w = PromWriter::new();
+        for (label, report) in &self.reports {
+            report.write_prometheus(&mut w, &[("run", label)]);
+        }
+        w.finish()
+    }
+
+    /// The Chrome trace document. Worker span logs from every report are
+    /// laid out on distinct `tid` rows so epochs don't overdraw each other.
+    pub fn trace_document(&self) -> String {
+        let mut trace = ChromeTrace::new();
+        let mut tid = 0u64;
+        for (_, report) in &self.reports {
+            for spans in &report.thread_spans {
+                trace.add_spans(tid, spans);
+                tid += 1;
+            }
+        }
+        trace.to_json()
+    }
+
+    /// Writes every requested artifact (creating parent directories).
+    ///
+    /// # Errors
+    /// Propagates file I/O errors.
+    pub fn finish(&self) -> std::io::Result<()> {
+        fn write(path: &Path, content: &str) -> std::io::Result<()> {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            std::fs::write(path, content)?;
+            eprintln!("wrote {}", path.display());
+            Ok(())
+        }
+        if let Some(p) = &self.json_path {
+            write(p, &self.json_document())?;
+        }
+        if let Some(p) = &self.prom_path {
+            write(p, &self.prometheus_document())?;
+        }
+        if let Some(p) = &self.trace_path {
+            write(p, &self.trace_document())?;
+        }
+        Ok(())
+    }
+}
+
 /// One experiment measurement: seconds or OOM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Outcome {
@@ -285,6 +437,36 @@ pub fn measure_system(
     budget: &MemoryBudget,
     harness: &HarnessConfig,
 ) -> Result<Outcome, SamplerError> {
+    measure_system_observed(
+        kind,
+        graph,
+        fanouts,
+        batch,
+        threads,
+        budget,
+        harness,
+        kind.name(),
+        &mut StatsSink::disabled(),
+    )
+}
+
+/// [`measure_system`], recording each epoch's [`EpochReport`] into `sink`
+/// under `label/epochN` so structured run artifacts can be exported.
+///
+/// # Errors
+/// Real failures (I/O, bugs) propagate; OOM becomes [`Outcome::Oom`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_system_observed(
+    kind: SystemKind,
+    graph: &OnDiskGraph,
+    fanouts: &[usize],
+    batch: usize,
+    threads: usize,
+    budget: &MemoryBudget,
+    harness: &HarnessConfig,
+    label: &str,
+    sink: &mut StatsSink,
+) -> Result<Outcome, SamplerError> {
     let mut system = match build_system(kind, graph, fanouts, batch, threads, budget, harness, 7)
     {
         Ok(s) => s,
@@ -295,7 +477,10 @@ pub fn measure_system(
     for epoch in 0..harness.epochs {
         let targets = harness.epoch_targets(graph, epoch as u64);
         match system.sample_epoch(&targets) {
-            Ok(r) => total += r.reported_seconds(),
+            Ok(r) => {
+                sink.note(&format!("{label}/epoch{epoch}"), &r.measured);
+                total += r.reported_seconds();
+            }
             Err(SamplerError::OutOfMemory { .. }) => return Ok(Outcome::Oom),
             Err(e) => return Err(e),
         }
@@ -405,6 +590,56 @@ mod tests {
     fn log_bars_all_oom() {
         let chart = render_log_bars("x", &[("a".into(), Outcome::Oom)]);
         assert!(chart.contains("all OOM"));
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_sink_parses_flags() {
+        let s = StatsSink::from_arg_list(&strings(&[
+            "--stats-json",
+            "a.json",
+            "--trace",
+            "t.json",
+            "--prometheus",
+            "m.prom",
+        ]));
+        assert!(s.is_enabled());
+        let none = StatsSink::from_arg_list(&strings(&["--unrelated", "x"]));
+        assert!(!none.is_enabled());
+        // A trailing flag with no value stays disabled rather than panicking.
+        let dangling = StatsSink::from_arg_list(&strings(&["--stats-json"]));
+        assert!(!dangling.is_enabled());
+    }
+
+    #[test]
+    fn stats_sink_disabled_records_nothing() {
+        let mut s = StatsSink::disabled();
+        s.note("x", &ringsampler::EpochReport::default());
+        assert!(s.is_empty());
+        s.finish().unwrap(); // writes no files
+    }
+
+    #[test]
+    fn stats_sink_documents_carry_labels() {
+        let mut s = StatsSink::from_arg_list(&strings(&["--stats-json", "unused.json"]));
+        let mut report = ringsampler::EpochReport::default();
+        report.metrics.batches = 3;
+        s.note("fig4/epoch0", &report);
+        assert_eq!(s.len(), 1);
+        let json = s.json_document();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"label\": \"fig4/epoch0\""), "{json}");
+        assert!(json.contains("\"batches\": 3"), "{json}");
+        let prom = s.prometheus_document();
+        assert!(
+            prom.contains("ringsampler_batches_total{run=\"fig4/epoch0\"} 3"),
+            "{prom}"
+        );
+        let trace = s.trace_document();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct SamplerConfig {
     /// has any, duplicates allowed. Default: without replacement
     /// ("up to fanout", the paper's Fig. 1 semantics).
     pub with_replacement: bool,
+    /// Maximum spans each worker records for the Chrome-trace timeline
+    /// (per-thread; bounded so recording never allocates mid-epoch).
+    /// 0 disables span recording entirely.
+    pub span_capacity: usize,
 }
 
 impl Default for SamplerConfig {
@@ -86,6 +90,7 @@ impl Default for SamplerConfig {
             sqpoll: false,
             register_file: true,
             with_replacement: false,
+            span_capacity: 8192,
         }
     }
 }
@@ -172,6 +177,12 @@ impl SamplerConfig {
     /// Switches to sampling with replacement (DGL `replace=True`).
     pub fn with_replacement(mut self, enable: bool) -> Self {
         self.with_replacement = enable;
+        self
+    }
+
+    /// Sets the per-worker span-log capacity (0 disables span recording).
+    pub fn span_capacity(mut self, n: usize) -> Self {
+        self.span_capacity = n;
         self
     }
 

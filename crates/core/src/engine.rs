@@ -16,7 +16,7 @@ use crate::block::BatchSample;
 use crate::config::SamplerConfig;
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
-use crate::metrics::{EpochReport, SampleMetrics};
+use crate::metrics::{EpochReport, WorkerStats};
 use crate::worker::SamplerWorker;
 
 /// The RingSampler system handle: a stored graph plus a sampling
@@ -97,14 +97,16 @@ impl RingSampler {
         let num_threads = self.cfg.num_threads.min(batches.len().max(1));
         let start = Instant::now();
 
-        let mut merged = SampleMetrics::default();
-        let results: Vec<Result<SampleMetrics>> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerStats>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_threads);
             for t in 0..num_threads {
                 let batches = &batches;
                 let on_batch = &on_batch;
-                handles.push(scope.spawn(move || -> Result<SampleMetrics> {
+                handles.push(scope.spawn(move || -> Result<WorkerStats> {
                     let mut worker = SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())?;
+                    // All workers share the epoch-start origin, so their
+                    // span timelines line up in the Chrome trace.
+                    worker.set_span_origin(start);
                     let mut idx = t;
                     while idx < batches.len() {
                         // ringlint: allow(panic-free-hot-path) — idx < batches.len() is the loop condition
@@ -112,7 +114,7 @@ impl RingSampler {
                         on_batch(idx, sample);
                         idx += num_threads;
                     }
-                    Ok(worker.metrics())
+                    Ok(worker.take_stats())
                 }));
             }
             handles
@@ -123,14 +125,13 @@ impl RingSampler {
                 })
                 .collect()
         });
+        let mut report = EpochReport::default();
         for r in results {
-            merged.merge(&r?);
+            report.absorb(r?);
         }
-        Ok(EpochReport {
-            metrics: merged,
-            wall: start.elapsed(),
-            threads: num_threads,
-        })
+        report.wall = start.elapsed();
+        report.threads = num_threads;
+        Ok(report)
     }
 }
 
@@ -272,6 +273,39 @@ mod tests {
             let r = sampler.sample_epoch(&targets).unwrap();
             assert_eq!(r.metrics.batches, 8);
         }
+    }
+
+    #[test]
+    fn epoch_report_carries_merged_distributions() {
+        let g = test_graph("obsv", 400, 6_000);
+        let sampler = RingSampler::new(
+            g,
+            SamplerConfig::new()
+                .fanouts(&[3, 2])
+                .batch_size(64)
+                .threads(2)
+                .ring_entries(16),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..400).collect();
+        let r = sampler.sample_epoch(&targets).unwrap();
+        assert_eq!(r.batch_latency.count(), r.metrics.batches);
+        assert_eq!(r.group_latency.count(), r.metrics.io_groups);
+        assert_eq!(r.thread_spans.len(), 2, "one span log per worker");
+        assert!(r.thread_spans.iter().any(|s| !s.is_empty()));
+        assert!(r.phases.total() > 0);
+        // The three artifact exports are well-formed and self-consistent.
+        let json = r.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains(&format!("\"batches\": {}", r.metrics.batches)));
+        let prom = r.to_prometheus();
+        assert!(prom.contains(&format!(
+            "ringsampler_io_group_latency_seconds_count {}",
+            r.metrics.io_groups
+        )));
+        let trace = r.to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"name\": \"batch\""));
     }
 
     #[test]

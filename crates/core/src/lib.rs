@@ -59,6 +59,6 @@ pub use engine::{epoch_targets, RingSampler};
 pub use layerwise::LayerwisePlan;
 pub use error::{Result, SamplerError};
 pub use memory::{parse_budget, MemoryBudget, MemoryCharge};
-pub use metrics::{EpochReport, SampleMetrics};
+pub use metrics::{EpochReport, SampleMetrics, WorkerStats};
 pub use ondemand::{run_on_demand, OnDemandReport};
 pub use worker::SamplerWorker;

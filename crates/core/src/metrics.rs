@@ -1,6 +1,20 @@
-//! Sampling metrics: per-thread counters merged into per-epoch reports.
+//! Sampling metrics: per-thread counters and distributions merged into
+//! per-epoch reports.
+//!
+//! Each worker thread privately accumulates a [`SampleMetrics`] plus the
+//! `ringstat` distributions ([`WorkerStats`]); at epoch join the engine
+//! folds them into one [`EpochReport`], which exports three artifact
+//! formats: JSON ([`EpochReport::to_json`]), Prometheus text exposition
+//! ([`EpochReport::to_prometheus`]), and a Chrome/Perfetto trace
+//! ([`EpochReport::to_chrome_trace`]).
 
 use std::time::Duration;
+
+use ringsampler_io::ReaderStats;
+use ringstat::{
+    human_bytes, human_count, human_nanos, ChromeTrace, Json, LatencyHistogram, Phase,
+    PhaseTimes, PromWriter, SpanLog,
+};
 
 /// Counters accumulated while sampling (mergeable across threads).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +62,25 @@ impl SampleMetrics {
         self.complete_nanos += other.complete_nanos;
     }
 
+    /// Folds the delta between two reader-stat snapshots into the I/O
+    /// counters. All four fields subtract saturating: a reader whose
+    /// counters went backwards (replaced or reset mid-epoch) contributes
+    /// zero instead of a wrapped huge value.
+    pub fn add_reader_delta(&mut self, prev: &ReaderStats, now: &ReaderStats) {
+        self.io_requests = self
+            .io_requests
+            .saturating_add(now.requests.saturating_sub(prev.requests));
+        self.io_bytes = self
+            .io_bytes
+            .saturating_add(now.bytes.saturating_sub(prev.bytes));
+        self.io_groups = self
+            .io_groups
+            .saturating_add(now.groups.saturating_sub(prev.groups));
+        self.syscalls = self
+            .syscalls
+            .saturating_add(now.syscalls.saturating_sub(prev.syscalls));
+    }
+
     /// Fraction of I/O-path time spent waiting on completions rather than
     /// preparing work — the quantity the Fig. 3b async pipeline minimizes.
     pub fn wait_fraction(&self) -> f64 {
@@ -69,6 +102,42 @@ impl SampleMetrics {
     }
 }
 
+/// Everything one worker thread accumulated over its lifetime: flat
+/// counters plus the thread-private `ringstat` distributions.
+///
+/// Produced by [`crate::worker::SamplerWorker::take_stats`]; merged into
+/// an [`EpochReport`] with [`EpochReport::absorb`]. Thread-private until
+/// the join — no synchronization is involved in recording.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Flat counters (including cache hits/misses).
+    pub metrics: SampleMetrics,
+    /// Submit→complete latency per I/O group (from the reader).
+    pub group_latency: LatencyHistogram,
+    /// Wall latency per sampled mini-batch.
+    pub batch_latency: LatencyHistogram,
+    /// CQ wait per completed group (the blocking part of `complete`).
+    pub cq_wait: LatencyHistogram,
+    /// Nanoseconds per pipeline phase (prepare/submit/complete/aggregate).
+    pub phases: PhaseTimes,
+    /// This thread's recorded batch and I/O-group spans.
+    pub spans: SpanLog,
+}
+
+impl WorkerStats {
+    /// Wraps a single worker's stats as a one-thread epoch report (the
+    /// training data-loader path, where one producer thread samples).
+    pub fn into_epoch_report(self, wall: Duration) -> EpochReport {
+        let mut report = EpochReport {
+            wall,
+            threads: 1,
+            ..Default::default()
+        };
+        report.absorb(self);
+        report
+    }
+}
+
 /// The result of sampling one epoch.
 #[derive(Debug, Clone, Default)]
 pub struct EpochReport {
@@ -78,6 +147,17 @@ pub struct EpochReport {
     pub wall: Duration,
     /// Worker threads used.
     pub threads: usize,
+    /// Merged per-I/O-group submit→complete latency across all threads.
+    pub group_latency: LatencyHistogram,
+    /// Merged per-batch sampling latency across all threads.
+    pub batch_latency: LatencyHistogram,
+    /// Merged CQ wait time across all threads.
+    pub cq_wait: LatencyHistogram,
+    /// Merged phase times across all threads.
+    pub phases: PhaseTimes,
+    /// One span log per worker thread (indexed by worker id), feeding the
+    /// Chrome trace export.
+    pub thread_spans: Vec<SpanLog>,
 }
 
 impl EpochReport {
@@ -95,23 +175,204 @@ impl EpochReport {
             self.metrics.sampled_edges as f64 / s
         }
     }
+
+    /// Folds one worker's stats into this report (histograms merge
+    /// losslessly; the span log is kept per-thread for the trace).
+    pub fn absorb(&mut self, worker: WorkerStats) {
+        self.metrics.merge(&worker.metrics);
+        self.group_latency.merge(&worker.group_latency);
+        self.batch_latency.merge(&worker.batch_latency);
+        self.cq_wait.merge(&worker.cq_wait);
+        self.phases.merge(&worker.phases);
+        self.thread_spans.push(worker.spans);
+    }
+
+    /// The report as a JSON tree (`schema_version` 1). Raw values only —
+    /// humanization is a Display concern.
+    pub fn to_json_value(&self) -> Json {
+        let m = &self.metrics;
+        let counters = Json::object()
+            .with("batches", Json::U64(m.batches))
+            .with("layers", Json::U64(m.layers))
+            .with("targets", Json::U64(m.targets))
+            .with("sampled_edges", Json::U64(m.sampled_edges))
+            .with("io_requests", Json::U64(m.io_requests))
+            .with("io_bytes", Json::U64(m.io_bytes))
+            .with("io_groups", Json::U64(m.io_groups))
+            .with("syscalls", Json::U64(m.syscalls))
+            .with("cache_hits", Json::U64(m.cache_hits))
+            .with("cache_misses", Json::U64(m.cache_misses))
+            .with("prepare_nanos", Json::U64(m.prepare_nanos))
+            .with("complete_nanos", Json::U64(m.complete_nanos));
+        let derived = Json::object()
+            .with("wait_fraction", Json::F64(m.wait_fraction()))
+            .with("requests_per_syscall", Json::F64(m.requests_per_syscall()))
+            .with("edges_per_second", Json::F64(self.edges_per_second()));
+        let mut phases = Json::object();
+        for p in Phase::ALL {
+            phases.push(p.name(), Json::U64(self.phases.get(p)));
+        }
+        let histograms = Json::object()
+            .with("io_group_latency", hist_json(&self.group_latency))
+            .with("batch_latency", hist_json(&self.batch_latency))
+            .with("cq_wait", hist_json(&self.cq_wait));
+        let events: u64 = self.thread_spans.iter().map(|s| s.len() as u64).sum();
+        let dropped: u64 = self.thread_spans.iter().map(|s| s.dropped()).sum();
+        let spans = Json::object()
+            .with("threads", Json::U64(self.thread_spans.len() as u64))
+            .with("events", Json::U64(events))
+            .with("dropped", Json::U64(dropped));
+        Json::object()
+            .with("schema_version", Json::U64(1))
+            .with("threads", Json::U64(self.threads as u64))
+            .with("wall_seconds", Json::F64(self.seconds()))
+            .with("counters", counters)
+            .with("derived", derived)
+            .with("phase_nanos", phases)
+            .with("histograms", histograms)
+            .with("spans", spans)
+    }
+
+    /// The JSON report document (pretty-printed, stable key order).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Appends this report's metric families to a Prometheus exposition,
+    /// tagging every sample with `labels` (e.g. `[("run", "fig4")]`).
+    pub fn write_prometheus(&self, w: &mut PromWriter, labels: &[(&str, &str)]) {
+        let m = &self.metrics;
+        w.counter("ringsampler_batches_total", "Mini-batches sampled", labels, m.batches);
+        w.counter(
+            "ringsampler_sampled_edges_total",
+            "Neighbor entries sampled",
+            labels,
+            m.sampled_edges,
+        );
+        w.counter(
+            "ringsampler_io_requests_total",
+            "Individual disk read requests",
+            labels,
+            m.io_requests,
+        );
+        w.counter("ringsampler_io_bytes_total", "Bytes read from disk", labels, m.io_bytes);
+        w.counter("ringsampler_io_groups_total", "I/O groups submitted", labels, m.io_groups);
+        w.counter(
+            "ringsampler_syscalls_total",
+            "Syscalls issued by the I/O engine",
+            labels,
+            m.syscalls,
+        );
+        w.counter("ringsampler_cache_hits_total", "Page-cache hits", labels, m.cache_hits);
+        w.counter(
+            "ringsampler_cache_misses_total",
+            "Page-cache misses",
+            labels,
+            m.cache_misses,
+        );
+        for p in Phase::ALL {
+            let mut with_phase: Vec<(&str, &str)> = labels.to_vec();
+            with_phase.push(("phase", p.name()));
+            w.counter(
+                "ringsampler_phase_nanos_total",
+                "Nanoseconds per pipeline phase",
+                &with_phase,
+                self.phases.get(p),
+            );
+        }
+        w.gauge("ringsampler_epoch_seconds", "Epoch wall time", labels, self.seconds());
+        w.gauge(
+            "ringsampler_wait_fraction",
+            "Fraction of I/O-path time spent waiting on completions",
+            labels,
+            m.wait_fraction(),
+        );
+        w.gauge(
+            "ringsampler_requests_per_syscall",
+            "Mean read requests per syscall",
+            labels,
+            m.requests_per_syscall(),
+        );
+        w.gauge("ringsampler_threads", "Worker threads", labels, self.threads as f64);
+        w.histogram(
+            "ringsampler_io_group_latency_seconds",
+            "Submit-to-complete latency per I/O group",
+            labels,
+            &self.group_latency,
+        );
+        w.histogram(
+            "ringsampler_batch_latency_seconds",
+            "Wall latency per sampled mini-batch",
+            labels,
+            &self.batch_latency,
+        );
+        w.histogram(
+            "ringsampler_cq_wait_seconds",
+            "CQ wait time per completed group",
+            labels,
+            &self.cq_wait,
+        );
+    }
+
+    /// The full Prometheus text-exposition document for this report.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        self.write_prometheus(&mut w, &[]);
+        w.finish()
+    }
+
+    /// A Chrome trace-event document (Perfetto-viewable): one timeline row
+    /// per worker thread, with its batch and I/O-group spans.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut t = ChromeTrace::new();
+        for (tid, log) in self.thread_spans.iter().enumerate() {
+            t.add_spans(tid as u64, log);
+        }
+        t.to_json()
+    }
+}
+
+fn hist_json(h: &LatencyHistogram) -> Json {
+    let buckets: Vec<Json> = h
+        .nonzero_buckets()
+        .map(|(lo, hi, c)| Json::Array(vec![Json::U64(lo), Json::U64(hi), Json::U64(c)]))
+        .collect();
+    Json::object()
+        .with("count", Json::U64(h.count()))
+        .with("sum_nanos", Json::U64(h.sum()))
+        .with("min_nanos", Json::U64(h.min()))
+        .with("max_nanos", Json::U64(h.max()))
+        .with("mean_nanos", Json::F64(h.mean()))
+        .with("p50_nanos", Json::U64(h.p50()))
+        .with("p95_nanos", Json::U64(h.p95()))
+        .with("p99_nanos", Json::U64(h.p99()))
+        .with("buckets", Json::Array(buckets))
 }
 
 impl std::fmt::Display for EpochReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:.3}s: {} batches, {} edges sampled, {} reads ({} bytes) in {} groups, {} syscalls ({:.0} reqs/syscall), {} threads",
+            "{:.3}s: {} batches, {} edges sampled, {} reads ({}) in {} groups, {} syscalls ({:.0} reqs/syscall), {} threads",
             self.seconds(),
-            self.metrics.batches,
-            self.metrics.sampled_edges,
-            self.metrics.io_requests,
-            self.metrics.io_bytes,
-            self.metrics.io_groups,
-            self.metrics.syscalls,
+            human_count(self.metrics.batches),
+            human_count(self.metrics.sampled_edges),
+            human_count(self.metrics.io_requests),
+            human_bytes(self.metrics.io_bytes),
+            human_count(self.metrics.io_groups),
+            human_count(self.metrics.syscalls),
             self.metrics.requests_per_syscall(),
             self.threads
-        )
+        )?;
+        if !self.group_latency.is_empty() {
+            write!(
+                f,
+                ", group p50/p99 {}/{}",
+                human_nanos(self.group_latency.p50()),
+                human_nanos(self.group_latency.p99())
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -139,6 +400,45 @@ mod tests {
         assert_eq!(a.io_bytes, 40);
         assert_eq!(a.syscalls, 3);
         assert_eq!(a.requests_per_syscall(), 5.0);
+    }
+
+    #[test]
+    fn reader_delta_accumulates_forward_progress() {
+        let mut m = SampleMetrics::default();
+        let a = ReaderStats { groups: 2, requests: 20, bytes: 80, syscalls: 3 };
+        let b = ReaderStats { groups: 5, requests: 60, bytes: 240, syscalls: 7 };
+        m.add_reader_delta(&ReaderStats::default(), &a);
+        m.add_reader_delta(&a, &b);
+        assert_eq!(m.io_groups, 5);
+        assert_eq!(m.io_requests, 60);
+        assert_eq!(m.io_bytes, 240);
+        assert_eq!(m.syscalls, 7);
+    }
+
+    #[test]
+    fn reader_delta_saturates_when_stats_reset_mid_epoch() {
+        // Regression: a reader replaced/reset mid-epoch reports *smaller*
+        // counters than the previous snapshot. The old fold used unchecked
+        // subtraction for requests/bytes/groups, wrapping to ~u64::MAX.
+        let mut m = SampleMetrics {
+            io_requests: 100,
+            io_bytes: 400,
+            io_groups: 10,
+            syscalls: 4,
+            ..Default::default()
+        };
+        let before_reset = ReaderStats { groups: 10, requests: 100, bytes: 400, syscalls: 4 };
+        let after_reset = ReaderStats { groups: 1, requests: 8, bytes: 32, syscalls: 1 };
+        m.add_reader_delta(&before_reset, &after_reset);
+        assert_eq!(m.io_requests, 100, "no wrapped garbage added");
+        assert_eq!(m.io_bytes, 400);
+        assert_eq!(m.io_groups, 10);
+        assert_eq!(m.syscalls, 4);
+        // Progress after the reset folds in normally again.
+        let later = ReaderStats { groups: 3, requests: 24, bytes: 96, syscalls: 2 };
+        m.add_reader_delta(&after_reset, &later);
+        assert_eq!(m.io_requests, 116);
+        assert_eq!(m.io_groups, 12);
     }
 
     #[test]
@@ -172,11 +472,122 @@ mod tests {
             },
             wall: Duration::from_millis(500),
             threads: 8,
+            ..Default::default()
         };
         let s = r.to_string();
         assert!(s.contains("4 batches"));
         assert!(s.contains("8 threads"));
         assert!((r.seconds() - 0.5).abs() < 1e-9);
         assert!((r.edges_per_second() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_humanizes_large_values() {
+        let mut group_latency = LatencyHistogram::new();
+        group_latency.record(90_000); // 90 µs
+        let r = EpochReport {
+            metrics: SampleMetrics {
+                batches: 1_200,
+                sampled_edges: 2_500_000,
+                io_requests: 2_500_000,
+                io_bytes: 5 * 1024 * 1024 * 1024,
+                io_groups: 4_900,
+                syscalls: 9_800,
+                ..Default::default()
+            },
+            wall: Duration::from_secs(2),
+            threads: 64,
+            group_latency,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("1,200 batches"), "{s}");
+        assert!(s.contains("2,500,000 edges sampled"), "{s}");
+        assert!(s.contains("5.0 GiB"), "{s}");
+        assert!(s.contains("group p50/p99"), "{s}");
+        // Raw values stay raw in the JSON export.
+        let json = r.to_json();
+        assert!(json.contains("\"io_bytes\": 5368709120"), "{json}");
+        assert!(json.contains("\"sampled_edges\": 2500000"), "{json}");
+    }
+
+    #[test]
+    fn absorb_merges_distributions_and_keeps_spans_per_thread() {
+        let mk = |latency: u64, spans: usize| {
+            let mut w = WorkerStats::default();
+            w.metrics.batches = 1;
+            w.group_latency.record(latency);
+            w.phases.add(Phase::Prepare, 100);
+            w.spans = SpanLog::with_capacity(8);
+            for i in 0..spans {
+                w.spans.record_at("batch", i as u64 * 10, 5);
+            }
+            w
+        };
+        let mut r = EpochReport::default();
+        r.absorb(mk(1_000, 2));
+        r.absorb(mk(1_000_000, 3));
+        r.threads = 2;
+        assert_eq!(r.metrics.batches, 2);
+        assert_eq!(r.group_latency.count(), 2);
+        assert_eq!(r.phases.get(Phase::Prepare), 200);
+        assert_eq!(r.thread_spans.len(), 2);
+        assert_eq!(r.thread_spans[1].len(), 3);
+
+        let trace = r.to_chrome_trace();
+        assert!(trace.contains("\"tid\": 1"));
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), 5);
+    }
+
+    #[test]
+    fn json_report_has_schema_and_quantiles() {
+        let mut w = WorkerStats::default();
+        for v in [1_000u64, 2_000, 4_000, 1_000_000] {
+            w.group_latency.record(v);
+        }
+        w.phases.add(Phase::Submit, 123);
+        let r = w.into_epoch_report(Duration::from_secs(1));
+        assert_eq!(r.threads, 1);
+        let json = r.to_json();
+        for key in [
+            "\"schema_version\": 1",
+            "\"counters\"",
+            "\"derived\"",
+            "\"phase_nanos\"",
+            "\"submit\": 123",
+            "\"io_group_latency\"",
+            "\"p50_nanos\"",
+            "\"p95_nanos\"",
+            "\"p99_nanos\"",
+            "\"spans\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn prometheus_export_has_all_families() {
+        let mut w = WorkerStats::default();
+        w.metrics.io_requests = 64;
+        w.metrics.syscalls = 2;
+        w.group_latency.record(50_000);
+        let r = w.into_epoch_report(Duration::from_millis(100));
+        let text = r.to_prometheus();
+        for family in [
+            "ringsampler_io_requests_total 64",
+            "ringsampler_requests_per_syscall 32",
+            "ringsampler_phase_nanos_total{phase=\"prepare\"}",
+            "ringsampler_io_group_latency_seconds_bucket",
+            "ringsampler_io_group_latency_seconds_count 1",
+            "ringsampler_epoch_seconds 0.1",
+        ] {
+            assert!(text.contains(family), "missing {family} in {text}");
+        }
+        // Labeled variant tags every sample.
+        let mut pw = PromWriter::new();
+        r.write_prometheus(&mut pw, &[("run", "fig4")]);
+        let labeled = pw.finish();
+        assert!(labeled.contains("ringsampler_batches_total{run=\"fig4\"}"));
+        assert!(labeled.contains("{run=\"fig4\",phase=\"complete\"}"));
     }
 }

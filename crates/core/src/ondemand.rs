@@ -14,6 +14,7 @@ use ringsampler_graph::NodeId;
 
 use crate::engine::RingSampler;
 use crate::error::Result;
+use crate::metrics::EpochReport;
 
 /// Completion-time distribution of an on-demand sampling workload.
 #[derive(Debug, Clone)]
@@ -24,6 +25,9 @@ pub struct OnDemandReport {
     pub wall: Duration,
     /// Requests served.
     pub requests: usize,
+    /// The underlying epoch report (I/O counters, latency histograms,
+    /// phase times) for the whole workload.
+    pub epoch: EpochReport,
 }
 
 impl OnDemandReport {
@@ -110,6 +114,7 @@ pub fn run_on_demand(sampler: &RingSampler, targets: &[NodeId]) -> Result<OnDema
         requests: completion_times.len(),
         completion_times,
         wall: report.wall,
+        epoch: report,
     })
 }
 
@@ -183,6 +188,7 @@ mod tests {
             completion_times: vec![Duration::from_millis(1)],
             wall: Duration::from_millis(1),
             requests: 1,
+            epoch: EpochReport::default(),
         };
         let _ = r.percentile(1.5);
     }
@@ -193,6 +199,7 @@ mod tests {
             completion_times: Vec::new(),
             wall: Duration::ZERO,
             requests: 0,
+            epoch: EpochReport::default(),
         };
         assert_eq!(r.percentile(0.5), Duration::ZERO);
         assert_eq!(r.throughput(), 0.0);

@@ -8,21 +8,29 @@
 
 use std::fs::File;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
-use ringsampler_io::engine::{GroupReader, PreadReader, ReadSlice, UringReader};
+use ringsampler_io::engine::{GroupReader, GroupToken, PreadReader, ReadSlice, UringReader};
 use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
+use ringstat::{LatencyHistogram, Phase, PhaseTimes, SpanLog};
 
 use crate::block::{BatchSample, LayerSample};
 use crate::cache::{page_of, PageCache, PAGE_SIZE};
 use crate::config::{CachePolicy, PipelineMode, SamplerConfig};
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
-use crate::metrics::SampleMetrics;
+use crate::metrics::{SampleMetrics, WorkerStats};
 use crate::sampling::OffsetSampler;
+
+/// Nanoseconds between two instants, saturating at zero and `u64::MAX`.
+#[inline]
+fn nanos_between(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// A single-threaded sampling worker bound to one graph.
 ///
@@ -45,6 +53,12 @@ pub struct SamplerWorker {
     workspace_charge: MemoryCharge,
     charged_bytes: u64,
     last_reader_stats: ringsampler_io::ReaderStats,
+    // Thread-private observability (ringstat): recorded with plain &mut
+    // writes on the hot path, merged only at epoch join.
+    batch_hist: LatencyHistogram,
+    cq_hist: LatencyHistogram,
+    phases: PhaseTimes,
+    spans: SpanLog,
 }
 
 impl std::fmt::Debug for SamplerWorker {
@@ -114,6 +128,7 @@ impl SamplerWorker {
         // with actual vector capacity as batches expand.
         let base = 2 * cfg.ring_entries as u64 * ENTRY_BYTES + 64 * 1024;
         let workspace_charge = cfg.budget.charge(base, "thread workspace")?;
+        let spans = SpanLog::with_capacity(cfg.span_capacity);
         Ok(Self {
             graph,
             cfg,
@@ -129,6 +144,10 @@ impl SamplerWorker {
             workspace_charge,
             charged_bytes: base,
             last_reader_stats: ringsampler_io::ReaderStats::default(),
+            batch_hist: LatencyHistogram::new(),
+            cq_hist: LatencyHistogram::new(),
+            phases: PhaseTimes::new(),
+            spans,
         })
     }
 
@@ -152,6 +171,41 @@ impl SamplerWorker {
         self.reader.engine_name()
     }
 
+    /// Re-anchors this worker's span timestamps to `origin` (the epoch
+    /// start), so spans from all workers share one timeline. Call before
+    /// the first batch.
+    pub fn set_span_origin(&mut self, origin: Instant) {
+        self.spans.rebase(origin);
+    }
+
+    /// Snapshot of everything this worker has accumulated: counters plus
+    /// the ringstat distributions (histograms, phase times, spans).
+    pub fn stats(&self) -> WorkerStats {
+        WorkerStats {
+            metrics: self.metrics(),
+            group_latency: self.reader.group_latency(),
+            batch_latency: self.batch_hist,
+            cq_wait: self.cq_hist,
+            phases: self.phases,
+            spans: self.spans.clone(),
+        }
+    }
+
+    /// Like [`SamplerWorker::stats`] but moves the span log out instead of
+    /// cloning it (the epoch-join path). Spans recorded after this call
+    /// are dropped (the replacement log has zero capacity).
+    pub fn take_stats(&mut self) -> WorkerStats {
+        let spans = std::mem::take(&mut self.spans);
+        WorkerStats {
+            metrics: self.metrics(),
+            group_latency: self.reader.group_latency(),
+            batch_latency: self.batch_hist,
+            cq_wait: self.cq_hist,
+            phases: self.phases,
+            spans,
+        }
+    }
+
     /// Samples a full multi-layer mini-batch for `seeds`.
     ///
     /// Sampling is deterministic in `(config seed, batch_seed)` and
@@ -160,6 +214,7 @@ impl SamplerWorker {
     /// # Errors
     /// Propagates I/O errors and memory-budget exhaustion.
     pub fn sample_batch(&mut self, seeds: &[NodeId], batch_seed: u64) -> Result<BatchSample> {
+        let batch_start = Instant::now();
         let mut rng =
             StdRng::seed_from_u64(self.cfg.seed ^ batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut targets: Vec<NodeId> = seeds.to_vec();
@@ -173,6 +228,9 @@ impl SamplerWorker {
             layers.push(layer);
         }
         self.metrics.batches += 1;
+        let batch_end = Instant::now();
+        self.batch_hist.record(nanos_between(batch_start, batch_end));
+        self.spans.record("batch", batch_start, batch_end);
         self.ensure_workspace_charge()?;
         Ok(BatchSample { layers })
     }
@@ -185,6 +243,7 @@ impl SamplerWorker {
     ) -> Result<LayerSample> {
         self.offsets.clear();
         self.src_pos.clear();
+        let prepare_start = Instant::now();
         let with_replacement = self.cfg.with_replacement;
         for (pos, &t) in targets.iter().enumerate() {
             let range = self.graph.neighbor_range(t);
@@ -205,6 +264,8 @@ impl SamplerWorker {
                 self.src_pos.push(pos as u32);
             }
         }
+        self.phases
+            .add(Phase::Prepare, nanos_between(prepare_start, Instant::now()));
         self.metrics.targets += targets.len() as u64;
         let entry_indices = std::mem::take(&mut self.offsets);
         let dst = self.fetch_entries(&entry_indices)?;
@@ -331,54 +392,69 @@ impl SamplerWorker {
         let qd = self.reader.queue_depth();
         let mut prepare_nanos = 0u64;
         let mut complete_nanos = 0u64;
+        let mut aggregate_nanos = 0u64;
         match self.cfg.pipeline {
             PipelineMode::Sync => {
                 for chunk in reqs.chunks(qd) {
                     let buf = self.buf_pool.pop().unwrap_or_default();
-                    let t0 = std::time::Instant::now();
+                    let t0 = Instant::now();
                     let token = self.reader.submit_group(chunk, buf)?;
-                    prepare_nanos += t0.elapsed().as_nanos() as u64;
-                    let t1 = std::time::Instant::now();
+                    let t1 = Instant::now();
+                    prepare_nanos += nanos_between(t0, t1);
                     let filled = self.reader.complete_group(token)?;
-                    complete_nanos += t1.elapsed().as_nanos() as u64;
+                    let t2 = Instant::now();
+                    complete_nanos += nanos_between(t1, t2);
+                    self.cq_hist.record(nanos_between(t1, t2));
+                    self.spans.record("io_group", t0, t2);
                     consume(&filled);
+                    aggregate_nanos += nanos_between(t2, Instant::now());
                     self.buf_pool.push(filled);
                 }
             }
             PipelineMode::Async => {
-                let mut prev = None;
+                // Each in-flight token carries its submit instant so the
+                // io_group span covers the full submit→complete window.
+                let mut prev: Option<(GroupToken, Instant)> = None;
                 for chunk in reqs.chunks(qd) {
                     let buf = self.buf_pool.pop().unwrap_or_default();
-                    let t0 = std::time::Instant::now();
+                    let t0 = Instant::now();
                     let token = self.reader.submit_group(chunk, buf)?;
-                    prepare_nanos += t0.elapsed().as_nanos() as u64;
-                    if let Some(p) = prev.take() {
-                        let t1 = std::time::Instant::now();
+                    let t1 = Instant::now();
+                    prepare_nanos += nanos_between(t0, t1);
+                    if let Some((p, p_submitted)) = prev.take() {
                         let filled = self.reader.complete_group(p)?;
-                        complete_nanos += t1.elapsed().as_nanos() as u64;
+                        let t2 = Instant::now();
+                        complete_nanos += nanos_between(t1, t2);
+                        self.cq_hist.record(nanos_between(t1, t2));
+                        self.spans.record("io_group", p_submitted, t2);
                         consume(&filled);
+                        aggregate_nanos += nanos_between(t2, Instant::now());
                         self.buf_pool.push(filled);
                     }
-                    prev = Some(token);
+                    prev = Some((token, t0));
                 }
-                if let Some(p) = prev {
-                    let t1 = std::time::Instant::now();
+                if let Some((p, p_submitted)) = prev {
+                    let t1 = Instant::now();
                     let filled = self.reader.complete_group(p)?;
-                    complete_nanos += t1.elapsed().as_nanos() as u64;
+                    let t2 = Instant::now();
+                    complete_nanos += nanos_between(t1, t2);
+                    self.cq_hist.record(nanos_between(t1, t2));
+                    self.spans.record("io_group", p_submitted, t2);
                     consume(&filled);
+                    aggregate_nanos += nanos_between(t2, Instant::now());
                     self.buf_pool.push(filled);
                 }
             }
         }
         self.metrics.prepare_nanos += prepare_nanos;
         self.metrics.complete_nanos += complete_nanos;
-        // Fold reader deltas into worker metrics.
+        self.phases.add(Phase::Submit, prepare_nanos);
+        self.phases.add(Phase::Complete, complete_nanos);
+        self.phases.add(Phase::Aggregate, aggregate_nanos);
+        // Fold reader deltas into worker metrics (saturating: a reader
+        // whose counters reset mid-epoch must not wrap the fold).
         let s = self.reader.stats();
-        let d = &self.last_reader_stats;
-        self.metrics.io_requests += s.requests - d.requests;
-        self.metrics.io_bytes += s.bytes - d.bytes;
-        self.metrics.io_groups += s.groups - d.groups;
-        self.metrics.syscalls += s.syscalls.saturating_sub(d.syscalls);
+        self.metrics.add_reader_delta(&self.last_reader_stats, &s);
         self.last_reader_stats = s;
         Ok(())
     }
@@ -631,6 +707,54 @@ mod tests {
         assert!(m.complete_nanos > 0, "completion time recorded");
         let f = m.wait_fraction();
         assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn worker_stats_expose_distributions() {
+        let graph = test_graph("stats");
+        let cfg = SamplerConfig::new().fanouts(&[4, 4]).ring_entries(8);
+        let mut w = worker(&graph, cfg);
+        w.set_span_origin(Instant::now());
+        let seeds: Vec<NodeId> = (0..64).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        w.sample_batch(&seeds, 1).unwrap();
+        let s = w.stats();
+        assert_eq!(s.batch_latency.count(), 2, "one sample per batch");
+        assert_eq!(
+            s.group_latency.count(),
+            s.metrics.io_groups,
+            "one group-latency sample per completed group"
+        );
+        assert_eq!(s.cq_wait.count(), s.metrics.io_groups);
+        assert!(s.phases.get(Phase::Prepare) > 0);
+        assert!(s.phases.get(Phase::Submit) > 0);
+        assert!(s.phases.get(Phase::Complete) > 0);
+        // Spans: 2 batch spans + one per I/O group.
+        let batch_spans = s.spans.events().iter().filter(|e| e.name == "batch").count();
+        let group_spans = s.spans.events().iter().filter(|e| e.name == "io_group").count();
+        assert_eq!(batch_spans, 2);
+        assert_eq!(group_spans as u64, s.metrics.io_groups);
+        // The legacy stage timers agree with the phase recorder.
+        assert_eq!(s.metrics.prepare_nanos, s.phases.get(Phase::Submit));
+        assert_eq!(s.metrics.complete_nanos, s.phases.get(Phase::Complete));
+        // take_stats moves the span log out.
+        let taken = w.take_stats();
+        assert_eq!(taken.spans.len(), s.spans.len());
+        assert!(w.stats().spans.is_empty());
+    }
+
+    #[test]
+    fn zero_span_capacity_disables_recording() {
+        let graph = test_graph("nospans");
+        let cfg = SamplerConfig::new().fanouts(&[3]).ring_entries(8).span_capacity(0);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..32).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let s = w.stats();
+        assert!(s.spans.is_empty());
+        assert!(s.spans.dropped() > 0);
+        // Histograms still record regardless.
+        assert_eq!(s.batch_latency.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Golden-file tests pinning the exact bytes of the machine-readable
+//! report formats. Downstream consumers (dashboards, the paper-figure
+//! scripts, Prometheus scrapers) parse these — any change to the JSON
+//! schema or the exposition format must be deliberate and show up in
+//! review as a golden-file diff.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p ringsampler --test golden_report`
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ringsampler::{EpochReport, SampleMetrics, WorkerStats};
+use ringstat::{Phase, PromWriter, SpanLog};
+
+/// A fully deterministic report: fixed counters, fixed histogram samples,
+/// fixed span timestamps. No clocks involved.
+fn golden_report() -> EpochReport {
+    let mut worker = WorkerStats {
+        metrics: SampleMetrics {
+            batches: 4,
+            layers: 8,
+            targets: 512,
+            sampled_edges: 2_048,
+            io_requests: 1_024,
+            io_bytes: 4 << 20,
+            io_groups: 32,
+            syscalls: 16,
+            cache_hits: 100,
+            cache_misses: 28,
+            prepare_nanos: 1_000_000,
+            complete_nanos: 3_000_000,
+        },
+        ..Default::default()
+    };
+    for v in [1_000u64, 2_000, 4_000, 8_000, 150_000] {
+        worker.group_latency.record(v);
+    }
+    for v in [500_000u64, 600_000, 900_000, 1_200_000] {
+        worker.batch_latency.record(v);
+    }
+    for v in [200u64, 400, 90_000] {
+        worker.cq_wait.record(v);
+    }
+    worker.phases.add(Phase::Prepare, 400_000);
+    worker.phases.add(Phase::Submit, 600_000);
+    worker.phases.add(Phase::Complete, 3_000_000);
+    worker.phases.add(Phase::Aggregate, 250_000);
+    let mut spans = SpanLog::with_capacity(4);
+    spans.record_at("batch", 0, 1_000_000);
+    spans.record_at("io_group", 120_000, 80_000);
+    worker.spans = spans;
+    worker.into_epoch_report(Duration::from_millis(250))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from the golden file; if the format change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn json_schema_is_pinned() {
+    check_golden("report.json", &golden_report().to_json());
+}
+
+#[test]
+fn prometheus_format_is_pinned() {
+    let mut w = PromWriter::new();
+    golden_report().write_prometheus(&mut w, &[("run", "golden")]);
+    check_golden("report.prom", &w.finish());
+}
+
+#[test]
+fn chrome_trace_is_pinned() {
+    check_golden("trace.json", &golden_report().to_chrome_trace());
+}

@@ -6,8 +6,9 @@
 
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use ringsampler::{BatchSample, Result, RingSampler};
+use ringsampler::{BatchSample, Result, RingSampler, WorkerStats};
 use ringsampler_graph::NodeId;
 
 /// An iterator of sampled mini-batches, prefetched asynchronously.
@@ -16,7 +17,7 @@ pub struct DataLoader {
     /// `None` only during drop (the receiver is released before joining
     /// the producer so a blocked `send` unblocks with an error).
     rx: Option<Receiver<Result<(usize, BatchSample)>>>,
-    producer: Option<JoinHandle<()>>,
+    producer: Option<JoinHandle<WorkerStats>>,
     batches: usize,
 }
 
@@ -29,6 +30,7 @@ impl DataLoader {
     /// budget).
     pub fn new(sampler: &RingSampler, targets: Vec<NodeId>, prefetch: usize) -> Result<Self> {
         let mut worker = sampler.worker()?;
+        worker.set_span_origin(Instant::now());
         let batch_size = sampler.config().batch_size;
         let batches = targets.len().div_ceil(batch_size.max(1));
         let (tx, rx) = sync_channel(prefetch.max(1));
@@ -37,9 +39,12 @@ impl DataLoader {
                 let item = worker.sample_batch(chunk, i as u64).map(|s| (i, s));
                 let failed = item.is_err();
                 if tx.send(item).is_err() || failed {
-                    return; // consumer dropped, or sampling failed
+                    // Consumer dropped, or sampling failed: still hand the
+                    // stats back so the epoch report covers partial runs.
+                    return worker.take_stats();
                 }
             }
+            worker.take_stats()
         });
         Ok(Self {
             rx: Some(rx),
@@ -51,6 +56,17 @@ impl DataLoader {
     /// Total number of batches this loader will yield.
     pub fn num_batches(&self) -> usize {
         self.batches
+    }
+
+    /// Consumes the loader and returns the producer worker's accumulated
+    /// stats (counters, latency histograms, spans). Drains any pending
+    /// batches first so a blocked producer can exit. Returns `None` only
+    /// if the producer thread panicked.
+    pub fn finish(mut self) -> Option<WorkerStats> {
+        // Same ordering contract as Drop: release the receiver so a
+        // blocked send() unblocks, then join.
+        drop(self.rx.take());
+        self.producer.take().and_then(|h| h.join().ok())
     }
 }
 
@@ -125,6 +141,35 @@ mod tests {
         let mut dl = DataLoader::new(&s, targets, 1).unwrap();
         let _ = dl.next();
         drop(dl); // must join cleanly even with batches pending
+    }
+
+    #[test]
+    fn finish_returns_producer_stats() {
+        let s = sampler("finish");
+        let targets: Vec<NodeId> = (0..100).collect();
+        let mut dl = DataLoader::new(&s, targets, 2).unwrap();
+        let mut n = 0u64;
+        for item in dl.by_ref() {
+            item.unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 7);
+        let stats = dl.finish().expect("producer stats");
+        assert_eq!(stats.metrics.batches, 7);
+        assert_eq!(stats.batch_latency.count(), 7);
+        assert!(!stats.spans.is_empty());
+    }
+
+    #[test]
+    fn finish_after_partial_consumption_does_not_hang() {
+        let s = sampler("finish-early");
+        let targets: Vec<NodeId> = (0..100).collect();
+        let mut dl = DataLoader::new(&s, targets, 1).unwrap();
+        let _ = dl.next();
+        // The producer may be blocked in send(); finish() must still
+        // unblock and join it, returning whatever it sampled so far.
+        let stats = dl.finish().expect("producer stats");
+        assert!(stats.metrics.batches >= 1);
     }
 
     #[test]

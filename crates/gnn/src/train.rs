@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use ringsampler::{Result, RingSampler};
+use ringsampler::{EpochReport, Result, RingSampler};
 use ringsampler_graph::NodeId;
 
 use crate::dataloader::DataLoader;
@@ -29,6 +29,10 @@ pub struct EpochStats {
     pub sample_wait: Duration,
     /// Time in forward/backward/update.
     pub compute: Duration,
+    /// Full sampling-side observability report (counters, latency
+    /// histograms, phase spans) from the prefetch worker. `None` only if
+    /// the producer thread died.
+    pub sampling: Option<EpochReport>,
 }
 
 impl std::fmt::Display for EpochStats {
@@ -64,14 +68,15 @@ where
     F: FeatureStore + ?Sized,
     L: Fn(NodeId) -> usize,
 {
-    let loader = DataLoader::new(sampler, targets.to_vec(), 4)?;
+    let epoch_start = Instant::now();
+    let mut loader = DataLoader::new(sampler, targets.to_vec(), 4)?;
     let mut stats = EpochStats::default();
     let mut correct = 0usize;
     let mut total = 0usize;
     let mut loss_sum = 0.0f64;
 
     let mut wait_start = Instant::now();
-    for item in loader {
+    for item in loader.by_ref() {
         let (_, batch) = item?;
         stats.sample_wait += wait_start.elapsed();
 
@@ -100,6 +105,9 @@ where
         stats.compute += compute_start.elapsed();
         wait_start = Instant::now();
     }
+    stats.sampling = loader
+        .finish()
+        .map(|w| w.into_epoch_report(epoch_start.elapsed()));
     stats.loss = if stats.batches == 0 {
         0.0
     } else {
@@ -128,12 +136,13 @@ where
     F: FeatureStore + ?Sized,
     L: Fn(NodeId) -> usize,
 {
-    let loader = DataLoader::new(sampler, targets.to_vec(), 4)?;
+    let epoch_start = Instant::now();
+    let mut loader = DataLoader::new(sampler, targets.to_vec(), 4)?;
     let mut stats = EpochStats::default();
     let mut correct = 0usize;
     let mut total = 0usize;
     let mut loss_sum = 0.0f64;
-    for item in loader {
+    for item in loader.by_ref() {
         let (_, batch) = item?;
         let labels: Vec<usize> = batch.seeds().iter().map(|&v| label_of(v)).collect();
         let (logits, _) = model.forward(&batch, features);
@@ -154,6 +163,9 @@ where
         }
         stats.batches += 1;
     }
+    stats.sampling = loader
+        .finish()
+        .map(|w| w.into_epoch_report(epoch_start.elapsed()));
     stats.loss = if stats.batches == 0 {
         0.0
     } else {
@@ -224,6 +236,10 @@ mod tests {
             last.accuracy
         );
         assert!(last.to_string().contains("loss"));
+        let report = last.sampling.expect("sampling report from prefetch worker");
+        assert_eq!(report.metrics.batches as usize, last.batches);
+        assert!(report.metrics.sampled_edges > 0);
+        assert!(!report.to_json().is_empty());
     }
 
     #[test]
@@ -235,6 +251,10 @@ mod tests {
         let stats =
             evaluate(&sampler, &model, &feats, |v| feats.label(v), &targets).unwrap();
         assert_eq!(stats.batches, 2);
+        let report = stats.sampling.expect("sampling report from prefetch worker");
+        assert_eq!(report.metrics.batches, 2);
+        assert_eq!(report.batch_latency.count(), 2);
+        assert!(report.wall > Duration::ZERO);
         assert_eq!(model.layers().len(), snapshot.layers().len());
         for (a, b) in model.layers().iter().zip(snapshot.layers()) {
             assert_eq!(a.w_self, b.w_self);

@@ -21,6 +21,9 @@ use std::fs::File;
 use std::os::unix::fs::FileExt;
 use std::os::unix::io::AsRawFd;
 use std::path::Path;
+use std::time::Instant;
+
+use ringstat::LatencyHistogram;
 
 use crate::error::{IoEngineError, Result};
 use crate::ring::{Ring, RingBuilder};
@@ -101,6 +104,11 @@ pub trait GroupReader: Send {
     /// Lifetime counters.
     fn stats(&self) -> ReaderStats;
 
+    /// Per-group submit→complete latency distribution over the reader's
+    /// lifetime. One sample is recorded per completed group; recording is
+    /// allocation-free (the histogram is a fixed-size `Copy` value).
+    fn group_latency(&self) -> LatencyHistogram;
+
     /// Human-readable engine name (for experiment logs).
     fn engine_name(&self) -> &'static str;
 }
@@ -130,6 +138,8 @@ struct Slot {
     remaining: u32,
     /// First error observed among the group's completions.
     error: Option<IoEngineError>,
+    /// When the group's SQEs were submitted (for the latency histogram).
+    submitted: Instant,
 }
 
 /// io_uring-backed [`GroupReader`] bound to a single file.
@@ -143,6 +153,7 @@ pub struct UringReader {
     slots: HashMap<u64, Slot>,
     outstanding: u64,
     stats: ReaderStats,
+    lat: LatencyHistogram,
 }
 
 impl std::fmt::Debug for UringReader {
@@ -179,6 +190,7 @@ impl UringReader {
             slots: HashMap::new(),
             outstanding: 0,
             stats: ReaderStats::default(),
+            lat: LatencyHistogram::new(),
         })
     }
 
@@ -318,6 +330,7 @@ impl GroupReader for UringReader {
                 reqs: req_meta,
                 remaining: reqs.len() as u32,
                 error: None,
+                submitted: Instant::now(),
             },
         );
         Ok(GroupToken {
@@ -348,6 +361,10 @@ impl GroupReader for UringReader {
             .remove(&token.id)
             .ok_or(IoEngineError::InvalidToken(token.id))?;
         self.stats.syscalls = self.ring.enter_calls();
+        // Latency is recorded for every completed group, error or not:
+        // a group whose reads failed still occupied the ring for its
+        // full submit→complete window.
+        self.lat.record_duration(slot.submitted.elapsed());
         match slot.error {
             Some(e) => Err(e),
             None => Ok(slot.buf),
@@ -358,6 +375,10 @@ impl GroupReader for UringReader {
         let mut s = self.stats;
         s.syscalls = self.ring.enter_calls();
         s
+    }
+
+    fn group_latency(&self) -> LatencyHistogram {
+        self.lat
     }
 
     fn engine_name(&self) -> &'static str {
@@ -392,6 +413,7 @@ pub struct PreadReader {
     next_id: u64,
     ready: HashMap<u64, std::result::Result<Vec<u8>, IoEngineError>>,
     stats: ReaderStats,
+    lat: LatencyHistogram,
 }
 
 impl std::fmt::Debug for PreadReader {
@@ -421,6 +443,7 @@ impl PreadReader {
             next_id: 1,
             ready: HashMap::new(),
             stats: ReaderStats::default(),
+            lat: LatencyHistogram::new(),
         }
     }
 }
@@ -441,6 +464,7 @@ impl GroupReader for PreadReader {
         buf.clear();
         buf.resize(total, 0);
 
+        let started = Instant::now();
         let mut cursor = 0usize;
         let mut outcome: std::result::Result<(), IoEngineError> = Ok(());
         for r in reqs {
@@ -470,6 +494,10 @@ impl GroupReader for PreadReader {
         self.stats.groups += 1;
         self.stats.requests += reqs.len() as u64;
         self.stats.bytes += total as u64;
+        // The synchronous engine does its I/O eagerly here, so the group
+        // "latency" is the eager pread loop — not submit→complete, which
+        // would mostly measure the caller's delay in exchanging the token.
+        self.lat.record_duration(started.elapsed());
 
         let id = self.next_id;
         self.next_id += 1;
@@ -488,6 +516,10 @@ impl GroupReader for PreadReader {
 
     fn stats(&self) -> ReaderStats {
         self.stats
+    }
+
+    fn group_latency(&self) -> LatencyHistogram {
+        self.lat
     }
 
     fn engine_name(&self) -> &'static str {
@@ -652,6 +684,32 @@ mod tests {
         let t = r.submit_group(&[ReadSlice::new(0, 4)], big).unwrap();
         let b = r.complete_group(t).unwrap();
         assert!(b.capacity() >= 4096, "capacity should be recycled");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn group_latency_counts_completed_groups() {
+        let path = write_u32_file(1_000);
+        for mut r in [
+            Box::new(UringReader::open(&path, 16).unwrap()) as Box<dyn GroupReader>,
+            Box::new(PreadReader::open(&path, 16).unwrap()) as Box<dyn GroupReader>,
+        ] {
+            assert!(r.group_latency().is_empty());
+            for round in 0..5u64 {
+                let reqs: Vec<ReadSlice> =
+                    (0..8u64).map(|i| ReadSlice::new((round * 8 + i) * 4, 4)).collect();
+                read_group_blocking(r.as_mut(), &reqs, Vec::new()).unwrap();
+            }
+            let lat = r.group_latency();
+            assert_eq!(
+                lat.count(),
+                r.stats().groups,
+                "{}: one latency sample per completed group",
+                r.engine_name()
+            );
+            assert!(lat.max() >= lat.min());
+            assert!(lat.p99() >= lat.p50());
+        }
         std::fs::remove_file(path).ok();
     }
 

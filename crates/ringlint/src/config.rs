@@ -21,6 +21,10 @@ pub const HOT_PATH: &[&str] = &[
     "crates/core/src/engine.rs",
     "crates/io/src/ring.rs",
     "crates/io/src/engine.rs",
+    // Observability primitives workers call per batch/IO group: recording
+    // must stay allocation-free, lock-free and panic-free.
+    "crates/ringstat/src/hist.rs",
+    "crates/ringstat/src/span.rs",
 ];
 
 /// Modules on the io_uring submission/completion path. Blocking reads here
@@ -99,6 +103,18 @@ mod tests {
         assert!(rules.contains(&RULE_PANIC));
         assert!(!rules.contains(&RULE_BLOCKING));
         assert!(!rules.contains(&RULE_ATOMIC));
+    }
+
+    #[test]
+    fn ringstat_recorders_are_hot_but_not_io() {
+        for rel in ["crates/ringstat/src/hist.rs", "crates/ringstat/src/span.rs"] {
+            let rules = rules_for(rel);
+            assert!(rules.contains(&RULE_SYNC), "{rel}");
+            assert!(rules.contains(&RULE_PANIC), "{rel}");
+            assert!(!rules.contains(&RULE_BLOCKING), "{rel}");
+        }
+        // Export-side modules run at epoch join, not in the hot loop.
+        assert_eq!(rules_for("crates/ringstat/src/json.rs"), vec![RULE_UNSAFE]);
     }
 
     #[test]

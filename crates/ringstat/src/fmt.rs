@@ -1,0 +1,80 @@
+//! Human-readable formatting helpers for run reports.
+
+/// Formats a byte count using binary units (KiB/MiB/GiB/TiB) with one
+/// decimal place; values below 1 KiB are printed as plain bytes.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64 / 1024.0;
+    let mut unit = UNITS[0];
+    for next in &UNITS[1..] {
+        if value < 1024.0 {
+            break;
+        }
+        value /= 1024.0;
+        unit = next;
+    }
+    format!("{value:.1} {unit}")
+}
+
+/// Formats a count with comma thousands separators (`1234567` → `"1,234,567"`).
+pub fn human_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Formats nanoseconds compactly: `ns`, `µs`, `ms`, or `s` with one
+/// decimal place where the unit is not nanoseconds.
+pub fn human_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.1} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_use_binary_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.0 KiB");
+        assert_eq!(human_bytes(1536), "1.5 KiB");
+        assert_eq!(human_bytes(1024 * 1024), "1.0 MiB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.0 GiB");
+        assert_eq!(human_bytes(2 * 1024 * 1024 * 1024 * 1024), "2.0 TiB");
+    }
+
+    #[test]
+    fn counts_get_thousands_separators() {
+        assert_eq!(human_count(0), "0");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(1000), "1,000");
+        assert_eq!(human_count(1234567), "1,234,567");
+        assert_eq!(human_count(u64::MAX), "18,446,744,073,709,551,615");
+    }
+
+    #[test]
+    fn nanos_pick_a_sensible_unit() {
+        assert_eq!(human_nanos(999), "999 ns");
+        assert_eq!(human_nanos(1_500), "1.5 µs");
+        assert_eq!(human_nanos(2_500_000), "2.5 ms");
+        assert_eq!(human_nanos(3_200_000_000), "3.2 s");
+    }
+}

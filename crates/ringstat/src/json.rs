@@ -1,0 +1,206 @@
+//! A minimal, dependency-free JSON value and serializer.
+//!
+//! The container is offline, so instead of serde we carry a tiny tree
+//! type that covers exactly what the epoch reports need: objects with
+//! insertion-ordered keys (stable golden files), arrays, strings, and
+//! numbers. Non-finite floats serialize as `null` per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (serialized without a decimal point).
+    U64(u64),
+    /// A float, serialized with up to 6 significant decimals; NaN and
+    /// infinities become `null`.
+    F64(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order so exports are deterministic.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object; no-op on non-objects.
+    pub fn push(&mut self, key: &str, value: Json) {
+        if let Json::Object(fields) = self {
+            fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Builder-style [`Json::push`].
+    pub fn with(mut self, key: &str, value: Json) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// A string value.
+    pub fn str(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation and trailing newline — the
+    /// format written to `results/*.json`.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(f) => {
+                if f.is_finite() {
+                    if *f == f.trunc() && f.abs() < 1e15 {
+                        let _ = write!(out, "{f:.1}");
+                    } else {
+                        let _ = write!(out, "{f:.6}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string_compact(), "null");
+        assert_eq!(Json::Bool(true).to_string_compact(), "true");
+        assert_eq!(Json::U64(42).to_string_compact(), "42");
+        assert_eq!(Json::F64(1.5).to_string_compact(), "1.500000");
+        assert_eq!(Json::F64(2.0).to_string_compact(), "2.0");
+        assert_eq!(Json::F64(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").to_string_compact(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let obj = Json::object()
+            .with("zebra", Json::U64(1))
+            .with("alpha", Json::U64(2));
+        assert_eq!(obj.to_string_compact(), r#"{"zebra":1,"alpha":2}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let obj = Json::object()
+            .with("a", Json::U64(1))
+            .with("b", Json::Array(vec![Json::U64(2), Json::U64(3)]));
+        assert_eq!(
+            obj.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        let obj = Json::object()
+            .with("arr", Json::Array(vec![]))
+            .with("obj", Json::object());
+        assert_eq!(obj.to_string_compact(), r#"{"arr":[],"obj":{}}"#);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ringstat
+//!
+//! Sync-free, per-thread observability primitives for RingSampler.
+//!
+//! The paper's headline claims are *distributional* I/O claims — the
+//! CPU/I/O overlap of Fig. 3b, the requests-per-syscall batching win of
+//! Fig. 6, the tail behavior of random 4-byte reads. Flat counters cannot
+//! show any of that, so this crate provides the measurement layer every
+//! perf change is judged against:
+//!
+//! * [`LatencyHistogram`] — a `Copy`-able, fixed-size, log2-bucketed
+//!   histogram. `record()` is allocation-free and syscall-free, so it can
+//!   sit directly on the sampling hot path. Quantiles (p50/p95/p99) are
+//!   extracted from the buckets; `merge` is lossless (bucket-wise adds).
+//! * [`PhaseTimes`] / [`Phase`] — where an epoch spent its time:
+//!   prepare (offset drawing), submit (SQE preparation + `io_uring_enter`),
+//!   complete (CQ polling/waiting), aggregate (decoding entries).
+//! * [`SpanLog`] — a bounded per-thread span recorder feeding a Chrome
+//!   `trace.json` (Perfetto-viewable) timeline of batch and I/O-group
+//!   spans.
+//! * [`Json`], [`PromWriter`], [`ChromeTrace`] — dependency-free exporters
+//!   for the three artifact formats every run leaves behind.
+//! * [`human_bytes`] / [`human_count`] — display helpers for run reports.
+//!
+//! ## The synchronization-free invariant
+//!
+//! Every recorder in this crate is **thread-private by design**: a worker
+//! owns its histograms and span log, records into them with plain `&mut`
+//! writes, and only at epoch join does the driver `merge` the per-thread
+//! values. There are no locks, no atomics, and no channels anywhere in
+//! this crate — `ringlint`'s `sync-free-hot-path` rule is enforced over
+//! [`hist`] and [`span`] to keep it that way.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fmt;
+pub mod hist;
+pub mod json;
+pub mod prometheus;
+pub mod span;
+pub mod trace;
+
+pub use fmt::{human_bytes, human_count, human_nanos};
+pub use hist::{LatencyHistogram, NUM_BUCKETS};
+pub use json::Json;
+pub use prometheus::PromWriter;
+pub use span::{Phase, PhaseTimes, SpanEvent, SpanLog, NUM_PHASES};
+pub use trace::ChromeTrace;

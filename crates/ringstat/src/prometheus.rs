@@ -1,0 +1,153 @@
+//! Prometheus text-exposition (version 0.0.4) writer.
+//!
+//! Dependency-free: builds the exposition string directly. `# HELP` and
+//! `# TYPE` headers are emitted once per metric family, in first-use
+//! order, so the output is deterministic and golden-testable.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::hist::LatencyHistogram;
+
+/// Builds a Prometheus text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn label_str(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Emits a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+    }
+
+    /// Emits a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::label_str(labels));
+    }
+
+    /// Emits a full histogram family (`_bucket` cumulative `le` series in
+    /// seconds, `+Inf`, `_sum`, `_count`) from a nanosecond
+    /// [`LatencyHistogram`]. Empty buckets are skipped, but the cumulative
+    /// property is preserved because counts only ever grow.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LatencyHistogram,
+    ) {
+        self.header(name, help, "histogram");
+        let lbl = Self::label_str(labels);
+        let mut prev = 0u64;
+        for (upper_ns, cum) in hist.cumulative_buckets() {
+            if cum == prev || upper_ns == u64::MAX {
+                prev = cum;
+                continue;
+            }
+            prev = cum;
+            let le = upper_ns as f64 / 1e9;
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{} {cum}",
+                Self::bucket_labels(labels, &format!("{le:e}"))
+            );
+        }
+        let _ = writeln!(
+            self.out,
+            "{name}_bucket{} {}",
+            Self::bucket_labels(labels, "+Inf"),
+            hist.count()
+        );
+        let _ = writeln!(self.out, "{name}_sum{lbl} {}", hist.sum() as f64 / 1e9);
+        let _ = writeln!(self.out, "{name}_count{lbl} {}", hist.count());
+    }
+
+    fn bucket_labels(labels: &[(&str, &str)], le: &str) -> String {
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(("le", le));
+        Self::label_str(&all)
+    }
+
+    /// Finishes the document and returns the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_emitted_once_per_family() {
+        let mut w = PromWriter::new();
+        w.counter("rs_io_requests_total", "I/O requests", &[("thread", "0")], 10);
+        w.counter("rs_io_requests_total", "I/O requests", &[("thread", "1")], 20);
+        let out = w.finish();
+        assert_eq!(out.matches("# HELP rs_io_requests_total").count(), 1);
+        assert_eq!(out.matches("# TYPE rs_io_requests_total counter").count(), 1);
+        assert!(out.contains("rs_io_requests_total{thread=\"0\"} 10\n"));
+        assert!(out.contains("rs_io_requests_total{thread=\"1\"} 20\n"));
+    }
+
+    #[test]
+    fn gauge_without_labels() {
+        let mut w = PromWriter::new();
+        w.gauge("rs_wait_fraction", "fraction of time waiting", &[], 0.25);
+        let out = w.finish();
+        assert!(out.contains("# TYPE rs_wait_fraction gauge\n"));
+        assert!(out.contains("rs_wait_fraction 0.25\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.counter("m", "h", &[("run", "a\"b\\c")], 1);
+        assert!(w.finish().contains(r#"m{run="a\"b\\c"} 1"#));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_complete() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 100, 1_000_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("rs_group_latency_seconds", "group latency", &[], &h);
+        let out = w.finish();
+        assert!(out.contains("# TYPE rs_group_latency_seconds histogram\n"));
+        // 100ns bucket upper bound = 127ns = 1.27e-7 s, cumulative 2.
+        assert!(out.contains("rs_group_latency_seconds_bucket{le=\"1.27e-7\"} 2\n"), "{out}");
+        assert!(out.contains("rs_group_latency_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("rs_group_latency_seconds_count 3\n"));
+        // sum = 1_000_200 ns = 0.0010002 s
+        assert!(out.contains("rs_group_latency_seconds_sum 0.0010002\n"), "{out}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Chrome trace-event (`trace.json`) export, viewable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Only complete events (`"ph": "X"`) are emitted: one per recorded span,
+//! with microsecond timestamps relative to the epoch start. Thread IDs are
+//! the sampling worker indices, so the Perfetto timeline shows one row per
+//! worker with batch spans and the I/O-group spans nested beneath them.
+
+use crate::json::Json;
+use crate::span::SpanLog;
+
+/// Accumulates spans and serializes the Chrome trace-event JSON object.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one complete event on thread `tid` (timestamps in µs).
+    pub fn add_span(&mut self, tid: u64, name: &str, ts_us: f64, dur_us: f64) {
+        self.events.push(
+            Json::object()
+                .with("name", Json::str(name))
+                .with("ph", Json::str("X"))
+                .with("pid", Json::U64(1))
+                .with("tid", Json::U64(tid))
+                .with("ts", Json::F64(ts_us))
+                .with("dur", Json::F64(dur_us)),
+        );
+    }
+
+    /// Adds every span in `log` on thread `tid`, converting ns → µs.
+    pub fn add_spans(&mut self, tid: u64, log: &SpanLog) {
+        for event in log.events() {
+            self.add_span(
+                tid,
+                event.name,
+                event.start_ns as f64 / 1_000.0,
+                event.dur_ns as f64 / 1_000.0,
+            );
+        }
+    }
+
+    /// Number of events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The trace as a [`Json`] value (`{"traceEvents": [...]}`).
+    pub fn to_json_value(self) -> Json {
+        Json::object()
+            .with("traceEvents", Json::Array(self.events))
+            .with("displayTimeUnit", Json::str("ms"))
+    }
+
+    /// Serializes to the `trace.json` document.
+    pub fn to_json(self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_complete_events() {
+        let mut t = ChromeTrace::new();
+        t.add_span(3, "batch", 10.0, 2.5);
+        assert_eq!(t.len(), 1);
+        let out = t.to_json();
+        assert!(out.contains("\"traceEvents\""));
+        assert!(out.contains("\"ph\": \"X\""));
+        assert!(out.contains("\"tid\": 3"));
+        assert!(out.contains("\"ts\": 10.0"));
+        assert!(out.contains("\"dur\": 2.500000"));
+    }
+
+    #[test]
+    fn spans_convert_ns_to_us() {
+        let mut log = SpanLog::with_capacity(4);
+        log.record_at("io_group", 5_000, 1_500);
+        let mut t = ChromeTrace::new();
+        t.add_spans(0, &log);
+        let out = t.to_json();
+        assert!(out.contains("\"ts\": 5.0"), "{out}");
+        assert!(out.contains("\"dur\": 1.5"), "{out}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = ChromeTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(
+            t.to_json(),
+            "{\n  \"traceEvents\": [],\n  \"displayTimeUnit\": \"ms\"\n}\n"
+        );
+    }
+}

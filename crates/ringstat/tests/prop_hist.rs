@@ -1,0 +1,103 @@
+//! Property tests for [`ringstat::LatencyHistogram`]: merging histograms
+//! must be indistinguishable from recording the concatenated sample
+//! stream into one histogram, and quantiles must behave at the extreme
+//! bucket boundaries (0 ns, `u64::MAX`).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ringstat::LatencyHistogram;
+
+fn hist_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Mix of realistic latencies (ns..s scale) and adversarial boundary
+/// values, weighted so powers of two and extremes show up often.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    (0u64..=u64::MAX, 0u32..=63, 0u32..8).prop_map(|(raw, shift, kind)| match kind {
+        0 => 0,
+        1 => u64::MAX,
+        2 => 1u64 << shift,            // exact bucket lower bounds
+        3 => (1u64 << shift).wrapping_sub(1), // bucket upper bounds
+        _ => raw >> shift,             // spread across magnitudes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, b) equals the histogram of the concatenated samples —
+    /// bucket-for-bucket (PartialEq covers counts, count, sum, min, max),
+    /// so every quantile matches too.
+    #[test]
+    fn merge_equals_concat(
+        a in vec(sample_strategy(), 0..40),
+        b in vec(sample_strategy(), 0..40),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = hist_of(&concat);
+
+        prop_assert_eq!(merged, direct);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q), "q = {}", q);
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(samples in vec(sample_strategy(), 1..60)) {
+        let h = hist_of(&samples);
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = h.min();
+        for q in qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({}) = {} < previous {}", q, v, prev);
+            prop_assert!(v >= h.min() && v <= h.max());
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// A quantile estimate never leaves the true value's log2 bucket:
+    /// the estimate is at most 2x above the exact order statistic.
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(samples in vec(0u64..=u64::MAX, 1..60)) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (q, idx) in [(0.5, sorted.len().div_ceil(2) - 1), (1.0, sorted.len() - 1)] {
+            let exact = sorted[idx];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "estimate {} below exact {} at q={}", est, exact, q);
+            if exact > 0 {
+                prop_assert!(est / 2 <= exact, "estimate {} more than 2x exact {}", est, exact);
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_values_land_in_terminal_buckets() {
+    let h = hist_of(&[0, 0, u64::MAX]);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.p50(), 1); // bucket 0 (holding both zeros) has upper bound 1
+    assert_eq!(h.quantile(1.0), u64::MAX);
+
+    // Merging empty histograms is the identity.
+    let mut m = h;
+    m.merge(&LatencyHistogram::new());
+    assert_eq!(m, h);
+    let mut e = LatencyHistogram::new();
+    e.merge(&h);
+    assert_eq!(e, h);
+}

@@ -65,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             human_bytes(budget.high_water()),
             human_bytes(budget_bytes)
         );
+        // The epoch report's own one-line summary: humanized counters plus
+        // I/O-group latency quantiles from the per-thread histograms.
+        println!("              {r}");
     }
 
     // Marius-like: only one partition slot fits this budget (each slot

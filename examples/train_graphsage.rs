@@ -4,8 +4,13 @@
 //! homophilous task.
 //!
 //! Run with: `cargo run --release --example train_graphsage`
+//!
+//! Pass `--stats-json PATH` / `--trace PATH` / `--prometheus PATH` to dump
+//! the sampling-side observability report of every epoch (latency
+//! histograms, phase times, per-worker spans).
 
 use ringsampler::{RingSampler, SamplerConfig};
+use ringsampler_bench::StatsSink;
 use ringsampler_gnn::features::SyntheticFeatures;
 use ringsampler_gnn::model::SageModel;
 use ringsampler_gnn::train::{evaluate, train_epoch};
@@ -57,6 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train: Vec<NodeId> = (0..split as NodeId).collect();
     let valid: Vec<NodeId> = (split as NodeId..n).collect();
 
+    let mut sink = StatsSink::from_args();
     println!("training 5 epochs ({} train / {} valid nodes)", train.len(), valid.len());
     for epoch in 0..5 {
         let t = train_epoch(&sampler, &mut model, &feats, |v| feats.label(v), &train, 0.3)?;
@@ -66,7 +72,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             v.loss,
             v.accuracy * 100.0
         );
+        // The prefetch worker's own epoch report: I/O counters, latency
+        // quantiles, phase breakdown.
+        if let Some(report) = &t.sampling {
+            println!("  sampling: {report}");
+            sink.note(&format!("train/epoch{epoch}"), report);
+        }
+        if let Some(report) = &v.sampling {
+            sink.note(&format!("valid/epoch{epoch}"), report);
+        }
     }
+    sink.finish()?;
     let final_stats = evaluate(&sampler, &model, &feats, |v| feats.label(v), &valid)?;
     println!(
         "final validation accuracy: {:.1}% (chance = {:.1}%)",
