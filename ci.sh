@@ -5,7 +5,11 @@
 #   1. release build of every crate
 #   2. the complete test suite (unit + integration + property tests)
 #   3. clippy with warnings denied
-#   4. ringlint — the workspace invariant checker (see DESIGN.md §7)
+#   4. ringlint — the workspace invariant checker (see DESIGN.md §7),
+#      whose hot-path scope covers the read planner (crates/core/src/plan.rs)
+#   5. plan_compare smoke — the read-plan ablation on a tiny graph, with
+#      RS_PLAN_ASSERT enforcing the >= 20% SQE-reduction floor and
+#      byte-identical samples across all plan modes
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -22,5 +26,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> ringlint (workspace, incl. crates/ringstat hot-path recorders)"
 cargo run -q -p ringlint
+
+echo "==> plan_compare smoke (tiny graph, RS_PLAN_ASSERT)"
+RS_PLAN_NODES=2000 RS_PLAN_EDGES=20000 RS_TARGETS=500 RS_THREADS=2 \
+RS_PLAN_ASSERT=1 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/plan_compare
 
 echo "CI: all gates passed."

@@ -33,7 +33,8 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use ringsampler::{
-    epoch_targets, EpochReport, MemoryBudget, RingSampler, SamplerConfig, SamplerError,
+    epoch_targets, EpochReport, MemoryBudget, ReadPlanMode, RingSampler, SamplerConfig,
+    SamplerError,
 };
 use ringstat::{ChromeTrace, Json, PromWriter};
 use ringsampler_baselines::marius_like::DiskModel;
@@ -65,6 +66,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn env_flag(name: &str) -> bool {
+    matches!(
+        std::env::var(name).as_deref(),
+        Ok("1") | Ok("true") | Ok("yes") | Ok("on")
+    )
+}
+
 /// Harness-wide settings derived from the environment.
 #[derive(Debug, Clone)]
 pub struct HarnessConfig {
@@ -78,11 +86,19 @@ pub struct HarnessConfig {
     pub data_dir: PathBuf,
     /// Worker threads for RingSampler (paper: 64, clamped to cores).
     pub threads: usize,
+    /// Read-plan optimization for RingSampler workers
+    /// (`RS_READ_PLAN` = `off` / `dedup` / `coalesce` / `coalesce:<gap>`;
+    /// default `off`, the paper-faithful one-read-per-entry pattern).
+    pub read_plan: ReadPlanMode,
+    /// Pin registered fixed buffers in RingSampler workers
+    /// (`RS_REGISTER_BUFFERS=1`; degrades to plain reads on failure).
+    pub register_buffers: bool,
 }
 
 impl HarnessConfig {
     /// Reads `RS_SCALE`, `RS_TARGETS`, `RS_EPOCHS`, `RS_DATA_DIR`,
-    /// `RS_THREADS` from the environment.
+    /// `RS_THREADS`, `RS_READ_PLAN`, `RS_REGISTER_BUFFERS` from the
+    /// environment.
     pub fn from_env() -> Self {
         let scale = env_u64("RS_SCALE", 400);
         let threads = env_u64(
@@ -100,6 +116,11 @@ impl HarnessConfig {
                 .map(PathBuf::from)
                 .unwrap_or_else(|_| PathBuf::from("data")),
             threads,
+            read_plan: std::env::var("RS_READ_PLAN")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(ReadPlanMode::Off),
+            register_buffers: env_flag("RS_REGISTER_BUFFERS"),
         }
     }
 
@@ -201,6 +222,8 @@ pub fn build_system(
                 .batch_size(batch)
                 .threads(threads)
                 .budget(budget.clone())
+                .read_plan(harness.read_plan)
+                .register_buffers(harness.register_buffers)
                 .seed(seed),
         )?)),
         SystemKind::DglCpu => Box::new(InMemorySampler::new(
@@ -652,6 +675,8 @@ mod tests {
             epochs: 1,
             data_dir: std::env::temp_dir().join(format!("rs-bench-lib-{}", std::process::id())),
             threads: 2,
+            read_plan: ReadPlanMode::Dedup,
+            register_buffers: false,
         };
         let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
         let graph = h.dataset(&spec).unwrap();

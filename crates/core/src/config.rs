@@ -4,6 +4,7 @@ use ringsampler_io::EngineKind;
 
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryBudget;
+use crate::plan::ReadPlanMode;
 
 /// How the per-thread I/O pipeline schedules groups (paper Fig. 3b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +74,15 @@ pub struct SamplerConfig {
     /// (per-thread; bounded so recording never allocates mid-epoch).
     /// 0 disables span recording entirely.
     pub span_capacity: usize,
+    /// Read-plan optimization for the per-layer entry fetch (see
+    /// [`crate::plan`]). `Off` (default) issues the paper-faithful one
+    /// read per sampled entry, bit-identical to pre-planner behavior.
+    pub read_plan: ReadPlanMode,
+    /// Pin a per-worker pool of registered fixed buffers
+    /// (`IORING_REGISTER_BUFFERS`) and read via `IORING_OP_READ_FIXED`.
+    /// Registration failure (old kernel, `RLIMIT_MEMLOCK`) is recorded in
+    /// `regbuf_fallbacks` and degrades to plain reads — never an error.
+    pub register_buffers: bool,
 }
 
 impl Default for SamplerConfig {
@@ -91,6 +101,8 @@ impl Default for SamplerConfig {
             register_file: true,
             with_replacement: false,
             span_capacity: 8192,
+            read_plan: ReadPlanMode::Off,
+            register_buffers: false,
         }
     }
 }
@@ -186,6 +198,19 @@ impl SamplerConfig {
         self
     }
 
+    /// Selects the read-plan optimization (default [`ReadPlanMode::Off`]).
+    pub fn read_plan(mut self, mode: ReadPlanMode) -> Self {
+        self.read_plan = mode;
+        self
+    }
+
+    /// Enables the registered fixed-buffer pool (default off; falls back
+    /// to plain reads gracefully when registration fails).
+    pub fn register_buffers(mut self, enable: bool) -> Self {
+        self.register_buffers = enable;
+        self
+    }
+
     /// Number of GNN layers (= hops) this configuration samples.
     pub fn num_layers(&self) -> usize {
         self.fanouts.len()
@@ -215,6 +240,13 @@ impl SamplerConfig {
             if budget_bytes == 0 {
                 return Err(SamplerError::InvalidConfig(
                     "page cache budget must be positive".into(),
+                ));
+            }
+        }
+        if let ReadPlanMode::Coalesce { gap } = self.read_plan {
+            if gap > 1 << 20 {
+                return Err(SamplerError::InvalidConfig(
+                    "coalesce gap above 1 MiB defeats the point of scattered reads".into(),
                 ));
             }
         }
@@ -263,6 +295,23 @@ mod tests {
             .cache(CachePolicy::Page { budget_bytes: 0 })
             .validate()
             .is_err());
+        assert!(SamplerConfig::new()
+            .read_plan(ReadPlanMode::Coalesce { gap: 2 << 20 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn read_plan_defaults_off_and_builds() {
+        let c = SamplerConfig::default();
+        assert!(c.read_plan.is_off());
+        assert!(!c.register_buffers);
+        let c = SamplerConfig::new()
+            .read_plan(ReadPlanMode::coalesce())
+            .register_buffers(true);
+        assert!(!c.read_plan.is_off());
+        assert!(c.register_buffers);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

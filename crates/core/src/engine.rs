@@ -296,7 +296,7 @@ mod tests {
         assert!(r.phases.total() > 0);
         // The three artifact exports are well-formed and self-consistent.
         let json = r.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains(&format!("\"batches\": {}", r.metrics.batches)));
         let prom = r.to_prometheus();
         assert!(prom.contains(&format!(

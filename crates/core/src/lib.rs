@@ -50,6 +50,7 @@ pub mod error;
 pub mod memory;
 pub mod metrics;
 pub mod ondemand;
+pub mod plan;
 pub mod sampling;
 pub mod worker;
 
@@ -61,4 +62,5 @@ pub use error::{Result, SamplerError};
 pub use memory::{parse_budget, MemoryBudget, MemoryCharge};
 pub use metrics::{EpochReport, SampleMetrics, WorkerStats};
 pub use ondemand::{run_on_demand, OnDemandReport};
+pub use plan::{PlanStats, ReadPlanMode, ReadPlanner};
 pub use worker::SamplerWorker;

@@ -43,6 +43,21 @@ pub struct SampleMetrics {
     pub prepare_nanos: u64,
     /// Nanoseconds spent collecting completions (CQ polling / waiting).
     pub complete_nanos: u64,
+    /// Read requests issued after read planning (0 with `read_plan = Off`;
+    /// see `crate::plan`).
+    pub reads_planned: u64,
+    /// Read requests the planner eliminated via dedup/coalescing, relative
+    /// to the naive one-read-per-entry plan.
+    pub reads_saved: u64,
+    /// Payload bytes the planner avoided transferring (saturating: a gap
+    /// merge that reads more than it saves contributes 0).
+    pub bytes_saved: u64,
+    /// Read requests served through registered fixed buffers
+    /// (`IORING_OP_READ_FIXED`).
+    pub fixed_buf_reads: u64,
+    /// Fixed-buffer registrations that failed and fell back to plain reads
+    /// (old kernel, `RLIMIT_MEMLOCK`, or the forced-failure hook).
+    pub regbuf_fallbacks: u64,
 }
 
 impl SampleMetrics {
@@ -60,6 +75,11 @@ impl SampleMetrics {
         self.cache_misses += other.cache_misses;
         self.prepare_nanos += other.prepare_nanos;
         self.complete_nanos += other.complete_nanos;
+        self.reads_planned += other.reads_planned;
+        self.reads_saved += other.reads_saved;
+        self.bytes_saved += other.bytes_saved;
+        self.fixed_buf_reads += other.fixed_buf_reads;
+        self.regbuf_fallbacks += other.regbuf_fallbacks;
     }
 
     /// Folds the delta between two reader-stat snapshots into the I/O
@@ -79,6 +99,9 @@ impl SampleMetrics {
         self.syscalls = self
             .syscalls
             .saturating_add(now.syscalls.saturating_sub(prev.syscalls));
+        self.fixed_buf_reads = self
+            .fixed_buf_reads
+            .saturating_add(now.fixed_buf_reads.saturating_sub(prev.fixed_buf_reads));
     }
 
     /// Fraction of I/O-path time spent waiting on completions rather than
@@ -98,6 +121,17 @@ impl SampleMetrics {
             0.0
         } else {
             self.io_requests as f64 / self.syscalls as f64
+        }
+    }
+
+    /// Mean naive reads folded into each planned read (≥ 1.0 once any
+    /// planning ran; 0.0 when `read_plan = Off`). The read-plan optimizer's
+    /// headline ratio: naive requests ÷ planned requests.
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.reads_planned == 0 {
+            0.0
+        } else {
+            (self.reads_planned + self.reads_saved) as f64 / self.reads_planned as f64
         }
     }
 }
@@ -187,8 +221,12 @@ impl EpochReport {
         self.thread_spans.push(worker.spans);
     }
 
-    /// The report as a JSON tree (`schema_version` 1). Raw values only —
+    /// The report as a JSON tree (`schema_version` 2). Raw values only —
     /// humanization is a Display concern.
+    ///
+    /// Schema history: v2 added the read-planner counters (`reads_planned`,
+    /// `reads_saved`, `bytes_saved`, `fixed_buf_reads`, `regbuf_fallbacks`)
+    /// and the derived `coalesce_ratio`; v1 was the initial format.
     pub fn to_json_value(&self) -> Json {
         let m = &self.metrics;
         let counters = Json::object()
@@ -203,10 +241,16 @@ impl EpochReport {
             .with("cache_hits", Json::U64(m.cache_hits))
             .with("cache_misses", Json::U64(m.cache_misses))
             .with("prepare_nanos", Json::U64(m.prepare_nanos))
-            .with("complete_nanos", Json::U64(m.complete_nanos));
+            .with("complete_nanos", Json::U64(m.complete_nanos))
+            .with("reads_planned", Json::U64(m.reads_planned))
+            .with("reads_saved", Json::U64(m.reads_saved))
+            .with("bytes_saved", Json::U64(m.bytes_saved))
+            .with("fixed_buf_reads", Json::U64(m.fixed_buf_reads))
+            .with("regbuf_fallbacks", Json::U64(m.regbuf_fallbacks));
         let derived = Json::object()
             .with("wait_fraction", Json::F64(m.wait_fraction()))
             .with("requests_per_syscall", Json::F64(m.requests_per_syscall()))
+            .with("coalesce_ratio", Json::F64(m.coalesce_ratio()))
             .with("edges_per_second", Json::F64(self.edges_per_second()));
         let mut phases = Json::object();
         for p in Phase::ALL {
@@ -223,7 +267,7 @@ impl EpochReport {
             .with("events", Json::U64(events))
             .with("dropped", Json::U64(dropped));
         Json::object()
-            .with("schema_version", Json::U64(1))
+            .with("schema_version", Json::U64(2))
             .with("threads", Json::U64(self.threads as u64))
             .with("wall_seconds", Json::F64(self.seconds()))
             .with("counters", counters)
@@ -270,6 +314,36 @@ impl EpochReport {
             labels,
             m.cache_misses,
         );
+        w.counter(
+            "ringsampler_reads_planned_total",
+            "Read requests issued after read planning",
+            labels,
+            m.reads_planned,
+        );
+        w.counter(
+            "ringsampler_reads_saved_total",
+            "Read requests eliminated by dedup/coalescing",
+            labels,
+            m.reads_saved,
+        );
+        w.counter(
+            "ringsampler_bytes_saved_total",
+            "Payload bytes the read planner avoided transferring",
+            labels,
+            m.bytes_saved,
+        );
+        w.counter(
+            "ringsampler_fixed_buf_reads_total",
+            "Reads served through registered fixed buffers",
+            labels,
+            m.fixed_buf_reads,
+        );
+        w.counter(
+            "ringsampler_regbuf_fallbacks_total",
+            "Fixed-buffer registrations that fell back to plain reads",
+            labels,
+            m.regbuf_fallbacks,
+        );
         for p in Phase::ALL {
             let mut with_phase: Vec<(&str, &str)> = labels.to_vec();
             with_phase.push(("phase", p.name()));
@@ -292,6 +366,12 @@ impl EpochReport {
             "Mean read requests per syscall",
             labels,
             m.requests_per_syscall(),
+        );
+        w.gauge(
+            "ringsampler_coalesce_ratio",
+            "Mean naive reads folded into each planned read",
+            labels,
+            m.coalesce_ratio(),
         );
         w.gauge("ringsampler_threads", "Worker threads", labels, self.threads as f64);
         w.histogram(
@@ -405,14 +485,15 @@ mod tests {
     #[test]
     fn reader_delta_accumulates_forward_progress() {
         let mut m = SampleMetrics::default();
-        let a = ReaderStats { groups: 2, requests: 20, bytes: 80, syscalls: 3 };
-        let b = ReaderStats { groups: 5, requests: 60, bytes: 240, syscalls: 7 };
+        let a = ReaderStats { groups: 2, requests: 20, bytes: 80, syscalls: 3, fixed_buf_reads: 4 };
+        let b = ReaderStats { groups: 5, requests: 60, bytes: 240, syscalls: 7, fixed_buf_reads: 9 };
         m.add_reader_delta(&ReaderStats::default(), &a);
         m.add_reader_delta(&a, &b);
         assert_eq!(m.io_groups, 5);
         assert_eq!(m.io_requests, 60);
         assert_eq!(m.io_bytes, 240);
         assert_eq!(m.syscalls, 7);
+        assert_eq!(m.fixed_buf_reads, 9);
     }
 
     #[test]
@@ -427,15 +508,18 @@ mod tests {
             syscalls: 4,
             ..Default::default()
         };
-        let before_reset = ReaderStats { groups: 10, requests: 100, bytes: 400, syscalls: 4 };
-        let after_reset = ReaderStats { groups: 1, requests: 8, bytes: 32, syscalls: 1 };
+        let before_reset =
+            ReaderStats { groups: 10, requests: 100, bytes: 400, syscalls: 4, fixed_buf_reads: 0 };
+        let after_reset =
+            ReaderStats { groups: 1, requests: 8, bytes: 32, syscalls: 1, fixed_buf_reads: 0 };
         m.add_reader_delta(&before_reset, &after_reset);
         assert_eq!(m.io_requests, 100, "no wrapped garbage added");
         assert_eq!(m.io_bytes, 400);
         assert_eq!(m.io_groups, 10);
         assert_eq!(m.syscalls, 4);
         // Progress after the reset folds in normally again.
-        let later = ReaderStats { groups: 3, requests: 24, bytes: 96, syscalls: 2 };
+        let later =
+            ReaderStats { groups: 3, requests: 24, bytes: 96, syscalls: 2, fixed_buf_reads: 0 };
         m.add_reader_delta(&after_reset, &later);
         assert_eq!(m.io_requests, 116);
         assert_eq!(m.io_groups, 12);
@@ -446,8 +530,43 @@ mod tests {
         let m = SampleMetrics::default();
         assert_eq!(m.requests_per_syscall(), 0.0);
         assert_eq!(m.wait_fraction(), 0.0);
+        assert_eq!(m.coalesce_ratio(), 0.0);
         let r = EpochReport::default();
         assert_eq!(r.edges_per_second(), 0.0);
+    }
+
+    #[test]
+    fn planner_counters_flow_to_exports() {
+        let mut w = WorkerStats::default();
+        w.metrics.reads_planned = 25;
+        w.metrics.reads_saved = 75;
+        w.metrics.bytes_saved = 300;
+        w.metrics.fixed_buf_reads = 25;
+        w.metrics.regbuf_fallbacks = 1;
+        assert!((w.metrics.coalesce_ratio() - 4.0).abs() < 1e-9);
+        let r = w.into_epoch_report(Duration::from_secs(1));
+        let json = r.to_json();
+        for key in [
+            "\"reads_planned\": 25",
+            "\"reads_saved\": 75",
+            "\"bytes_saved\": 300",
+            "\"fixed_buf_reads\": 25",
+            "\"regbuf_fallbacks\": 1",
+            "\"coalesce_ratio\": 4",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let prom = r.to_prometheus();
+        for family in [
+            "ringsampler_reads_planned_total 25",
+            "ringsampler_reads_saved_total 75",
+            "ringsampler_bytes_saved_total 300",
+            "ringsampler_fixed_buf_reads_total 25",
+            "ringsampler_regbuf_fallbacks_total 1",
+            "ringsampler_coalesce_ratio 4",
+        ] {
+            assert!(prom.contains(family), "missing {family} in {prom}");
+        }
     }
 
     #[test]
@@ -550,7 +669,7 @@ mod tests {
         assert_eq!(r.threads, 1);
         let json = r.to_json();
         for key in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"counters\"",
             "\"derived\"",
             "\"phase_nanos\"",

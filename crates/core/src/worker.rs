@@ -24,7 +24,16 @@ use crate::config::{CachePolicy, PipelineMode, SamplerConfig};
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
 use crate::metrics::{SampleMetrics, WorkerStats};
+use crate::plan::{ReadPlanMode, ReadPlanner};
 use crate::sampling::OffsetSampler;
+
+/// Registered fixed-buffer pool shape per worker: enough for the two
+/// in-flight groups of the async pipeline plus slack, each large enough
+/// for a group of coalesced slices. Groups that exceed one buffer fall
+/// back to plain reads transparently (see `UringReader`).
+const REG_BUF_COUNT: usize = 4;
+/// Bytes per registered fixed buffer (256 KiB; 1 MiB pinned per worker).
+const REG_BUF_BYTES: usize = 256 * 1024;
 
 /// Nanoseconds between two instants, saturating at zero and `u64::MAX`.
 #[inline]
@@ -50,6 +59,19 @@ pub struct SamplerWorker {
     src_pos: Vec<u32>,
     reqs: Vec<ReadSlice>,
     buf_pool: Vec<Vec<u8>>,
+    /// Read-plan builder (sort/dedup/coalesce scratch + scatter map).
+    planner: ReadPlanner,
+    /// Concatenated planned-slice payload for the scatter pass.
+    payload: Vec<u8>,
+    /// Per-miss-page byte scratch for the cached path (filled during the
+    /// read, drained back into `page_pool` after resolution).
+    page_data: Vec<Vec<u8>>,
+    /// Recycled page buffers: the cached path reuses these instead of
+    /// allocating a fresh `Vec<u8>` per miss page every layer.
+    page_pool: Vec<Vec<u8>>,
+    /// Bytes pinned in the reader's registered fixed-buffer pool (0 when
+    /// registration is off or failed); charged to the workspace.
+    regbuf_bytes: u64,
     workspace_charge: MemoryCharge,
     charged_bytes: u64,
     last_reader_stats: ringsampler_io::ReaderStats,
@@ -106,6 +128,8 @@ impl SamplerWorker {
             .map_err(|e| crate::error::SamplerError::Io(IoEngineError::File(e)))?
             .len();
         let engine = cfg.engine.unwrap_or_else(ringsampler_io::default_engine);
+        let mut regbuf_bytes = 0u64;
+        let mut regbuf_fallback = false;
         let reader: Box<dyn GroupReader> = match engine {
             EngineKind::Uring => {
                 let mut b = RingBuilder::new();
@@ -116,19 +140,41 @@ impl SamplerWorker {
                     // kernel refuses registration.
                     let _ = r.register_file();
                 }
+                if cfg.register_buffers {
+                    // Best effort too: a refusal (old kernel, RLIMIT_MEMLOCK,
+                    // forced-failure hook) is recorded as a fallback counter
+                    // + span, never surfaced to the sampler.
+                    match r.register_read_buffers(REG_BUF_COUNT, REG_BUF_BYTES) {
+                        Ok(()) => regbuf_bytes = (REG_BUF_COUNT * REG_BUF_BYTES) as u64,
+                        Err(_) => regbuf_fallback = true,
+                    }
+                }
                 Box::new(r)
             }
-            EngineKind::Pread => Box::new(PreadReader::with_file(file, cfg.ring_entries)),
+            EngineKind::Pread => {
+                if cfg.register_buffers {
+                    // No ring to register against: same degradation path.
+                    regbuf_fallback = true;
+                }
+                Box::new(PreadReader::with_file(file, cfg.ring_entries))
+            }
         };
         let cache = match cfg.cache {
             CachePolicy::None => None,
             CachePolicy::Page { budget_bytes } => Some(PageCache::new(budget_bytes, &cfg.budget)?),
         };
-        // Initial workspace charge: ring buffers + a small floor; grows
-        // with actual vector capacity as batches expand.
-        let base = 2 * cfg.ring_entries as u64 * ENTRY_BYTES + 64 * 1024;
+        // Initial workspace charge: ring buffers + pinned fixed buffers +
+        // a small floor; grows with actual vector capacity as batches
+        // expand.
+        let base = 2 * cfg.ring_entries as u64 * ENTRY_BYTES + 64 * 1024 + regbuf_bytes;
         let workspace_charge = cfg.budget.charge(base, "thread workspace")?;
-        let spans = SpanLog::with_capacity(cfg.span_capacity);
+        let mut spans = SpanLog::with_capacity(cfg.span_capacity);
+        let mut metrics = SampleMetrics::default();
+        if regbuf_fallback {
+            metrics.regbuf_fallbacks = 1;
+            let now = Instant::now();
+            spans.record("regbuf_fallback", now, now);
+        }
         Ok(Self {
             graph,
             cfg,
@@ -136,11 +182,16 @@ impl SamplerWorker {
             file_len,
             sampler: OffsetSampler::new(),
             cache,
-            metrics: SampleMetrics::default(),
+            metrics,
             offsets: Vec::new(),
             src_pos: Vec::new(),
             reqs: Vec::new(),
             buf_pool: Vec::new(),
+            planner: ReadPlanner::new(),
+            payload: Vec::new(),
+            page_data: Vec::new(),
+            page_pool: Vec::new(),
+            regbuf_bytes,
             workspace_charge,
             charged_bytes: base,
             last_reader_stats: ringsampler_io::ReaderStats::default(),
@@ -290,20 +341,72 @@ impl SamplerWorker {
 
     /// Offset-based direct reads: exactly 4 bytes per sampled neighbor —
     /// the paper's core I/O pattern (Fig. 2 steps 4–6).
+    ///
+    /// With a [`ReadPlanMode`] other than `Off`, duplicate entries are
+    /// deduped and near-adjacent entries coalesced into larger slices
+    /// before submission; the planner's scatter map fans the concatenated
+    /// payload back to every original output position, so `dst` is
+    /// byte-identical to the naive path.
     fn fetch_entries_raw(&mut self, entry_indices: &[u64]) -> Result<Vec<NodeId>> {
-        self.reqs.clear();
-        self.reqs.extend(entry_indices.iter().map(|&e| {
-            ReadSlice::new(OnDiskGraph::entry_byte_offset(e), ENTRY_BYTES as u32)
-        }));
-        let reqs = std::mem::take(&mut self.reqs);
-        let mut out = Vec::with_capacity(entry_indices.len());
-        self.pipelined_read(&reqs, |buf| {
-            out.extend(buf.chunks_exact(ENTRY_SZ).map(|c| {
-                // ringlint: allow(panic-free-hot-path) — chunks_exact yields exactly ENTRY_SZ bytes per chunk
-                NodeId::from_le_bytes(c.try_into().expect("exact chunk"))
+        if self.cfg.read_plan.is_off() {
+            // Paper-faithful path: one SQE per sampled entry. Kept verbatim
+            // so `read_plan = Off` submits a bit-identical request stream.
+            self.reqs.clear();
+            self.reqs.extend(entry_indices.iter().map(|&e| {
+                ReadSlice::new(OnDiskGraph::entry_byte_offset(e), ENTRY_BYTES as u32)
             }));
-        })?;
-        self.reqs = reqs;
+            let reqs = std::mem::take(&mut self.reqs);
+            let mut out = Vec::with_capacity(entry_indices.len());
+            self.pipelined_read(&reqs, |buf| {
+                out.extend(buf.chunks_exact(ENTRY_SZ).map(|c| {
+                    // ringlint: allow(panic-free-hot-path) — chunks_exact yields exactly ENTRY_SZ bytes per chunk
+                    NodeId::from_le_bytes(c.try_into().expect("exact chunk"))
+                }));
+            })?;
+            self.reqs = reqs;
+            debug_assert_eq!(out.len(), entry_indices.len());
+            return Ok(out);
+        }
+        // Planned path: plan (CPU, counted as Prepare) → read slices into
+        // the payload scratch → scatter-decode into the output.
+        let t0 = Instant::now();
+        let mut planner = std::mem::take(&mut self.planner);
+        let stats = planner.plan(
+            entry_indices,
+            OnDiskGraph::entry_byte_offset(0),
+            ENTRY_BYTES as u32,
+            self.cfg.read_plan,
+        );
+        self.phases
+            .add(Phase::Prepare, nanos_between(t0, Instant::now()));
+        self.metrics.reads_planned += stats.planned_reads;
+        self.metrics.reads_saved += stats.reads_saved();
+        self.metrics.bytes_saved += stats.bytes_saved();
+        let mut payload = std::mem::take(&mut self.payload);
+        payload.clear();
+        let read_res =
+            self.pipelined_read(planner.slices(), |buf| payload.extend_from_slice(buf));
+        let mut out = Vec::with_capacity(entry_indices.len());
+        let mut decode_err = None;
+        if read_res.is_ok() {
+            for (&e, &po) in entry_indices.iter().zip(planner.scatter()) {
+                match entry_in_page(&payload, po as usize, OnDiskGraph::entry_byte_offset(e)) {
+                    Ok(v) => out.push(v),
+                    Err(err) => {
+                        decode_err = Some(err);
+                        break;
+                    }
+                }
+            }
+        }
+        // Return the scratch before propagating errors so capacity (and
+        // its workspace charge) survives a failed batch.
+        self.planner = planner;
+        self.payload = payload;
+        read_res?;
+        if let Some(err) = decode_err {
+            return Err(err);
+        }
         debug_assert_eq!(out.len(), entry_indices.len());
         Ok(out)
     }
@@ -337,44 +440,97 @@ impl SamplerWorker {
         let mut pages: Vec<u64> = pending.iter().map(|p| p.1).collect();
         pages.sort_unstable();
         pages.dedup();
+        // A sampled entry pointing past EOF means the offset index and the
+        // edge file disagree (truncated or mismatched dataset). Catch it
+        // here so `file_len - start` below can never underflow.
+        if let Some(&last) = pages.last() {
+            let start = last * PAGE_SIZE as u64;
+            if start >= self.file_len {
+                return Err(SamplerError::Io(IoEngineError::ShortRead {
+                    offset: start,
+                    expected: PAGE_SIZE as u32,
+                    got: 0,
+                }));
+            }
+        }
         self.reqs.clear();
-        for &p in &pages {
-            let start = p * PAGE_SIZE as u64;
-            let len = PAGE_SIZE.min((self.file_len - start) as usize) as u32;
-            self.reqs.push(ReadSlice::new(start, len));
+        if matches!(self.cfg.read_plan, ReadPlanMode::Coalesce { .. }) {
+            // Pages are already unique and sorted, so Dedup is a no-op
+            // here; Coalesce merges *strictly adjacent* pages (gap 0) into
+            // one larger slice. Gap 0 keeps every payload byte a real page
+            // byte, so the PAGE_SIZE splitting in `consume` below still
+            // recovers the individual pages.
+            let t0 = Instant::now();
+            let mut planner = std::mem::take(&mut self.planner);
+            let stats = planner.plan(&pages, 0, PAGE_SIZE as u32, ReadPlanMode::Coalesce { gap: 0 });
+            self.reqs.extend_from_slice(planner.slices());
+            self.planner = planner;
+            self.phases
+                .add(Phase::Prepare, nanos_between(t0, Instant::now()));
+            self.metrics.reads_planned += stats.planned_reads;
+            self.metrics.reads_saved += stats.reads_saved();
+            self.metrics.bytes_saved += stats.bytes_saved();
+            // The planner reads whole pages; clamp the tail slice to EOF
+            // (the final page of the edge file is usually short).
+            for r in &mut self.reqs {
+                let end = r.offset.saturating_add(r.len as u64);
+                if end > self.file_len {
+                    r.len = self.file_len.saturating_sub(r.offset) as u32;
+                }
+            }
+        } else {
+            for &p in &pages {
+                let start = p * PAGE_SIZE as u64;
+                let len = PAGE_SIZE.min(self.file_len.saturating_sub(start) as usize) as u32;
+                self.reqs.push(ReadSlice::new(start, len));
+            }
         }
         let reqs = std::mem::take(&mut self.reqs);
         // Read all miss pages; keep their bytes for resolution (a page may
         // be evicted again before we resolve, so resolve from `page_data`).
-        let mut page_data: Vec<Vec<u8>> = Vec::with_capacity(pages.len());
-        self.pipelined_read(&reqs, |buf| {
+        // Page buffers come from `page_pool` — recycled across batches so
+        // the miss path performs no per-page allocation at steady state.
+        let mut page_data = std::mem::take(&mut self.page_data);
+        let mut pool = std::mem::take(&mut self.page_pool);
+        page_data.clear();
+        let read_res = self.pipelined_read(&reqs, |buf| {
             // One group buffer may hold several pages back to back.
             let mut cursor = 0usize;
             while cursor < buf.len() {
                 let take = PAGE_SIZE.min(buf.len() - cursor);
-                page_data.push(buf[cursor..cursor + take].to_vec());
+                let mut page = pool.pop().unwrap_or_default();
+                page.clear();
+                page.extend_from_slice(&buf[cursor..cursor + take]);
+                page_data.push(page);
                 cursor += take;
             }
-        })?;
+        });
         self.reqs = reqs;
-        debug_assert_eq!(page_data.len(), pages.len());
-        let Some(cache) = self.cache.as_mut() else {
-            return Err(SamplerError::Internal(
+        let resolve_res = read_res.and_then(|()| {
+            debug_assert_eq!(page_data.len(), pages.len());
+            let cache = self.cache.as_mut().ok_or(SamplerError::Internal(
                 "page cache vanished during cached fetch",
-            ));
-        };
-        for (p, d) in pages.iter().zip(&page_data) {
-            cache.insert(*p, d);
-        }
-        for (i, page, within) in pending {
-            let data = pages
-                .binary_search(&page)
-                .ok()
-                .and_then(|slot| page_data.get(slot))
-                .ok_or(SamplerError::Internal("miss page absent from read batch"))?;
-            // ringlint: allow(panic-free-hot-path) — i < out.len(): pending positions come from enumerate() over entry_indices
-            out[i] = entry_in_page(data, within, page * PAGE_SIZE as u64 + within as u64)?;
-        }
+            ))?;
+            for (p, d) in pages.iter().zip(&page_data) {
+                cache.insert(*p, d);
+            }
+            for &(i, page, within) in &pending {
+                let data = pages
+                    .binary_search(&page)
+                    .ok()
+                    .and_then(|slot| page_data.get(slot))
+                    .ok_or(SamplerError::Internal("miss page absent from read batch"))?;
+                // ringlint: allow(panic-free-hot-path) — i < out.len(): pending positions come from enumerate() over entry_indices
+                out[i] = entry_in_page(data, within, page * PAGE_SIZE as u64 + within as u64)?;
+            }
+            Ok(())
+        });
+        // Drain page buffers back into the pool (capacity retained) before
+        // propagating any error.
+        pool.append(&mut page_data);
+        self.page_data = page_data;
+        self.page_pool = pool;
+        resolve_res?;
         Ok(out)
     }
 
@@ -469,9 +625,18 @@ impl SamplerWorker {
                 .buf_pool
                 .iter()
                 .map(|b| b.capacity())
+                .sum::<usize>()
+            + self.planner.scratch_bytes()
+            + self.payload.capacity()
+            + self
+                .page_pool
+                .iter()
+                .chain(self.page_data.iter())
+                .map(|b| b.capacity())
                 .sum::<usize>()) as u64
             + 2 * self.cfg.ring_entries as u64 * ENTRY_BYTES
-            + 64 * 1024;
+            + 64 * 1024
+            + self.regbuf_bytes;
         if actual > self.charged_bytes {
             self.workspace_charge
                 .grow(actual - self.charged_bytes, "thread workspace")?;
@@ -770,5 +935,228 @@ mod tests {
         assert_eq!(m2.batches, 2);
         assert!(m2.io_requests >= m1.io_requests);
         assert!(m2.sampled_edges > m1.sampled_edges);
+    }
+
+    /// Env mutation is process-wide; serialize tests that toggle the
+    /// forced-failure registration hook within this test binary.
+    static PLAN_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn all_plan_modes_match_naive_output() {
+        let graph = test_graph("planmodes");
+        let modes = [
+            ReadPlanMode::Off,
+            ReadPlanMode::Dedup,
+            ReadPlanMode::Coalesce { gap: 0 },
+            ReadPlanMode::coalesce(),
+        ];
+        for engine in [EngineKind::Uring, EngineKind::Pread] {
+            for cached in [false, true] {
+                for replace in [false, true] {
+                    let mk = |mode| {
+                        let mut c = SamplerConfig::new()
+                            .fanouts(&[6, 4])
+                            .ring_entries(8)
+                            .engine(engine)
+                            .with_replacement(replace)
+                            .seed(21)
+                            .read_plan(mode);
+                        if cached {
+                            c = c.cache(CachePolicy::Page {
+                                budget_bytes: 8 * (PAGE_SIZE as u64 + 64),
+                            });
+                        }
+                        c
+                    };
+                    let seeds: Vec<NodeId> = (0..64).collect();
+                    let mut naive = worker(&graph, mk(ReadPlanMode::Off));
+                    let want = naive.sample_batch(&seeds, 0).unwrap();
+                    for mode in modes {
+                        let mut w = worker(&graph, mk(mode));
+                        let got = w.sample_batch(&seeds, 0).unwrap();
+                        assert_eq!(
+                            got, want,
+                            "mode {mode:?} engine {engine:?} cached {cached} replace {replace}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_mode_submits_identical_request_stream() {
+        // `read_plan = Off` must be bit-identical to the pre-planner
+        // behavior: one 4-byte request per sampled entry, no planner
+        // counters touched.
+        let graph = test_graph("planoff");
+        let cfg = SamplerConfig::new().fanouts(&[4, 3]).ring_entries(8).seed(5);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let s = w.sample_batch(&seeds, 0).unwrap();
+        let m = w.metrics();
+        let edges: u64 = s.layers.iter().map(|l| l.num_edges() as u64).sum();
+        assert_eq!(m.io_requests, edges);
+        assert_eq!(m.io_bytes, edges * ENTRY_BYTES);
+        assert_eq!(m.reads_planned, 0);
+        assert_eq!(m.reads_saved, 0);
+        assert_eq!(m.bytes_saved, 0);
+    }
+
+    #[test]
+    fn planned_modes_save_reads_with_replacement() {
+        // With replacement on a skewed access pattern, duplicates abound:
+        // Dedup must submit strictly fewer requests than naive, Coalesce
+        // no more than Dedup. All counters must flow to metrics.
+        let graph = test_graph("plansave");
+        let mk = |mode| {
+            SamplerConfig::new()
+                .fanouts(&[25, 10])
+                .ring_entries(16)
+                .with_replacement(true)
+                .seed(17)
+                .read_plan(mode)
+        };
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let run = |mode| {
+            let mut w = worker(&graph, mk(mode));
+            let s = w.sample_batch(&seeds, 0).unwrap();
+            let m = w.metrics();
+            (s, m)
+        };
+        let (want, naive) = run(ReadPlanMode::Off);
+        let (got_d, dedup) = run(ReadPlanMode::Dedup);
+        let (got_c, coal) = run(ReadPlanMode::coalesce());
+        assert_eq!(got_d, want);
+        assert_eq!(got_c, want);
+        assert!(dedup.io_requests < naive.io_requests, "dedup must save SQEs");
+        assert!(coal.io_requests <= dedup.io_requests);
+        assert!(dedup.reads_planned > 0);
+        assert!(dedup.reads_saved > 0);
+        assert!(dedup.bytes_saved > 0);
+        assert!(coal.coalesce_ratio() >= dedup.coalesce_ratio());
+    }
+
+    #[test]
+    fn cached_coalesce_merges_adjacent_pages() {
+        // Needs an edge file spanning several pages, unlike `test_graph`.
+        let base = std::env::temp_dir()
+            .join(format!("rs-core-worker-{}-plancache", std::process::id()));
+        let mut edges = Vec::new();
+        for v in 0..256u32 {
+            for j in 0..(v % 33) {
+                edges.push((v, (v + 1 + j) % 256));
+            }
+        }
+        let csr = CsrGraph::from_edges(256, edges).unwrap();
+        let graph = Arc::new(write_csr(&csr, &base).unwrap());
+        let mk = |mode| {
+            SamplerConfig::new()
+                .fanouts(&[8])
+                .ring_entries(8)
+                .seed(29)
+                .read_plan(mode)
+                .cache(CachePolicy::Page {
+                    budget_bytes: 64 * (PAGE_SIZE as u64 + 64),
+                })
+        };
+        let seeds: Vec<NodeId> = (0..256).collect();
+        let mut w_off = worker(&graph, mk(ReadPlanMode::Off));
+        let mut w_c = worker(&graph, mk(ReadPlanMode::coalesce()));
+        let a = w_off.sample_batch(&seeds, 0).unwrap();
+        let b = w_c.sample_batch(&seeds, 0).unwrap();
+        assert_eq!(a, b);
+        // The miss pages of this tiny graph are contiguous, so coalescing
+        // must collapse them into fewer slices than pages.
+        let m = w_c.metrics();
+        assert!(m.reads_planned > 0);
+        assert!(m.io_requests < w_off.metrics().io_requests);
+    }
+
+    #[test]
+    fn entry_past_eof_is_structured_error_not_underflow() {
+        let graph = test_graph("eof");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[2])
+            .ring_entries(8)
+            .cache(CachePolicy::Page {
+                budget_bytes: 8 * (PAGE_SIZE as u64 + 64),
+            });
+        let mut w = worker(&graph, cfg);
+        // An entry index far past the edge file: the cached path must
+        // return a short-read error, not underflow `file_len - start`.
+        let err = w.fetch_entries(&[1 << 40]).unwrap_err();
+        match err {
+            SamplerError::Io(IoEngineError::ShortRead { got, .. }) => assert_eq!(got, 0),
+            other => panic!("expected structured ShortRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_buffers_equivalent_and_counted() {
+        let _guard = PLAN_ENV_LOCK.lock().unwrap();
+        let graph = test_graph("regbuf");
+        let mk = |reg| {
+            SamplerConfig::new()
+                .fanouts(&[5, 4])
+                .ring_entries(8)
+                .seed(31)
+                .engine(EngineKind::Uring)
+                .read_plan(ReadPlanMode::coalesce())
+                .register_buffers(reg)
+        };
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let mut w_on = worker(&graph, mk(true));
+        let mut w_off = worker(&graph, mk(false));
+        let a = w_on.sample_batch(&seeds, 0).unwrap();
+        let b = w_off.sample_batch(&seeds, 0).unwrap();
+        assert_eq!(a, b);
+        let m = w_on.metrics();
+        assert_eq!(m.regbuf_fallbacks, 0, "registration should succeed here");
+        assert!(m.fixed_buf_reads > 0, "fixed-buffer reads should be used");
+        assert_eq!(w_off.metrics().fixed_buf_reads, 0);
+    }
+
+    #[test]
+    fn register_buffers_failure_degrades_gracefully() {
+        let _guard = PLAN_ENV_LOCK.lock().unwrap();
+        std::env::set_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS", "1");
+        let graph = test_graph("regbuf-fail");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[4, 3])
+            .ring_entries(8)
+            .seed(37)
+            .engine(EngineKind::Uring)
+            .register_buffers(true);
+        let result = SamplerWorker::new(Arc::clone(&graph), cfg);
+        std::env::remove_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS");
+        let mut w = result.expect("registration failure must not be an error");
+        let seeds: Vec<NodeId> = (0..64).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let m = w.metrics();
+        assert_eq!(m.regbuf_fallbacks, 1, "fallback must be counted");
+        assert_eq!(m.fixed_buf_reads, 0);
+        let fallback_spans = w
+            .stats()
+            .spans
+            .events()
+            .iter()
+            .filter(|e| e.name == "regbuf_fallback")
+            .count();
+        assert_eq!(fallback_spans, 1, "fallback must leave a span");
+    }
+
+    #[test]
+    fn pread_with_register_buffers_counts_fallback() {
+        let graph = test_graph("regbuf-pread");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[3])
+            .ring_entries(8)
+            .engine(EngineKind::Pread)
+            .register_buffers(true);
+        let mut w = worker(&graph, cfg);
+        let seeds: Vec<NodeId> = (0..32).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        assert_eq!(w.metrics().regbuf_fallbacks, 1);
     }
 }

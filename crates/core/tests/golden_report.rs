@@ -30,6 +30,11 @@ fn golden_report() -> EpochReport {
             cache_misses: 28,
             prepare_nanos: 1_000_000,
             complete_nanos: 3_000_000,
+            reads_planned: 768,
+            reads_saved: 256,
+            bytes_saved: 1_024,
+            fixed_buf_reads: 512,
+            regbuf_fallbacks: 1,
         },
         ..Default::default()
     };

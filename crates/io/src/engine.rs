@@ -72,6 +72,9 @@ pub struct ReaderStats {
     pub bytes: u64,
     /// Syscalls issued (`io_uring_enter` or `pread` count).
     pub syscalls: u64,
+    /// Read requests served through registered fixed buffers
+    /// (`IORING_OP_READ_FIXED`); always 0 for the pread fallback.
+    pub fixed_buf_reads: u64,
 }
 
 /// A reader that executes scattered-read groups against one file.
@@ -140,6 +143,43 @@ struct Slot {
     error: Option<IoEngineError>,
     /// When the group's SQEs were submitted (for the latency histogram).
     submitted: Instant,
+    /// Registered fixed buffer this group's reads land in, if any; the
+    /// payload is copied into `buf` at completion and the slot returned to
+    /// the pool's free list.
+    fixed: Option<u16>,
+}
+
+/// Pool of kernel-registered fixed buffers (`IORING_REGISTER_BUFFERS`).
+///
+/// Buffer allocations must never move while registered: the inner `Vec<u8>`s
+/// are allocated once, registered, and never resized or pushed afterwards
+/// (the outer `Vec` may move on the heap — the *pointees* stay put).
+struct FixedBufPool {
+    bufs: Vec<Vec<u8>>,
+    /// Indices into `bufs` not currently owned by an in-flight group.
+    free: Vec<u16>,
+    /// Capacity of each buffer; groups with larger payloads fall back to
+    /// plain (unregistered) reads.
+    each_len: usize,
+}
+
+impl FixedBufPool {
+    /// Takes a free buffer able to hold `total` bytes, or `None` (caller
+    /// falls back to plain reads). Returns the slot index and base pointer.
+    fn acquire(&mut self, total: usize) -> Option<(u16, *mut u8)> {
+        if total == 0 || total > self.each_len {
+            return None;
+        }
+        let k = self.free.pop()?;
+        // A free index past the pool would be an accounting bug; get_mut
+        // makes it a fallback to plain reads rather than a hot-path panic.
+        self.bufs.get_mut(k as usize).map(|b| (k, b.as_mut_ptr()))
+    }
+
+    /// Returns `k` to the free list after its group completed.
+    fn release(&mut self, k: u16) {
+        self.free.push(k);
+    }
 }
 
 /// io_uring-backed [`GroupReader`] bound to a single file.
@@ -149,6 +189,11 @@ pub struct UringReader {
     /// When true, the file is in the ring's registered table at index 0
     /// and reads use `IOSQE_FIXED_FILE` (skips per-I/O fd refcounting).
     registered: bool,
+    /// Registered fixed-buffer pool; groups whose payload fits borrow a
+    /// buffer and read via `IORING_OP_READ_FIXED`. Declared after `ring` so
+    /// the fd (and with it the kernel's page pins) is closed before the
+    /// buffers are freed.
+    fixed_bufs: Option<FixedBufPool>,
     next_id: u64,
     slots: HashMap<u64, Slot>,
     outstanding: u64,
@@ -186,6 +231,7 @@ impl UringReader {
             ring,
             file,
             registered: false,
+            fixed_bufs: None,
             next_id: 1,
             slots: HashMap::new(),
             outstanding: 0,
@@ -210,6 +256,46 @@ impl UringReader {
     /// Whether reads go through the registered-file fast path.
     pub fn is_registered(&self) -> bool {
         self.registered
+    }
+
+    /// Pins a pool of `count` fixed buffers of `each_bytes` bytes via
+    /// `IORING_REGISTER_BUFFERS`. Groups whose payload fits in one buffer
+    /// are subsequently read with `IORING_OP_READ_FIXED` (no per-I/O page
+    /// pinning); larger groups, and groups submitted while every buffer is
+    /// in flight, transparently fall back to plain reads.
+    ///
+    /// # Errors
+    /// Propagates registration failures (`ENOMEM` under a small
+    /// `RLIMIT_MEMLOCK`, `EINVAL` on pre-5.1 kernels, or the
+    /// `RINGSAMPLER_FAIL_REGISTER_BUFFERS` forced-failure hook). The reader
+    /// stays fully usable in unregistered-buffer mode after a failure;
+    /// callers are expected to record the fallback and carry on.
+    pub fn register_read_buffers(&mut self, count: usize, each_bytes: usize) -> Result<()> {
+        let count = count.clamp(1, 1024);
+        let each_bytes = each_bytes.max(4096);
+        let mut bufs: Vec<Vec<u8>> = (0..count).map(|_| vec![0u8; each_bytes]).collect();
+        let iovecs: Vec<libc::iovec> = bufs
+            .iter_mut()
+            .map(|b| libc::iovec {
+                iov_base: b.as_mut_ptr().cast(),
+                iov_len: b.len(),
+            })
+            .collect();
+        // SAFETY: each iovec describes a live, uniquely-owned allocation in
+        // `bufs`; on success they are stored in `self.fixed_bufs` and never
+        // resized or freed while the ring fd (declared before them) is open.
+        unsafe { self.ring.register_buffers(&iovecs)? };
+        self.fixed_bufs = Some(FixedBufPool {
+            bufs,
+            free: (0..count as u16).collect(),
+            each_len: each_bytes,
+        });
+        Ok(())
+    }
+
+    /// Whether a registered fixed-buffer pool is installed.
+    pub fn buffers_registered(&self) -> bool {
+        self.fixed_bufs.is_some()
     }
 
     /// Access to the underlying ring's syscall counters.
@@ -286,17 +372,37 @@ impl GroupReader for UringReader {
             self.pump_one(true)?;
         }
 
+        // Borrow a registered fixed buffer when the whole group fits in one;
+        // otherwise (pool absent, exhausted, or payload too large) reads go
+        // through the plain path into `buf` directly.
+        let fixed = self
+            .fixed_bufs
+            .as_mut()
+            .and_then(|pool| pool.acquire(total));
+
         let fd = self.file.as_raw_fd();
         let mut cursor = 0usize;
         let mut req_meta = Vec::with_capacity(reqs.len());
         for (i, r) in reqs.iter().enumerate() {
             let user_data = (id << 20) | i as u64;
-            // SAFETY: `buf` is owned by the slot we insert below and is not
-            // moved or freed until the group completes (or the reader drains
-            // it on drop); cursor+len <= buf.len() by construction. In
-            // registered mode, index 0 refers to this reader's own file.
+            // SAFETY: the destination is either `buf` (owned by the slot we
+            // insert below, not moved or freed until the group completes or
+            // the reader drains it on drop) or a registered fixed buffer that
+            // stays pinned and exclusively owned by this group until its
+            // completion; cursor+len <= destination capacity by construction.
+            // In registered-file mode, index 0 refers to this reader's file.
             unsafe {
-                if self.registered {
+                if let Some((k, base)) = fixed {
+                    self.ring.prepare_read_fixed_buf(
+                        if self.registered { 0 } else { fd },
+                        self.registered,
+                        base.add(cursor),
+                        r.len,
+                        r.offset,
+                        k,
+                        user_data,
+                    )?;
+                } else if self.registered {
                     self.ring.prepare_read_fixed(
                         0,
                         buf.as_mut_ptr().add(cursor),
@@ -322,6 +428,9 @@ impl GroupReader for UringReader {
         self.stats.groups += 1;
         self.stats.requests += reqs.len() as u64;
         self.stats.bytes += total as u64;
+        if fixed.is_some() {
+            self.stats.fixed_buf_reads += reqs.len() as u64;
+        }
 
         self.slots.insert(
             id,
@@ -331,6 +440,7 @@ impl GroupReader for UringReader {
                 remaining: reqs.len() as u32,
                 error: None,
                 submitted: Instant::now(),
+                fixed: fixed.map(|(k, _)| k),
             },
         );
         Ok(GroupToken {
@@ -356,10 +466,20 @@ impl GroupReader for UringReader {
                 self.pump_one(true)?;
             }
         }
-        let slot = self
+        let mut slot = self
             .slots
             .remove(&token.id)
             .ok_or(IoEngineError::InvalidToken(token.id))?;
+        // Fan the registered buffer's payload out into the caller's buffer
+        // and return the slot to the pool. Done for errored groups too so a
+        // short read never strands a pool buffer.
+        if let (Some(k), Some(pool)) = (slot.fixed, self.fixed_bufs.as_mut()) {
+            if let Some(src) = pool.bufs.get(k as usize) {
+                let n = slot.buf.len().min(src.len());
+                slot.buf[..n].copy_from_slice(&src[..n]);
+            }
+            pool.release(k);
+        }
         self.stats.syscalls = self.ring.enter_calls();
         // Latency is recorded for every completed group, error or not:
         // a group whose reads failed still occupied the ring for its
@@ -615,6 +735,104 @@ mod tests {
         let a = read_group_blocking(&mut plain, &reqs, Vec::new()).unwrap();
         let b = read_group_blocking(&mut fixed, &reqs, Vec::new()).unwrap();
         assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn registered_buffers_mode_is_equivalent() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let path = write_u32_file(5_000);
+        let mut plain = UringReader::open(&path, 32).unwrap();
+        let mut fixed = UringReader::open(&path, 32).unwrap();
+        fixed.register_read_buffers(2, 8192).unwrap();
+        assert!(fixed.buffers_registered());
+        assert!(!plain.buffers_registered());
+        let reqs: Vec<ReadSlice> = (0..32u64)
+            .map(|i| ReadSlice::new((i * 271 % 5000) * 4, 4))
+            .collect();
+        let a = read_group_blocking(&mut plain, &reqs, Vec::new()).unwrap();
+        let b = read_group_blocking(&mut fixed, &reqs, Vec::new()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fixed.stats().fixed_buf_reads, reqs.len() as u64);
+        assert_eq!(plain.stats().fixed_buf_reads, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fixed_buffers_compose_with_registered_file() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let path = write_u32_file(5_000);
+        let mut r = UringReader::open(&path, 32).unwrap();
+        r.register_file().unwrap();
+        r.register_read_buffers(2, 8192).unwrap();
+        let reqs: Vec<ReadSlice> = (0..16u64)
+            .map(|i| ReadSlice::new((i * 331 % 5000) * 4, 4))
+            .collect();
+        let buf = read_group_blocking(&mut r, &reqs, Vec::new()).unwrap();
+        for (i, req) in reqs.iter().enumerate() {
+            let got = u32::from_le_bytes(buf[4 * i..4 * i + 4].try_into().unwrap());
+            assert_eq!(got as u64 * 4, req.offset);
+        }
+        assert_eq!(r.stats().fixed_buf_reads, 16);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_group_falls_back_to_plain_reads() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let path = write_u32_file(5_000);
+        let mut r = UringReader::open(&path, 32).unwrap();
+        // Minimum pool buffer size is 4096; a >4096-byte group must bypass it.
+        r.register_read_buffers(1, 0).unwrap();
+        let reqs = [ReadSlice::new(0, 8192)];
+        let buf = read_group_blocking(&mut r, &reqs, Vec::new()).unwrap();
+        assert_eq!(buf.len(), 8192);
+        let got = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        assert_eq!(got, 1);
+        assert_eq!(r.stats().fixed_buf_reads, 0, "oversized group must not use the pool");
+        // A small group afterwards uses the pool again.
+        let small = [ReadSlice::new(40, 4)];
+        let buf = read_group_blocking(&mut r, &small, Vec::new()).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 10);
+        assert_eq!(r.stats().fixed_buf_reads, 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_and_recovers() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let path = write_u32_file(5_000);
+        let mut r = UringReader::open(&path, 32).unwrap();
+        r.register_read_buffers(1, 4096).unwrap();
+        let reqs = [ReadSlice::new(0, 4)];
+        // Two groups in flight with a one-buffer pool: the second must fall
+        // back to plain reads, and both must complete correctly.
+        let t1 = r.submit_group(&reqs, Vec::new()).unwrap();
+        let t2 = r.submit_group(&[ReadSlice::new(4, 4)], Vec::new()).unwrap();
+        assert_eq!(r.stats().fixed_buf_reads, 1);
+        let b1 = r.complete_group(t1).unwrap();
+        let b2 = r.complete_group(t2).unwrap();
+        assert_eq!(u32::from_le_bytes(b1[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(b2[0..4].try_into().unwrap()), 1);
+        // Buffer returned to the pool: the next group uses it again.
+        read_group_blocking(&mut r, &reqs, Vec::new()).unwrap();
+        assert_eq!(r.stats().fixed_buf_reads, 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn register_buffers_failure_leaves_reader_usable() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        std::env::set_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS", "1");
+        let path = write_u32_file(1_000);
+        let mut r = UringReader::open(&path, 16).unwrap();
+        let err = r.register_read_buffers(2, 4096);
+        std::env::remove_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS");
+        assert!(err.is_err());
+        assert!(!r.buffers_registered());
+        let buf = read_group_blocking(&mut r, &[ReadSlice::new(8, 4)], Vec::new()).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 2);
+        assert_eq!(r.stats().fixed_buf_reads, 0);
         std::fs::remove_file(path).ok();
     }
 

@@ -73,6 +73,11 @@ pub const IORING_OP_READV: u8 = 1;
 pub const IORING_OP_WRITEV: u8 = 2;
 /// fsync.
 pub const IORING_OP_FSYNC: u8 = 3;
+/// Read into a pre-registered fixed buffer (`sqe.buf_index` selects it;
+/// skips the per-I/O get_user_pages pin that `IORING_OP_READ` pays).
+pub const IORING_OP_READ_FIXED: u8 = 4;
+/// Write from a pre-registered fixed buffer.
+pub const IORING_OP_WRITE_FIXED: u8 = 5;
 /// Non-vectored read at an offset (`pread` semantics).
 pub const IORING_OP_READ: u8 = 22;
 /// Non-vectored write at an offset.

@@ -19,6 +19,9 @@ pub const HOT_PATH: &[&str] = &[
     "crates/core/src/worker.rs",
     "crates/core/src/sampling.rs",
     "crates/core/src/engine.rs",
+    // The read planner runs per layer inside every worker's fetch; its
+    // sort/merge/scatter passes must never panic or synchronize.
+    "crates/core/src/plan.rs",
     "crates/io/src/ring.rs",
     "crates/io/src/engine.rs",
     // Observability primitives workers call per batch/IO group: recording
@@ -36,6 +39,9 @@ pub const IO_PATH: &[&str] = &[
     "crates/io/src/sys.rs",
     "crates/io/src/engine.rs",
     "crates/core/src/worker.rs",
+    // Plans are built between a layer's sampling and its SQE submission;
+    // a blocking call here stalls the pipeline exactly like worker code.
+    "crates/core/src/plan.rs",
 ];
 
 /// Modules implementing the kernel SQ/CQ shared-memory protocol, where
@@ -102,6 +108,15 @@ mod tests {
         let rules = rules_for("crates/core/src/sampling.rs");
         assert!(rules.contains(&RULE_PANIC));
         assert!(!rules.contains(&RULE_BLOCKING));
+        assert!(!rules.contains(&RULE_ATOMIC));
+    }
+
+    #[test]
+    fn read_planner_is_hot_and_io_but_not_atomic() {
+        let rules = rules_for("crates/core/src/plan.rs");
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_BLOCKING));
         assert!(!rules.contains(&RULE_ATOMIC));
     }
 
