@@ -10,6 +10,9 @@
 #   5. plan_compare smoke — the read-plan ablation on a tiny graph, with
 #      RS_PLAN_ASSERT enforcing the >= 20% SQE-reduction floor and
 #      byte-identical samples across all plan modes
+#   6. ringscope smoke — fig4_overall with --serve 127.0.0.1:0, asserting
+#      that /metrics serves HTTP 200 with the ringsampler_ metric families
+#      and /healthz reports ok while the run is live
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -31,5 +34,30 @@ echo "==> plan_compare smoke (tiny graph, RS_PLAN_ASSERT)"
 RS_PLAN_NODES=2000 RS_PLAN_EDGES=20000 RS_TARGETS=500 RS_THREADS=2 \
 RS_PLAN_ASSERT=1 RS_DATA_DIR="$(mktemp -d)" \
     ./target/release/plan_compare
+
+echo "==> ringscope smoke (fig4_overall --serve, live /metrics + /healthz)"
+SCOPE_LOG="$(mktemp)"
+RS_SCALE=100000 RS_TARGETS=200 RS_EPOCHS=1 RS_THREADS=2 \
+RS_SERVE_LINGER=20 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/fig4_overall --serve 127.0.0.1:0 >/dev/null 2>"$SCOPE_LOG" &
+SCOPE_PID=$!
+# The server announces its bound address (port 0 picks a free port).
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^ringscope listening on http://##p' "$SCOPE_LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SCOPE_PID" 2>/dev/null || { cat "$SCOPE_LOG"; echo "fig4_overall exited before serving"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "    ringscope bound at $ADDR" || { cat "$SCOPE_LOG"; echo "no listening announcement"; exit 1; }
+METRICS="$(curl -fsS "http://$ADDR/metrics")" || { echo "/metrics not serving"; kill "$SCOPE_PID"; exit 1; }
+echo "$METRICS" | grep -q "^ringsampler_up 1$" || { echo "/metrics missing ringsampler_up"; kill "$SCOPE_PID"; exit 1; }
+echo "$METRICS" | grep -q "^# TYPE ringsampler_workers gauge$" || { echo "/metrics missing ringsampler_workers family"; kill "$SCOPE_PID"; exit 1; }
+HEALTH_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/healthz")"
+[ "$HEALTH_CODE" = "200" ] || { echo "/healthz returned $HEALTH_CODE"; kill "$SCOPE_PID"; exit 1; }
+curl -fsS "http://$ADDR/progress" | grep -q '"fleet"' || { echo "/progress missing fleet object"; kill "$SCOPE_PID"; exit 1; }
+kill "$SCOPE_PID" 2>/dev/null || true
+wait "$SCOPE_PID" 2>/dev/null || true
+echo "    ringscope smoke ok (/metrics, /healthz, /progress)"
 
 echo "CI: all gates passed."

@@ -46,15 +46,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("fig8_threads", "Figure 8 (thread scaling)"),
     ];
     let started = std::time::Instant::now();
+    // Run every experiment even if one fails — partial artifacts from the
+    // healthy runs are still useful — but never report success: the first
+    // failure's exit code is propagated after the fan-out completes.
+    let mut failures: Vec<(&str, i32)> = Vec::new();
     for (bin, label) in experiments {
         println!("\n===== {label} =====");
         let status = Command::new(dir.join(bin))
             .args(per_bin_args(&args, bin))
             .status()?;
         if !status.success() {
+            let code = status.code().unwrap_or(1);
             eprintln!("{bin} failed with {status}");
-            std::process::exit(status.code().unwrap_or(1));
+            failures.push((bin, code));
         }
+    }
+    if let Some((first_bin, first_code)) = failures.first().copied() {
+        eprintln!(
+            "\n{}/{} experiments failed: {}; exiting with {first_bin}'s code {first_code}",
+            failures.len(),
+            experiments.len(),
+            failures
+                .iter()
+                .map(|(b, _)| *b)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(first_code);
     }
     println!(
         "\nall experiments complete in {:.1}s; tables under results/",

@@ -31,13 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rows = Vec::new();
     let mut matrix: Vec<Vec<ringsampler_bench::Outcome>> = Vec::new();
+    // A failed cell renders as ERR and the table still finishes; the
+    // first error is propagated afterwards so the run exits non-zero.
+    let mut first_err: Option<Box<dyn std::error::Error>> = None;
     for kind in SystemKind::ALL {
         let mut cells = Vec::new();
         for spec in &datasets {
             let graph = h.dataset(spec)?;
             // Fresh scaled 256 GB budget per run (one cgroup per job).
             let budget = h.host_budget();
-            let outcome = measure_system_observed(
+            let outcome = match measure_system_observed(
                 kind,
                 &graph,
                 &DEFAULT_FANOUTS,
@@ -47,7 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &h,
                 &format!("{}/{}", kind.name(), spec.id.name()),
                 &mut sink,
-            )?;
+            ) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("  {} / {}: error: {e}", kind.name(), spec.id.name());
+                    if first_err.is_none() {
+                        first_err = Some(e.into());
+                    }
+                    ringsampler_bench::Outcome::Failed
+                }
+            };
             eprintln!("  {} / {}: {}", kind.name(), spec.id.name(), outcome);
             cells.push(outcome);
         }
@@ -76,5 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     ringsampler_bench::emit_table("fig4_overall", &header, &rows)?;
     sink.finish()?;
+    h.serve_linger();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     Ok(())
 }

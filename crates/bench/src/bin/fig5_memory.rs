@@ -46,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rows = Vec::new();
     let mut charts = Vec::new();
+    // Failed runs render as ERR, the table still finishes, and the first
+    // error is propagated afterwards so the binary exits non-zero.
+    let mut first_err: Option<SamplerError> = None;
     for (label, paper_bytes) in levels {
         let budget_of = || match paper_bytes {
             Some(b) => MemoryBudget::limited(b / h.scale),
@@ -64,25 +67,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (h.threads.min(2), 64),
             (1, 32),
         ] {
-            let outcome = run(
-                |budget| {
-                    Ok(Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
-                        graph.clone(),
-                        ringsampler::SamplerConfig::new()
-                            .fanouts(&DEFAULT_FANOUTS)
-                            .batch_size(batch)
-                            .threads(threads)
-                            .budget(budget.clone())
-                            .seed(7),
-                    )?)))
-                },
-                budget_of(),
-                &h,
-                &graph,
-                &format!("RingSampler/{label}/t{threads}"),
-                &mut sink,
-            )?;
-            if let Outcome::Seconds(_) = outcome {
+            let outcome = catch(
+                run(
+                    |budget| {
+                        Ok(Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
+                            graph.clone(),
+                            ringsampler::SamplerConfig::new()
+                                .fanouts(&DEFAULT_FANOUTS)
+                                .batch_size(batch)
+                                .threads(threads)
+                                .budget(budget.clone())
+                                .telemetry_opt(h.telemetry())
+                                .seed(7),
+                        )?)))
+                    },
+                    budget_of(),
+                    &h,
+                    &graph,
+                    &format!("RingSampler/{label}/t{threads}"),
+                    &mut sink,
+                ),
+                &format!("RingSampler/{label}"),
+                &mut first_err,
+            );
+            if !matches!(outcome, Outcome::Oom) {
                 rs_outcome = outcome;
                 break;
             }
@@ -90,51 +98,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cells.push(rs_outcome);
 
         // SmartSSD: scaled host floor.
-        cells.push(run(
-            |budget| {
-                Ok(Box::new(SmartSsdSampler::new(
-                    &graph,
-                    SmartSsdModel::default()
-                        .scaled(h.scale)
-                        .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
-                    &DEFAULT_FANOUTS,
-                    DEFAULT_BATCH,
-                    budget,
-                    7,
-                )?))
-            },
-            budget_of(),
-            &h,
-            &graph,
-            &format!("SmartSSD/{label}"),
-            &mut sink,
-        )?);
-
-        // Marius: preprocessing outside the cgroup (Fig.-5 semantics).
-        cells.push(run(
-            |budget| {
-                Ok(Box::new(
-                    MariusLikeSampler::new(
+        cells.push(catch(
+            run(
+                |budget| {
+                    Ok(Box::new(SmartSsdSampler::new(
                         &graph,
-                        32,
+                        SmartSsdModel::default()
+                            .scaled(h.scale)
+                            .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
                         &DEFAULT_FANOUTS,
                         DEFAULT_BATCH,
                         budget,
-                        false,
                         7,
-                    )?
-                    .with_disk_model(
-                        ringsampler_baselines::marius_like::DiskModel::default()
-                            .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
-                    ),
-                ))
-            },
-            budget_of(),
-            &h,
-            &graph,
+                    )?))
+                },
+                budget_of(),
+                &h,
+                &graph,
+                &format!("SmartSSD/{label}"),
+                &mut sink,
+            ),
+            &format!("SmartSSD/{label}"),
+            &mut first_err,
+        ));
+
+        // Marius: preprocessing outside the cgroup (Fig.-5 semantics).
+        cells.push(catch(
+            run(
+                |budget| {
+                    Ok(Box::new(
+                        MariusLikeSampler::new(
+                            &graph,
+                            32,
+                            &DEFAULT_FANOUTS,
+                            DEFAULT_BATCH,
+                            budget,
+                            false,
+                            7,
+                        )?
+                        .with_disk_model(
+                            ringsampler_baselines::marius_like::DiskModel::default()
+                                .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                        ),
+                    ))
+                },
+                budget_of(),
+                &h,
+                &graph,
+                &format!("Marius/{label}"),
+                &mut sink,
+            ),
             &format!("Marius/{label}"),
-            &mut sink,
-        )?);
+            &mut first_err,
+        ));
 
         eprintln!("  {label}: RS={} SSD={} Marius={}", cells[0], cells[1], cells[2]);
         rows.push(format!(
@@ -154,7 +170,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.extend(charts);
     ringsampler_bench::emit_table("fig5_memory", &header, &rows)?;
     sink.finish()?;
+    h.serve_linger();
+    if let Some(e) = first_err {
+        return Err(e.into());
+    }
     Ok(())
+}
+
+/// Maps a run error to [`Outcome::Failed`] (keeping the first one for the
+/// final exit status) so the remaining budget levels still execute.
+fn catch(
+    result: Result<Outcome, SamplerError>,
+    what: &str,
+    first_err: &mut Option<SamplerError>,
+) -> Outcome {
+    match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("  {what}: error: {e}");
+            if first_err.is_none() {
+                *first_err = Some(e);
+            }
+            Outcome::Failed
+        }
+    }
 }
 
 fn run<F>(

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .fanouts(&DEFAULT_FANOUTS)
             .batch_size(1) // the Fig. 6 setting
             .threads(h.threads)
+            .telemetry_opt(h.telemetry())
             .seed(13),
     )?;
     let targets = h.epoch_targets(&graph, 0);
@@ -72,5 +73,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p99 / p50.max(1e-9)
     );
     sink.finish()?;
+    h.serve_linger();
     Ok(())
 }

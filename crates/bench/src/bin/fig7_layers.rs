@@ -30,48 +30,74 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rows = Vec::new();
     let mut charts = Vec::new();
+    // A failed hop renders as an ERR row and the sweep continues; the
+    // first error is propagated afterwards so the binary exits non-zero.
+    let mut first_err: Option<Box<dyn std::error::Error>> = None;
     for (k, fanouts) in hops.iter().enumerate() {
-        let budget = MemoryBudget::unlimited();
+        let hop = (|| -> Result<[f64; 3], Box<dyn std::error::Error>> {
+            let budget = MemoryBudget::unlimited();
 
-        let mut rs: Box<dyn NeighborSampler> =
-            Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
-                graph.clone(),
-                ringsampler::SamplerConfig::new()
-                    .fanouts(fanouts)
-                    .batch_size(DEFAULT_BATCH)
-                    .threads(h.threads)
-                    .seed(3),
-            )?));
-        let mut ssd: Box<dyn NeighborSampler> = Box::new(SmartSsdSampler::new(
-            &graph,
-            SmartSsdModel::default()
-                .scaled(h.scale)
-                .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
-            fanouts,
-            DEFAULT_BATCH,
-            &budget,
-            3,
-        )?);
-        let mut marius: Box<dyn NeighborSampler> = Box::new(
-            MariusLikeSampler::new(&graph, 32, fanouts, DEFAULT_BATCH, &budget, false, 3)?
-                .with_disk_model(
-                    ringsampler_baselines::marius_like::DiskModel::default()
-                        .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
-                ),
-        );
+            let mut rs: Box<dyn NeighborSampler> =
+                Box::new(RingSamplerSystem::new(ringsampler::RingSampler::new(
+                    graph.clone(),
+                    ringsampler::SamplerConfig::new()
+                        .fanouts(fanouts)
+                        .batch_size(DEFAULT_BATCH)
+                        .threads(h.threads)
+                        .telemetry_opt(h.telemetry())
+                        .seed(3),
+                )?));
+            let mut ssd: Box<dyn NeighborSampler> = Box::new(SmartSsdSampler::new(
+                &graph,
+                SmartSsdModel::default()
+                    .scaled(h.scale)
+                    .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                fanouts,
+                DEFAULT_BATCH,
+                &budget,
+                3,
+            )?);
+            let mut marius: Box<dyn NeighborSampler> = Box::new(
+                MariusLikeSampler::new(&graph, 32, fanouts, DEFAULT_BATCH, &budget, false, 3)?
+                    .with_disk_model(
+                        ringsampler_baselines::marius_like::DiskModel::default()
+                            .rates_scaled(h.threads, ringsampler_bench::PAPER_THREADS),
+                    ),
+            );
 
-        let mut secs = [0.0f64; 3];
-        for epoch in 0..h.epochs {
-            let targets = h.epoch_targets(&graph, epoch as u64);
-            let r = rs.sample_epoch(&targets)?;
-            sink.note(&format!("RingSampler/{}-hop/epoch{epoch}", k + 1), &r.measured);
-            secs[0] += r.reported_seconds();
-            secs[1] += ssd.sample_epoch(&targets)?.reported_seconds();
-            secs[2] += marius.sample_epoch(&targets)?.reported_seconds();
-        }
-        for s in &mut secs {
-            *s /= h.epochs as f64;
-        }
+            let mut secs = [0.0f64; 3];
+            for epoch in 0..h.epochs {
+                let targets = h.epoch_targets(&graph, epoch as u64);
+                let r = rs.sample_epoch(&targets)?;
+                sink.note(&format!("RingSampler/{}-hop/epoch{epoch}", k + 1), &r.measured);
+                secs[0] += r.reported_seconds();
+                secs[1] += ssd.sample_epoch(&targets)?.reported_seconds();
+                secs[2] += marius.sample_epoch(&targets)?.reported_seconds();
+            }
+            for s in &mut secs {
+                *s /= h.epochs as f64;
+            }
+            Ok(secs)
+        })();
+        let secs = match hop {
+            Ok(secs) => secs,
+            Err(e) => {
+                eprintln!("  {}-hop: error: {e}", k + 1);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                rows.push(format!(
+                    "{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+                    format!("{}-hop", k + 1),
+                    "ERR",
+                    "ERR",
+                    "ERR",
+                    "-",
+                    "-"
+                ));
+                continue;
+            }
+        };
         eprintln!(
             "  {}-hop: RS={:.3}s SSD={:.3}s Marius={:.3}s",
             k + 1,
@@ -101,5 +127,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.extend(charts);
     ringsampler_bench::emit_table("fig7_layers", &header, &rows)?;
     sink.finish()?;
+    h.serve_linger();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     Ok(())
 }

@@ -84,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .batch_size(batch)
                     .threads(threads)
                     .ring_entries(ring_entries)
+                    .telemetry_opt(h.telemetry())
                     .seed(5),
             )?;
             let mut total = 0.0;
@@ -111,6 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .threads(threads)
             .ring_entries(ring_entries)
             .budget(budget)
+            .telemetry_opt(h.telemetry())
             .seed(5);
         if cache_per_thread > 64 * 1024 {
             cfg = cfg.cache(CachePolicy::Page {
@@ -163,5 +165,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     ringsampler_bench::emit_table("fig8_threads", &header, &rows)?;
     sink.finish()?;
+    h.serve_linger();
     Ok(())
 }

@@ -106,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_replacement(true)
                 .read_plan(mode)
                 .register_buffers(regbuf)
+                .telemetry_opt(h.telemetry())
                 .seed(7),
         )?;
         let digest = std::sync::atomic::AtomicU64::new(0);
@@ -172,5 +173,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("RS_PLAN_ASSERT ok: coalesce cut submitted reads by {reduction:.1}%");
     }
+    h.serve_linger();
     Ok(())
 }

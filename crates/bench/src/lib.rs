@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 
 use ringsampler::{
     epoch_targets, EpochReport, MemoryBudget, ReadPlanMode, RingSampler, SamplerConfig,
-    SamplerError,
+    SamplerError, TelemetryConfig,
 };
 use ringstat::{ChromeTrace, Json, PromWriter};
 use ringsampler_baselines::marius_like::DiskModel;
@@ -93,13 +93,26 @@ pub struct HarnessConfig {
     /// Pin registered fixed buffers in RingSampler workers
     /// (`RS_REGISTER_BUFFERS=1`; degrades to plain reads on failure).
     pub register_buffers: bool,
+    /// Bind address for the embedded `ringscope` telemetry server
+    /// (`--serve <addr>` or `RS_SERVE=<addr>`; e.g. `127.0.0.1:9898`, or
+    /// port `0` to pick a free port). `None` (the default) disables
+    /// telemetry entirely — no listener, no snapshot publishing.
+    pub serve: Option<String>,
 }
 
 impl HarnessConfig {
     /// Reads `RS_SCALE`, `RS_TARGETS`, `RS_EPOCHS`, `RS_DATA_DIR`,
-    /// `RS_THREADS`, `RS_READ_PLAN`, `RS_REGISTER_BUFFERS` from the
-    /// environment.
+    /// `RS_THREADS`, `RS_READ_PLAN`, `RS_REGISTER_BUFFERS` and `RS_SERVE`
+    /// from the environment, then lets a `--serve <addr>` process argument
+    /// override the serve address.
     pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_env_and_args(&args)
+    }
+
+    /// [`from_env`](Self::from_env) over an explicit argument list
+    /// (exposed for tests).
+    pub fn from_env_and_args(args: &[String]) -> Self {
         let scale = env_u64("RS_SCALE", 400);
         let threads = env_u64(
             "RS_THREADS",
@@ -108,6 +121,10 @@ impl HarnessConfig {
                 .unwrap_or(8)
                 .min(64),
         ) as usize;
+        let serve_arg = args
+            .windows(2)
+            .find(|w| w[0] == "--serve")
+            .map(|w| w[1].clone());
         Self {
             scale,
             targets_per_epoch: env_u64("RS_TARGETS", 10_000) as usize,
@@ -121,6 +138,30 @@ impl HarnessConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(ReadPlanMode::Off),
             register_buffers: env_flag("RS_REGISTER_BUFFERS"),
+            serve: serve_arg.or_else(|| std::env::var("RS_SERVE").ok().filter(|s| !s.is_empty())),
+        }
+    }
+
+    /// The telemetry configuration implied by the `serve` knob, ready for
+    /// [`SamplerConfig::telemetry_opt`]. `None` when serving is off.
+    pub fn telemetry(&self) -> Option<TelemetryConfig> {
+        self.serve.as_deref().map(TelemetryConfig::new)
+    }
+
+    /// Keeps the process (and its telemetry endpoints) alive for
+    /// `RS_SERVE_LINGER` seconds after the experiment finishes, so smoke
+    /// tests and humans can scrape final state. No-op unless serving.
+    pub fn serve_linger(&self) {
+        if self.serve.is_none() {
+            return;
+        }
+        let secs = std::env::var("RS_SERVE_LINGER")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        if secs > 0 {
+            eprintln!("ringscope lingering {secs}s (RS_SERVE_LINGER)");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
         }
     }
 
@@ -224,6 +265,7 @@ pub fn build_system(
                 .budget(budget.clone())
                 .read_plan(harness.read_plan)
                 .register_buffers(harness.register_buffers)
+                .telemetry_opt(harness.telemetry())
                 .seed(seed),
         )?)),
         SystemKind::DglCpu => Box::new(InMemorySampler::new(
@@ -417,13 +459,16 @@ impl StatsSink {
     }
 }
 
-/// One experiment measurement: seconds or OOM.
+/// One experiment measurement: seconds, OOM, or a real failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Outcome {
     /// Mean reported seconds per epoch.
     Seconds(f64),
     /// The system could not fit its memory requirement.
     Oom,
+    /// The run failed with a real error (recorded so a figure can finish
+    /// its remaining cells before the binary exits non-zero).
+    Failed,
 }
 
 impl std::fmt::Display for Outcome {
@@ -432,6 +477,7 @@ impl std::fmt::Display for Outcome {
         match self {
             Outcome::Seconds(s) => f.pad(&format!("{s:.3}")),
             Outcome::Oom => f.pad("OOM"),
+            Outcome::Failed => f.pad("ERR"),
         }
     }
 }
@@ -441,7 +487,7 @@ impl Outcome {
     pub fn seconds(&self) -> Option<f64> {
         match self {
             Outcome::Seconds(s) => Some(*s),
-            Outcome::Oom => None,
+            Outcome::Oom | Outcome::Failed => None,
         }
     }
 }
@@ -589,6 +635,24 @@ mod tests {
         assert_eq!(Outcome::Seconds(1.5).to_string(), "1.500");
         assert_eq!(Outcome::Oom.to_string(), "OOM");
         assert_eq!(Outcome::Oom.seconds(), None);
+        assert_eq!(Outcome::Failed.to_string(), "ERR");
+        assert_eq!(Outcome::Failed.seconds(), None);
+    }
+
+    #[test]
+    fn serve_flag_parses_from_args() {
+        let h = HarnessConfig::from_env_and_args(&strings(&["--serve", "127.0.0.1:0"]));
+        assert_eq!(h.serve.as_deref(), Some("127.0.0.1:0"));
+        let t = h.telemetry().expect("serve implies telemetry");
+        assert_eq!(t.addr, "127.0.0.1:0");
+        // A dangling --serve with no value stays off, as does no flag.
+        let dangling = HarnessConfig::from_env_and_args(&strings(&["--serve"]));
+        assert!(dangling.serve.is_none() || std::env::var("RS_SERVE").is_ok());
+        let off = HarnessConfig::from_env_and_args(&[]);
+        if std::env::var("RS_SERVE").is_err() {
+            assert!(off.serve.is_none());
+            assert!(off.telemetry().is_none());
+        }
     }
 
     #[test]
@@ -677,6 +741,7 @@ mod tests {
             threads: 2,
             read_plan: ReadPlanMode::Dedup,
             register_buffers: false,
+            serve: None,
         };
         let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
         let graph = h.dataset(&spec).unwrap();

@@ -5,6 +5,7 @@ use ringsampler_io::EngineKind;
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryBudget;
 use crate::plan::ReadPlanMode;
+use crate::telemetry::TelemetryConfig;
 
 /// How the per-thread I/O pipeline schedules groups (paper Fig. 3b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +84,11 @@ pub struct SamplerConfig {
     /// Registration failure (old kernel, `RLIMIT_MEMLOCK`) is recorded in
     /// `regbuf_fallbacks` and degrades to plain reads — never an error.
     pub register_buffers: bool,
+    /// Live telemetry (`ringscope`): when set, every worker publishes a
+    /// per-batch snapshot through a seqlock slot and an embedded HTTP
+    /// server exposes `/metrics`, `/progress`, and `/healthz` plus a
+    /// stall watchdog. `None` (default) adds zero work to the hot path.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SamplerConfig {
@@ -103,6 +109,7 @@ impl Default for SamplerConfig {
             span_capacity: 8192,
             read_plan: ReadPlanMode::Off,
             register_buffers: false,
+            telemetry: None,
         }
     }
 }
@@ -211,6 +218,21 @@ impl SamplerConfig {
         self
     }
 
+    /// Enables live telemetry (`ringscope`): snapshot publishing, the
+    /// embedded `/metrics` · `/progress` · `/healthz` server, and the
+    /// stall watchdog.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Sets or clears telemetry from an `Option` (handy for CLI plumbing
+    /// where `--serve` may be absent).
+    pub fn telemetry_opt(mut self, cfg: Option<TelemetryConfig>) -> Self {
+        self.telemetry = cfg;
+        self
+    }
+
     /// Number of GNN layers (= hops) this configuration samples.
     pub fn num_layers(&self) -> usize {
         self.fanouts.len()
@@ -249,6 +271,9 @@ impl SamplerConfig {
                     "coalesce gap above 1 MiB defeats the point of scattered reads".into(),
                 ));
             }
+        }
+        if let Some(t) = &self.telemetry {
+            t.validate()?;
         }
         Ok(())
     }
@@ -299,6 +324,27 @@ mod tests {
             .read_plan(ReadPlanMode::Coalesce { gap: 2 << 20 })
             .validate()
             .is_err());
+        assert!(SamplerConfig::new()
+            .telemetry(TelemetryConfig::new(""))
+            .validate()
+            .is_err());
+        assert!(SamplerConfig::new()
+            .telemetry(
+                TelemetryConfig::new("127.0.0.1:0")
+                    .poll_interval(std::time::Duration::ZERO)
+            )
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_builds() {
+        assert!(SamplerConfig::default().telemetry.is_none());
+        let c = SamplerConfig::new().telemetry(TelemetryConfig::new("127.0.0.1:0"));
+        assert!(c.telemetry.is_some());
+        assert!(c.validate().is_ok());
+        let c = c.telemetry_opt(None);
+        assert!(c.telemetry.is_none());
     }
 
     #[test]

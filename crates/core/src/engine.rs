@@ -12,11 +12,14 @@ use std::time::Instant;
 
 use ringsampler_graph::{NodeId, OnDiskGraph};
 
+use ringstat::{SnapshotCell, WorkerSnapshot};
+
 use crate::block::BatchSample;
 use crate::config::SamplerConfig;
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
 use crate::metrics::{EpochReport, WorkerStats};
+use crate::telemetry::{ensure_server, TelemetryHandle};
 use crate::worker::SamplerWorker;
 
 /// The RingSampler system handle: a stored graph plus a sampling
@@ -30,22 +33,36 @@ pub struct RingSampler {
     graph: Arc<OnDiskGraph>,
     cfg: SamplerConfig,
     _index_charge: MemoryCharge,
+    /// `ringscope` server handle when `cfg.telemetry` is set (the
+    /// process-global listener, shared across sequential samplers).
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl RingSampler {
     /// Creates a sampler over `graph` with `cfg`.
     ///
     /// # Errors
-    /// Fails on invalid configuration or if the offset index does not fit
-    /// the memory budget (simulated OOM).
+    /// Fails on invalid configuration, if the offset index does not fit
+    /// the memory budget (simulated OOM), or if telemetry is requested
+    /// and the embedded server cannot bind its address.
     pub fn new(graph: OnDiskGraph, cfg: SamplerConfig) -> Result<Self> {
         cfg.validate()?;
         let index_charge = cfg.budget.charge(graph.metadata_bytes(), "offset index")?;
+        let telemetry = match &cfg.telemetry {
+            Some(tcfg) => Some(ensure_server(tcfg)?),
+            None => None,
+        };
         Ok(Self {
             graph: Arc::new(graph),
             cfg,
             _index_charge: index_charge,
+            telemetry,
         })
+    }
+
+    /// The live-telemetry handle, when `cfg.telemetry` is set.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
     }
 
     /// The stored graph.
@@ -64,7 +81,14 @@ impl RingSampler {
     /// # Errors
     /// Propagates worker construction failures.
     pub fn worker(&self) -> Result<SamplerWorker> {
-        SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())
+        let mut worker = SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())?;
+        if let Some(h) = &self.telemetry {
+            // A standalone worker (DataLoader path) appends its own slot;
+            // batch totals are unknown, so the snapshot carries 0.
+            let epoch = h.registry().next_epoch();
+            worker.attach_telemetry(h.registry().register(), epoch, 0);
+        }
+        Ok(worker)
     }
 
     /// Samples one epoch over `targets`, discarding the samples (the
@@ -97,9 +121,24 @@ impl RingSampler {
         let num_threads = self.cfg.num_threads.min(batches.len().max(1));
         let start = Instant::now();
 
+        // Fresh telemetry slots for this epoch (cold path; all `None`
+        // when telemetry is off, costing the workers nothing).
+        let (epoch, mut slots): (u64, Vec<Option<Arc<SnapshotCell<WorkerSnapshot>>>>) =
+            match &self.telemetry {
+                Some(h) => (
+                    h.registry().next_epoch(),
+                    h.registry()
+                        .reset_epoch(num_threads)
+                        .into_iter()
+                        .map(Some)
+                        .collect(),
+                ),
+                None => (0, (0..num_threads).map(|_| None).collect()),
+            };
+
         let results: Vec<Result<WorkerStats>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_threads);
-            for t in 0..num_threads {
+            for (t, slot) in slots.drain(..).enumerate() {
                 let batches = &batches;
                 let on_batch = &on_batch;
                 handles.push(scope.spawn(move || -> Result<WorkerStats> {
@@ -107,6 +146,13 @@ impl RingSampler {
                     // All workers share the epoch-start origin, so their
                     // span timelines line up in the Chrome trace.
                     worker.set_span_origin(start);
+                    if let Some(cell) = slot {
+                        // Round-robin partition: worker t owns batches
+                        // t, t + n, t + 2n, … — its assigned total.
+                        let assigned =
+                            batches.len().saturating_sub(t).div_ceil(num_threads) as u64;
+                        worker.attach_telemetry(cell, epoch, assigned);
+                    }
                     let mut idx = t;
                     while idx < batches.len() {
                         // ringlint: allow(panic-free-hot-path) — idx < batches.len() is the loop condition

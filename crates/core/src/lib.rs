@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod ondemand;
 pub mod plan;
 pub mod sampling;
+pub mod telemetry;
 pub mod worker;
 
 pub use block::{BatchSample, LayerSample};
@@ -63,4 +64,5 @@ pub use memory::{parse_budget, MemoryBudget, MemoryCharge};
 pub use metrics::{EpochReport, SampleMetrics, WorkerStats};
 pub use ondemand::{run_on_demand, OnDemandReport};
 pub use plan::{PlanStats, ReadPlanMode, ReadPlanner};
+pub use telemetry::{SnapshotRegistry, StallDetector, TelemetryConfig, TelemetryHandle};
 pub use worker::SamplerWorker;

@@ -286,6 +286,17 @@ impl EpochReport {
     /// tagging every sample with `labels` (e.g. `[("run", "fig4")]`).
     pub fn write_prometheus(&self, w: &mut PromWriter, labels: &[(&str, &str)]) {
         let m = &self.metrics;
+        // Info-style schema marker (value always 1): scrapers key off the
+        // `schema` label to detect format bumps, mirroring the JSON
+        // export's `schema_version`.
+        let mut with_schema: Vec<(&str, &str)> = labels.to_vec();
+        with_schema.push(("schema", "2"));
+        w.gauge(
+            "ringsampler_report_info",
+            "Report format marker; the schema label tracks the JSON schema_version",
+            &with_schema,
+            1.0,
+        );
         w.counter("ringsampler_batches_total", "Mini-batches sampled", labels, m.batches);
         w.counter(
             "ringsampler_sampled_edges_total",

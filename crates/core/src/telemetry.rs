@@ -1,0 +1,801 @@
+//! `ringscope`: live telemetry for running samplers (DESIGN.md §10).
+//!
+//! Post-mortem observability ([`crate::metrics::EpochReport`]) only
+//! surfaces after an epoch joins; this module makes a *running* epoch
+//! visible without touching the paper's §3.1 sync-free hot path:
+//!
+//! * **Publish side** — each worker owns a
+//!   [`SnapshotCell<WorkerSnapshot>`] seqlock slot and overwrites it
+//!   after every mini-batch (two word stores + a fence; no locks, no
+//!   RMW, no syscalls). See [`ringstat::snapshot`] for the
+//!   memory-ordering argument.
+//! * **Observe side** — one telemetry thread polls the
+//!   [`SnapshotRegistry`], serves `GET /metrics` (Prometheus text),
+//!   `GET /progress` (aggregated JSON with throughput and ETA), and
+//!   `GET /healthz`, and runs the stall watchdog: a worker whose
+//!   snapshot version stops advancing for longer than the configured
+//!   window is reported with its last-known state (group index,
+//!   in-flight depth) and flips `/healthz` to `503` — turning silent
+//!   io_uring wedges into diagnosable events.
+//!
+//! Everything here is cold-path: the registry's `Mutex` is touched only
+//! at epoch setup and by the telemetry thread, never per batch.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use ringsampler_io::IoEngineError;
+use ringstat::{HttpServer, Json, PromWriter, Response, SnapshotCell, WorkerSnapshot};
+
+use crate::error::{Result, SamplerError};
+
+/// Configuration for the embedded telemetry server and stall watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Bind address for the HTTP endpoints, e.g. `127.0.0.1:9898`
+    /// (port `0` picks a free port, printed to stderr at startup).
+    pub addr: String,
+    /// How often the telemetry thread polls worker slots, serves pending
+    /// connections, and ticks the watchdog.
+    pub poll_interval: Duration,
+    /// How long a worker's snapshot version may stay unchanged (while
+    /// the worker is active) before it is declared stalled.
+    pub stall_threshold: Duration,
+}
+
+impl TelemetryConfig {
+    /// Telemetry on `addr` with the default cadence: 200 ms polls, 10 s
+    /// stall window.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            poll_interval: Duration::from_millis(200),
+            stall_threshold: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Sets the stall-watchdog window.
+    pub fn stall_threshold(mut self, window: Duration) -> Self {
+        self.stall_threshold = window;
+        self
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Errors
+    /// [`SamplerError::InvalidConfig`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.addr.is_empty() {
+            return Err(SamplerError::InvalidConfig(
+                "telemetry bind address must be non-empty".into(),
+            ));
+        }
+        if self.poll_interval.is_zero() {
+            return Err(SamplerError::InvalidConfig(
+                "telemetry poll interval must be positive".into(),
+            ));
+        }
+        if self.stall_threshold.is_zero() {
+            return Err(SamplerError::InvalidConfig(
+                "telemetry stall threshold must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One reader-side observation of a worker slot.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerObservation {
+    /// Slot index (stable within an epoch; label value in `/metrics`).
+    pub index: usize,
+    /// The slot's seqlock version — the watchdog's heartbeat.
+    pub version: u64,
+    /// The snapshot, or `None` if the cell stayed torn through the
+    /// bounded retries (writer died mid-publish).
+    pub snapshot: Option<WorkerSnapshot>,
+}
+
+/// The shared collection of worker seqlock slots the telemetry thread
+/// reads. Registration is cold-path (epoch setup / loader construction);
+/// workers never touch the registry after receiving their slot.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    slots: Mutex<Vec<Arc<SnapshotCell<WorkerSnapshot>>>>,
+    epochs: Mutex<u64>,
+}
+
+impl SnapshotRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one fresh slot (standalone workers, e.g. a training
+    /// `DataLoader`). The slot stays listed after the worker finishes,
+    /// with `active = false`.
+    pub fn register(&self) -> Arc<SnapshotCell<WorkerSnapshot>> {
+        let cell = Arc::new(SnapshotCell::new(WorkerSnapshot::new()));
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.push(Arc::clone(&cell));
+        }
+        cell
+    }
+
+    /// Replaces all slots with `n` fresh ones for a new epoch and
+    /// returns them (one per worker thread, in index order).
+    pub fn reset_epoch(&self, n: usize) -> Vec<Arc<SnapshotCell<WorkerSnapshot>>> {
+        let cells: Vec<_> = (0..n)
+            .map(|_| Arc::new(SnapshotCell::new(WorkerSnapshot::new())))
+            .collect();
+        if let Ok(mut slots) = self.slots.lock() {
+            *slots = cells.clone();
+        }
+        cells
+    }
+
+    /// Increments and returns the epoch counter (1-based).
+    pub fn next_epoch(&self) -> u64 {
+        match self.epochs.lock() {
+            Ok(mut e) => {
+                *e += 1;
+                *e
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Reads every slot once (bounded seqlock retries per slot).
+    pub fn observe(&self) -> Vec<WorkerObservation> {
+        let slots = match self.slots.lock() {
+            Ok(s) => s.clone(),
+            Err(_) => return Vec::new(),
+        };
+        slots
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| WorkerObservation {
+                index,
+                version: cell.version(),
+                snapshot: cell.read(),
+            })
+            .collect()
+    }
+}
+
+/// A worker the watchdog just declared stalled.
+#[derive(Debug, Clone, Copy)]
+pub struct StallEvent {
+    /// Slot index of the stalled worker.
+    pub worker: usize,
+    /// The worker's last successfully read snapshot, if any.
+    pub snapshot: Option<WorkerSnapshot>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    last_version: u64,
+    last_change: Instant,
+    stalled: bool,
+}
+
+/// The stall watchdog: tracks each slot's seqlock version across polls
+/// and declares a worker stalled when an *active* worker's version has
+/// not advanced within the threshold window.
+///
+/// Deterministic by construction — `now` is passed in, so tests drive
+/// the clock without sleeping.
+#[derive(Debug)]
+pub struct StallDetector {
+    threshold: Duration,
+    states: Vec<SlotState>,
+}
+
+impl StallDetector {
+    /// A detector with the given stall window.
+    pub fn new(threshold: Duration) -> Self {
+        Self {
+            threshold,
+            states: Vec::new(),
+        }
+    }
+
+    /// Feeds one poll's observations; returns workers that *newly*
+    /// transitioned to stalled this tick (for one-shot warnings).
+    /// A version advance — or the worker going inactive — clears the
+    /// stall. Slots that disappeared (epoch reset) are forgotten.
+    pub fn observe(&mut self, obs: &[WorkerObservation], now: Instant) -> Vec<StallEvent> {
+        self.states.truncate(obs.len());
+        let mut newly_stalled = Vec::new();
+        for o in obs {
+            if o.index >= self.states.len() {
+                self.states.push(SlotState {
+                    last_version: o.version,
+                    last_change: now,
+                    stalled: false,
+                });
+                continue;
+            }
+            let Some(state) = self.states.get_mut(o.index) else {
+                continue;
+            };
+            let active = o.snapshot.map(|s| s.active).unwrap_or(true);
+            if o.version != state.last_version || !active {
+                state.last_version = o.version;
+                state.last_change = now;
+                state.stalled = false;
+            } else if !state.stalled
+                && now.saturating_duration_since(state.last_change) >= self.threshold
+            {
+                state.stalled = true;
+                newly_stalled.push(StallEvent {
+                    worker: o.index,
+                    snapshot: o.snapshot,
+                });
+            }
+        }
+        newly_stalled
+    }
+
+    /// True when no tracked worker is currently stalled.
+    pub fn healthy(&self) -> bool {
+        self.states.iter().all(|s| !s.stalled)
+    }
+
+    /// Indices of currently stalled workers.
+    pub fn stalled_workers(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.stalled.then_some(i))
+            .collect()
+    }
+}
+
+/// Fleet-wide rates the server derives from successive polls; split out
+/// so document rendering stays pure (golden-testable without clocks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetRates {
+    /// Sampled edges per second since the first observation.
+    pub edges_per_sec: f64,
+    /// Completed batches per second since the first observation.
+    pub batches_per_sec: f64,
+    /// Estimated seconds until all assigned batches complete (`None`
+    /// when unknown: no assigned totals or no progress yet).
+    pub eta_seconds: Option<f64>,
+}
+
+/// Renders the `GET /metrics` Prometheus document for one poll's
+/// observations. Pure: same observations ⇒ same text.
+pub fn metrics_document(obs: &[WorkerObservation]) -> String {
+    let mut w = PromWriter::new();
+    w.gauge("ringsampler_up", "Telemetry endpoint liveness", &[], 1.0);
+    w.gauge(
+        "ringsampler_workers",
+        "Worker slots currently registered",
+        &[],
+        obs.len() as f64,
+    );
+    for o in obs {
+        let Some(s) = o.snapshot else { continue };
+        let idx = o.index.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &idx)];
+        w.gauge(
+            "ringsampler_worker_epoch",
+            "Epoch the worker is sampling",
+            labels,
+            s.epoch as f64,
+        );
+        w.gauge(
+            "ringsampler_worker_active",
+            "1 while the worker is sampling, 0 after it joined",
+            labels,
+            if s.active { 1.0 } else { 0.0 },
+        );
+        w.counter(
+            "ringsampler_worker_batches_total",
+            "Mini-batches completed this epoch",
+            labels,
+            s.batches,
+        );
+        w.counter(
+            "ringsampler_worker_targets_total",
+            "Seed nodes processed this epoch",
+            labels,
+            s.targets,
+        );
+        w.counter(
+            "ringsampler_worker_sampled_nodes_total",
+            "Frontier nodes whose neighbor lists were sampled",
+            labels,
+            s.sampled_nodes,
+        );
+        w.counter(
+            "ringsampler_worker_sampled_edges_total",
+            "Neighbor entries sampled",
+            labels,
+            s.sampled_edges,
+        );
+        w.counter(
+            "ringsampler_worker_io_bytes_total",
+            "Payload bytes read from disk",
+            labels,
+            s.bytes_read,
+        );
+        w.counter(
+            "ringsampler_worker_reads_submitted_total",
+            "Read requests submitted to the I/O engine",
+            labels,
+            s.reads_submitted,
+        );
+        w.counter(
+            "ringsampler_worker_reads_completed_total",
+            "Read requests whose completions were reaped",
+            labels,
+            s.reads_completed,
+        );
+        w.counter(
+            "ringsampler_worker_io_groups_total",
+            "I/O groups submitted",
+            labels,
+            s.io_groups,
+        );
+        w.gauge(
+            "ringsampler_worker_inflight_reads",
+            "Read requests currently in flight on the worker's ring",
+            labels,
+            s.inflight as f64,
+        );
+        w.histogram(
+            "ringsampler_worker_batch_latency_seconds",
+            "Wall latency per sampled mini-batch this epoch",
+            labels,
+            &s.batch_latency,
+        );
+    }
+    w.finish()
+}
+
+/// Renders the `GET /progress` JSON document: per-worker rows plus a
+/// fleet aggregate. Pure: rates and stall state are passed in.
+pub fn progress_document(obs: &[WorkerObservation], stalled: &[usize], rates: &FleetRates) -> String {
+    let mut workers = Vec::with_capacity(obs.len());
+    let mut fleet_batches = 0u64;
+    let mut fleet_total_batches = 0u64;
+    let mut fleet_edges = 0u64;
+    let mut fleet_bytes = 0u64;
+    let mut fleet_inflight = 0u64;
+    let mut fleet_active = 0u64;
+    for o in obs {
+        let Some(s) = o.snapshot else { continue };
+        fleet_batches += s.batches;
+        fleet_total_batches += s.total_batches;
+        fleet_edges += s.sampled_edges;
+        fleet_bytes += s.bytes_read;
+        fleet_inflight += s.inflight;
+        fleet_active += u64::from(s.active);
+        let fraction = if s.total_batches > 0 {
+            s.batches as f64 / s.total_batches as f64
+        } else {
+            0.0
+        };
+        workers.push(
+            Json::object()
+                .with("worker", Json::U64(o.index as u64))
+                .with("epoch", Json::U64(s.epoch))
+                .with("active", Json::Bool(s.active))
+                .with("stalled", Json::Bool(stalled.contains(&o.index)))
+                .with("batches", Json::U64(s.batches))
+                .with("total_batches", Json::U64(s.total_batches))
+                .with("fraction", Json::F64(fraction))
+                .with("targets", Json::U64(s.targets))
+                .with("sampled_nodes", Json::U64(s.sampled_nodes))
+                .with("sampled_edges", Json::U64(s.sampled_edges))
+                .with("bytes_read", Json::U64(s.bytes_read))
+                .with("reads_submitted", Json::U64(s.reads_submitted))
+                .with("reads_completed", Json::U64(s.reads_completed))
+                .with("inflight", Json::U64(s.inflight))
+                .with("io_groups", Json::U64(s.io_groups))
+                .with("batch_latency_p50_ns", Json::U64(s.batch_latency.p50()))
+                .with("batch_latency_p99_ns", Json::U64(s.batch_latency.p99())),
+        );
+    }
+    let fleet_fraction = if fleet_total_batches > 0 {
+        fleet_batches as f64 / fleet_total_batches as f64
+    } else {
+        0.0
+    };
+    let fleet = Json::object()
+        .with("workers", Json::U64(obs.len() as u64))
+        .with("active", Json::U64(fleet_active))
+        .with("stalled", Json::U64(stalled.len() as u64))
+        .with("batches", Json::U64(fleet_batches))
+        .with("total_batches", Json::U64(fleet_total_batches))
+        .with("fraction", Json::F64(fleet_fraction))
+        .with("sampled_edges", Json::U64(fleet_edges))
+        .with("bytes_read", Json::U64(fleet_bytes))
+        .with("inflight", Json::U64(fleet_inflight))
+        .with("edges_per_sec", Json::F64(rates.edges_per_sec))
+        .with("batches_per_sec", Json::F64(rates.batches_per_sec))
+        .with(
+            "eta_seconds",
+            rates.eta_seconds.map(Json::F64).unwrap_or(Json::Null),
+        );
+    Json::object()
+        .with("workers", Json::Array(workers))
+        .with("fleet", fleet)
+        .to_string_pretty()
+}
+
+/// A handle to the running telemetry server.
+#[derive(Debug, Clone)]
+pub struct TelemetryHandle {
+    registry: Arc<SnapshotRegistry>,
+    addr: SocketAddr,
+    healthy: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TelemetryHandle {
+    /// The slot registry workers publish into.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
+    }
+
+    /// The bound address (real port even when configured with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current watchdog verdict: false once any active worker stalls.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    /// Asks the telemetry thread to exit after its current tick.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// Binds the telemetry server on `cfg.addr`, announces the address on
+/// stderr (`ringscope listening on http://…`), and spawns the combined
+/// poll/serve/watchdog thread.
+///
+/// # Errors
+/// [`SamplerError::Io`] when the bind fails.
+pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> Result<TelemetryHandle> {
+    cfg.validate()?;
+    let server = HttpServer::bind(&cfg.addr).map_err(|e| SamplerError::Io(IoEngineError::File(e)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| SamplerError::Io(IoEngineError::File(e)))?;
+    eprintln!("ringscope listening on http://{addr}");
+    let handle = TelemetryHandle {
+        registry: Arc::clone(&registry),
+        addr,
+        healthy: Arc::new(AtomicBool::new(true)),
+        shutdown: Arc::new(AtomicBool::new(false)),
+    };
+    let healthy = Arc::clone(&handle.healthy);
+    let shutdown = Arc::clone(&handle.shutdown);
+    let poll_interval = cfg.poll_interval;
+    let mut detector = StallDetector::new(cfg.stall_threshold);
+    let builder = std::thread::Builder::new().name("ringscope".into());
+    let spawned = builder.spawn(move || {
+        // (first instant, edges, batches) — baseline for fleet rates.
+        let mut baseline: Option<(Instant, u64, u64)> = None;
+        while !shutdown.load(Ordering::Acquire) {
+            let now = Instant::now();
+            let obs = registry.observe();
+            for event in detector.observe(&obs, now) {
+                warn_stalled(&event);
+            }
+            healthy.store(detector.healthy(), Ordering::Release);
+            let stalled = detector.stalled_workers();
+            let rates = compute_rates(&obs, &mut baseline, now);
+            server.poll(8, |req| match req.path.as_str() {
+                "/metrics" => Response::prometheus(metrics_document(&obs)),
+                "/progress" => Response::json(progress_document(&obs, &stalled, &rates)),
+                "/healthz" => {
+                    if stalled.is_empty() {
+                        Response::text("ok\n")
+                    } else {
+                        Response::service_unavailable(format!(
+                            "stalled workers: {stalled:?}\n"
+                        ))
+                    }
+                }
+                _ => Response::not_found(),
+            });
+            std::thread::sleep(poll_interval);
+        }
+    });
+    spawned.map_err(|e| SamplerError::Io(IoEngineError::File(e)))?;
+    Ok(handle)
+}
+
+/// Derives fleet rates from the first observation that showed progress.
+fn compute_rates(
+    obs: &[WorkerObservation],
+    baseline: &mut Option<(Instant, u64, u64)>,
+    now: Instant,
+) -> FleetRates {
+    let mut edges = 0u64;
+    let mut batches = 0u64;
+    let mut total_batches = 0u64;
+    for o in obs {
+        if let Some(s) = o.snapshot {
+            edges += s.sampled_edges;
+            batches += s.batches;
+            total_batches += s.total_batches;
+        }
+    }
+    let (t0, e0, b0) = *baseline.get_or_insert((now, edges, batches));
+    let dt = now.saturating_duration_since(t0).as_secs_f64();
+    if dt <= 0.0 {
+        return FleetRates::default();
+    }
+    let edges_per_sec = edges.saturating_sub(e0) as f64 / dt;
+    let batches_per_sec = batches.saturating_sub(b0) as f64 / dt;
+    let eta_seconds = if total_batches > batches && batches_per_sec > 0.0 {
+        Some((total_batches - batches) as f64 / batches_per_sec)
+    } else {
+        None
+    };
+    FleetRates {
+        edges_per_sec,
+        batches_per_sec,
+        eta_seconds,
+    }
+}
+
+/// Emits the structured one-shot stall warning with the worker's
+/// last-known state (group index, in-flight depth) to stderr.
+fn warn_stalled(event: &StallEvent) {
+    let mut doc = Json::object()
+        .with("event", Json::str("ringscope_stall"))
+        .with("worker", Json::U64(event.worker as u64));
+    if let Some(s) = event.snapshot {
+        doc = doc
+            .with("epoch", Json::U64(s.epoch))
+            .with("batches", Json::U64(s.batches))
+            .with("io_groups", Json::U64(s.io_groups))
+            .with("inflight", Json::U64(s.inflight))
+            .with("reads_submitted", Json::U64(s.reads_submitted))
+            .with("reads_completed", Json::U64(s.reads_completed));
+    }
+    eprintln!("{}", doc.to_string_compact());
+}
+
+/// The process-global telemetry server: bench binaries construct many
+/// sequential `RingSampler` instances, which must share one listener
+/// instead of binding a fresh port per sampler. First successful call
+/// binds; subsequent calls (any config) return the same handle.
+static GLOBAL_SERVER: OnceLock<std::result::Result<TelemetryHandle, String>> = OnceLock::new();
+
+/// Returns the shared process-wide telemetry server, binding it on first
+/// use with `cfg`.
+///
+/// # Errors
+/// The first bind failure is sticky: every later call reports it too.
+pub fn ensure_server(cfg: &TelemetryConfig) -> Result<TelemetryHandle> {
+    let entry = GLOBAL_SERVER.get_or_init(|| {
+        let registry = Arc::new(SnapshotRegistry::new());
+        spawn_server(cfg, registry).map_err(|e| e.to_string())
+    });
+    match entry {
+        Ok(handle) => Ok(handle.clone()),
+        Err(msg) => Err(SamplerError::InvalidConfig(format!(
+            "telemetry server failed to start: {msg}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    fn snap(batches: u64, total: u64, active: bool) -> WorkerSnapshot {
+        let mut s = WorkerSnapshot::new();
+        s.epoch = 1;
+        s.batches = batches;
+        s.total_batches = total;
+        s.sampled_edges = batches * 100;
+        s.bytes_read = batches * 4096;
+        s.reads_submitted = batches * 64;
+        s.reads_completed = batches * 64 - 2;
+        s.inflight = 2;
+        s.io_groups = batches * 2;
+        s.active = active;
+        s
+    }
+
+    fn obs_of(snaps: &[WorkerSnapshot]) -> Vec<WorkerObservation> {
+        snaps
+            .iter()
+            .enumerate()
+            .map(|(index, &s)| WorkerObservation {
+                index,
+                version: 2 * (s.batches + 1),
+                snapshot: Some(s),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn registry_reset_and_register() {
+        let reg = SnapshotRegistry::new();
+        assert!(reg.observe().is_empty());
+        let cells = reg.reset_epoch(3);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(reg.observe().len(), 3);
+        let extra = reg.register();
+        extra.publish(snap(5, 10, true));
+        let obs = reg.observe();
+        assert_eq!(obs.len(), 4);
+        assert_eq!(obs[3].snapshot.unwrap().batches, 5);
+        assert_eq!(reg.reset_epoch(1).len(), 1);
+        assert_eq!(reg.observe().len(), 1);
+        assert_eq!(reg.next_epoch(), 1);
+        assert_eq!(reg.next_epoch(), 2);
+    }
+
+    #[test]
+    fn watchdog_fires_after_threshold_and_recovers() {
+        let mut det = StallDetector::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        let obs = obs_of(&[snap(1, 10, true), snap(1, 10, true)]);
+
+        assert!(det.observe(&obs, t0).is_empty(), "first sight never stalls");
+        assert!(det.healthy());
+
+        // Same versions within the window: not stalled yet.
+        assert!(det.observe(&obs, t0 + Duration::from_millis(50)).is_empty());
+        assert!(det.healthy());
+
+        // Window elapsed with no version advance: both fire exactly once.
+        let events = det.observe(&obs, t0 + Duration::from_millis(150));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].worker, 0);
+        assert_eq!(events[0].snapshot.unwrap().inflight, 2);
+        assert!(!det.healthy());
+        assert_eq!(det.stalled_workers(), vec![0, 1]);
+        assert!(
+            det.observe(&obs, t0 + Duration::from_millis(250)).is_empty(),
+            "stall warnings are one-shot"
+        );
+
+        // Worker 0 advances its version: recovers; worker 1 stays stalled.
+        let mut advanced = obs.clone();
+        advanced[0].version += 2;
+        assert!(det.observe(&advanced, t0 + Duration::from_millis(300)).is_empty());
+        assert_eq!(det.stalled_workers(), vec![1]);
+
+        // Worker 1 goes inactive (joined): stall clears, healthy again.
+        let mut joined = advanced.clone();
+        joined[1].snapshot = Some(snap(1, 10, false));
+        det.observe(&joined, t0 + Duration::from_millis(350));
+        assert!(det.healthy());
+    }
+
+    #[test]
+    fn inactive_workers_never_stall() {
+        let mut det = StallDetector::new(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let obs = obs_of(&[snap(4, 4, false)]);
+        det.observe(&obs, t0);
+        assert!(det.observe(&obs, t0 + Duration::from_secs(60)).is_empty());
+        assert!(det.healthy());
+    }
+
+    #[test]
+    fn metrics_document_has_acceptance_families() {
+        let doc = metrics_document(&obs_of(&[snap(3, 8, true), snap(2, 8, true)]));
+        assert!(doc.contains("# TYPE ringsampler_worker_sampled_edges_total counter"));
+        assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 300"#));
+        assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="1"} 200"#));
+        assert!(doc.contains("# TYPE ringsampler_worker_inflight_reads gauge"));
+        assert!(doc.contains(r#"ringsampler_worker_inflight_reads{worker="0"} 2"#));
+        assert!(doc.contains("ringsampler_workers 2"));
+        // HELP/TYPE emitted once per family despite two workers.
+        assert_eq!(doc.matches("# HELP ringsampler_worker_batches_total").count(), 1);
+    }
+
+    #[test]
+    fn progress_document_aggregates_fleet() {
+        let rates = FleetRates {
+            edges_per_sec: 500.0,
+            batches_per_sec: 5.0,
+            eta_seconds: Some(2.2),
+        };
+        let doc = progress_document(&obs_of(&[snap(3, 8, true), snap(5, 8, true)]), &[1], &rates);
+        assert!(doc.contains("\"batches\": 8"), "{doc}");
+        assert!(doc.contains("\"total_batches\": 16"));
+        assert!(doc.contains("\"fraction\": 0.5"));
+        assert!(doc.contains("\"edges_per_sec\": 500.0"));
+        assert!(doc.contains("\"eta_seconds\": 2.2"));
+        assert!(doc.contains("\"stalled\": true"));
+        assert!(doc.contains("\"stalled\": 1"));
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        for _ in 0..50 {
+            if let Ok(mut stream) = TcpStream::connect(addr) {
+                stream
+                    .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                    .unwrap();
+                let mut out = String::new();
+                stream.read_to_string(&mut out).unwrap();
+                if let Some(code) = out.split_whitespace().nth(1).and_then(|s| s.parse().ok()) {
+                    let body = out
+                        .split_once("\r\n\r\n")
+                        .map(|(_, b)| b.to_string())
+                        .unwrap_or_default();
+                    return (code, body);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("no HTTP response from {addr}{path}");
+    }
+
+    #[test]
+    fn server_serves_endpoints_and_watchdog_flips_healthz() {
+        let cfg = TelemetryConfig::new("127.0.0.1:0")
+            .poll_interval(Duration::from_millis(10))
+            .stall_threshold(Duration::from_millis(60));
+        let registry = Arc::new(SnapshotRegistry::new());
+        let handle = spawn_server(&cfg, Arc::clone(&registry)).expect("spawn server");
+
+        let cell = registry.register();
+        cell.publish(snap(1, 4, true));
+
+        let (code, body) = http_get(handle.addr(), "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("ringsampler_worker_sampled_edges_total"), "{body}");
+        let (code, body) = http_get(handle.addr(), "/progress");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"fleet\""));
+        let (code, _) = http_get(handle.addr(), "/healthz");
+        assert_eq!(code, 200);
+        assert!(handle.is_healthy());
+        let (code, _) = http_get(handle.addr(), "/nope");
+        assert_eq!(code, 404);
+
+        // The worker goes silent while active: the deliberate stall.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (code, _) = http_get(handle.addr(), "/healthz");
+            if code == 503 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!handle.is_healthy());
+
+        // Progress again: the worker recovers, health returns.
+        cell.publish(snap(2, 4, true));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let (code, _) = http_get(handle.addr(), "/healthz");
+            if code == 200 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "health never recovered");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        handle.shutdown();
+    }
+}

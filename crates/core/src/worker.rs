@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
 use ringsampler_io::engine::{GroupReader, GroupToken, PreadReader, ReadSlice, UringReader};
 use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
-use ringstat::{LatencyHistogram, Phase, PhaseTimes, SpanLog};
+use ringstat::{LatencyHistogram, Phase, PhaseTimes, SnapshotCell, SpanLog, WorkerSnapshot};
 
 use crate::block::{BatchSample, LayerSample};
 use crate::cache::{page_of, PageCache, PAGE_SIZE};
@@ -81,6 +81,20 @@ pub struct SamplerWorker {
     cq_hist: LatencyHistogram,
     phases: PhaseTimes,
     spans: SpanLog,
+    /// `ringscope` live-telemetry slot: when attached, the worker
+    /// publishes a snapshot through the seqlock after every batch (two
+    /// word stores + a fence — the one sanctioned hot-path exception to
+    /// "no atomics"; see `ringstat::snapshot`). `None` costs one branch.
+    telemetry: Option<TelemetrySlot>,
+}
+
+/// Per-worker publish state for live telemetry (cold fields read every
+/// batch, but only when telemetry is enabled).
+struct TelemetrySlot {
+    cell: Arc<SnapshotCell<WorkerSnapshot>>,
+    epoch: u64,
+    total_batches: u64,
+    seeds_done: u64,
 }
 
 impl std::fmt::Debug for SamplerWorker {
@@ -199,7 +213,56 @@ impl SamplerWorker {
             cq_hist: LatencyHistogram::new(),
             phases: PhaseTimes::new(),
             spans,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a live-telemetry slot: from now on the worker publishes
+    /// a [`WorkerSnapshot`] after every batch (and a final inactive one
+    /// at [`SamplerWorker::take_stats`]). `epoch` and `total_batches`
+    /// are carried verbatim into every snapshot (`total_batches = 0`
+    /// when the batch count is unknown, e.g. a streaming loader).
+    pub(crate) fn attach_telemetry(
+        &mut self,
+        cell: Arc<SnapshotCell<WorkerSnapshot>>,
+        epoch: u64,
+        total_batches: u64,
+    ) {
+        self.telemetry = Some(TelemetrySlot {
+            cell,
+            epoch,
+            total_batches,
+            seeds_done: 0,
+        });
+    }
+
+    /// Builds the current snapshot and publishes it through the seqlock
+    /// slot, if one is attached. The publish itself is wait-free: two
+    /// version-counter stores and a volatile payload store.
+    fn publish_snapshot(&mut self, active: bool) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let m = self.metrics();
+        let inflight = self.reader.inflight();
+        let batch_latency = self.batch_hist;
+        if let Some(slot) = &mut self.telemetry {
+            slot.cell.publish(WorkerSnapshot {
+                epoch: slot.epoch,
+                batches: m.batches,
+                total_batches: slot.total_batches,
+                targets: slot.seeds_done,
+                sampled_nodes: m.targets,
+                sampled_edges: m.sampled_edges,
+                bytes_read: m.io_bytes,
+                reads_submitted: m.io_requests,
+                reads_completed: m.io_requests.saturating_sub(inflight),
+                inflight,
+                io_groups: m.io_groups,
+                active,
+                batch_latency,
+            });
+        }
     }
 
     /// The graph this worker samples from.
@@ -246,6 +309,9 @@ impl SamplerWorker {
     /// cloning it (the epoch-join path). Spans recorded after this call
     /// are dropped (the replacement log has zero capacity).
     pub fn take_stats(&mut self) -> WorkerStats {
+        // Final telemetry publish: the worker is done, so the watchdog
+        // must stop expecting its version to advance.
+        self.publish_snapshot(false);
         let spans = std::mem::take(&mut self.spans);
         WorkerStats {
             metrics: self.metrics(),
@@ -282,6 +348,10 @@ impl SamplerWorker {
         let batch_end = Instant::now();
         self.batch_hist.record(nanos_between(batch_start, batch_end));
         self.spans.record("batch", batch_start, batch_end);
+        if let Some(slot) = &mut self.telemetry {
+            slot.seeds_done += seeds.len() as u64;
+        }
+        self.publish_snapshot(true);
         self.ensure_workspace_charge()?;
         Ok(BatchSample { layers })
     }

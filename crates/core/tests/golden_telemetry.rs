@@ -1,0 +1,104 @@
+//! Golden-file tests pinning the exact bytes of the `ringscope` live
+//! endpoints (`GET /metrics`, `GET /progress`) against a fixed
+//! two-worker snapshot registry. The documents are rendered by the same
+//! pure functions the telemetry thread calls, with all time-dependent
+//! inputs (rates, ETA) fixed — so the goldens are byte-stable.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p ringsampler --test golden_telemetry`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ringsampler::telemetry::{metrics_document, progress_document, FleetRates, SnapshotRegistry};
+use ringstat::WorkerSnapshot;
+
+/// The fixed two-worker fleet: worker 0 mid-epoch with reads in flight,
+/// worker 1 further along. Deterministic histogram samples, no clocks.
+fn golden_registry() -> Arc<SnapshotRegistry> {
+    let registry = Arc::new(SnapshotRegistry::new());
+    let cells = registry.reset_epoch(2);
+
+    let mut w0 = WorkerSnapshot::new();
+    w0.epoch = 1;
+    w0.batches = 3;
+    w0.total_batches = 8;
+    w0.targets = 384;
+    w0.sampled_nodes = 960;
+    w0.sampled_edges = 1_536;
+    w0.bytes_read = 6_144;
+    w0.reads_submitted = 1_536;
+    w0.reads_completed = 1_532;
+    w0.inflight = 4;
+    w0.io_groups = 12;
+    w0.active = true;
+    for v in [500_000u64, 600_000, 900_000] {
+        w0.batch_latency.record(v);
+    }
+    cells[0].publish(w0);
+
+    let mut w1 = WorkerSnapshot::new();
+    w1.epoch = 1;
+    w1.batches = 5;
+    w1.total_batches = 8;
+    w1.targets = 640;
+    w1.sampled_nodes = 1_600;
+    w1.sampled_edges = 2_560;
+    w1.bytes_read = 10_240;
+    w1.reads_submitted = 2_560;
+    w1.reads_completed = 2_560;
+    w1.inflight = 0;
+    w1.io_groups = 20;
+    w1.active = true;
+    for v in [400_000u64, 500_000, 700_000, 800_000, 1_100_000] {
+        w1.batch_latency.record(v);
+    }
+    cells[1].publish(w1);
+
+    registry
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from the golden file; if the format change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn metrics_endpoint_body_is_pinned() {
+    let doc = metrics_document(&golden_registry().observe());
+    // Acceptance criteria: per-worker sampled-edge counters and in-flight
+    // SQE gauges are present before byte-pinning the whole document.
+    assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 1536"#));
+    assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="1"} 2560"#));
+    assert!(doc.contains(r#"ringsampler_worker_inflight_reads{worker="0"} 4"#));
+    assert!(doc.contains(r#"ringsampler_worker_inflight_reads{worker="1"} 0"#));
+    check_golden("telemetry_metrics.prom", &doc);
+}
+
+#[test]
+fn progress_endpoint_body_is_pinned() {
+    // Rates are inputs, not clock readings — fixed for the golden.
+    let rates = FleetRates {
+        edges_per_sec: 4_096.0,
+        batches_per_sec: 8.0,
+        eta_seconds: Some(1.0),
+    };
+    let doc = progress_document(&golden_registry().observe(), &[], &rates);
+    assert!(doc.contains("\"batches\": 8"));
+    assert!(doc.contains("\"total_batches\": 16"));
+    check_golden("telemetry_progress.json", &doc);
+}

@@ -3,6 +3,12 @@
 //! and yields sampled mini-batches through a bounded channel, so sampling
 //! (CPU + io_uring) overlaps with model computation — the decoupling the
 //! paper proposes for integrating RingSampler into DGL's DataLoader.
+//!
+//! When the sampler was built with telemetry
+//! ([`SamplerConfig::telemetry`](ringsampler::SamplerConfig::telemetry)),
+//! the prefetch worker automatically publishes `ringscope` snapshots: it
+//! shows up as one more worker row under `GET /metrics` / `GET /progress`
+//! and is covered by the stall watchdog like any epoch worker.
 
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;

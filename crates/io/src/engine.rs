@@ -107,6 +107,12 @@ pub trait GroupReader: Send {
     /// Lifetime counters.
     fn stats(&self) -> ReaderStats;
 
+    /// Read requests currently in flight: SQEs submitted whose CQEs have
+    /// not been reaped yet. The live queue-occupancy gauge behind
+    /// `ringscope`'s per-worker telemetry; always 0 for engines that
+    /// execute groups eagerly at submission time.
+    fn inflight(&self) -> u64;
+
     /// Per-group submit→complete latency distribution over the reader's
     /// lifetime. One sample is recorded per completed group; recording is
     /// allocation-free (the histogram is a fixed-size `Copy` value).
@@ -497,6 +503,10 @@ impl GroupReader for UringReader {
         s
     }
 
+    fn inflight(&self) -> u64 {
+        self.outstanding
+    }
+
     fn group_latency(&self) -> LatencyHistogram {
         self.lat
     }
@@ -636,6 +646,10 @@ impl GroupReader for PreadReader {
 
     fn stats(&self) -> ReaderStats {
         self.stats
+    }
+
+    fn inflight(&self) -> u64 {
+        0 // groups execute eagerly at submission; nothing is ever pending
     }
 
     fn group_latency(&self) -> LatencyHistogram {

@@ -28,6 +28,9 @@ pub const HOT_PATH: &[&str] = &[
     // must stay allocation-free, lock-free and panic-free.
     "crates/ringstat/src/hist.rs",
     "crates/ringstat/src/span.rs",
+    // The seqlock publish runs once per batch on every worker; aside from
+    // its two audited version-counter accesses it must stay sync-free.
+    "crates/ringstat/src/snapshot.rs",
 ];
 
 /// Modules on the io_uring submission/completion path. Blocking reads here
@@ -49,6 +52,9 @@ pub const IO_PATH: &[&str] = &[
 pub const ATOMIC_PATH: &[&str] = &[
     "crates/io/src/ring.rs",
     "crates/io/src/sys.rs",
+    // The snapshot seqlock is a single-writer acquire/release protocol;
+    // its two relaxed accesses carry reasoned `ringlint: allow` comments.
+    "crates/ringstat/src/snapshot.rs",
 ];
 
 /// Returns true if `rel` (forward-slash, workspace-relative) ends with any
@@ -130,6 +136,17 @@ mod tests {
         }
         // Export-side modules run at epoch join, not in the hot loop.
         assert_eq!(rules_for("crates/ringstat/src/json.rs"), vec![RULE_UNSAFE]);
+        // The telemetry server runs on its own thread, outside hot scope.
+        assert_eq!(rules_for("crates/ringstat/src/http.rs"), vec![RULE_UNSAFE]);
+    }
+
+    #[test]
+    fn snapshot_seqlock_is_hot_and_atomic_but_not_io() {
+        let rules = rules_for("crates/ringstat/src/snapshot.rs");
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_ATOMIC));
+        assert!(!rules.contains(&RULE_BLOCKING));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! A dependency-free, blocking, bounded HTTP/1.1 listener — just enough
+//! to serve `ringscope`'s three read-only telemetry endpoints.
+//!
+//! Design constraints (DESIGN.md §10): the container is offline, so no
+//! hyper/axum; telemetry must never perturb the sampling workers, so the
+//! server runs on one dedicated thread, accepts a bounded number of
+//! connections per poll tick, closes every connection after one response
+//! (`Connection: close`), and enforces short read/write timeouts so a
+//! slow scraper cannot wedge the telemetry loop.
+//!
+//! This module is transport only — it parses a request line and hands a
+//! [`Request`] to a caller-supplied handler. Routing and payload
+//! rendering live with the caller (`ringsampler::telemetry`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Per-connection socket timeout: a scraper that stalls longer than this
+/// mid-request or mid-response is dropped.
+const SOCKET_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Upper bound on request bytes read; telemetry GETs are tiny, anything
+/// larger is rejected with `400 Bad Request`.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request line (headers and body are ignored — the
+/// telemetry API is read-only GETs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verb, e.g. `GET`.
+    pub method: String,
+    /// The request target, e.g. `/metrics` (query string included as-is).
+    pub path: String,
+}
+
+/// An HTTP response: status, content type, and a text body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    /// `200 OK` with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// `200 OK` with Prometheus text exposition format.
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// `200 OK` with a JSON body.
+    pub fn json(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// `404 Not Found`.
+    pub fn not_found() -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".to_string(),
+        }
+    }
+
+    /// `503 Service Unavailable` with a plain-text body (the watchdog's
+    /// unhealthy `/healthz` answer).
+    pub fn service_unavailable(body: impl Into<String>) -> Self {
+        Self {
+            status: 503,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Overrides the status code (builder-style).
+    pub fn with_status(mut self, status: u16) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body text.
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the full HTTP/1.1 response (status line, minimal
+    /// headers, body).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+/// A non-blocking accept loop over a bound [`TcpListener`], drained one
+/// bounded batch at a time by [`poll`](Self::poll).
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`; port `0` picks a free port).
+    ///
+    /// # Errors
+    /// Propagates bind / socket-configuration failures.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accepts let `poll` interleave with the watchdog
+        // tick on a single thread instead of parking in `accept()`.
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (reports the real port when bound to port 0).
+    ///
+    /// # Errors
+    /// Propagates `getsockname` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves at most `max_conns` pending connections, one
+    /// request each, and returns the number served. Returns immediately
+    /// when no connection is pending.
+    pub fn poll(&self, max_conns: usize, mut handler: impl FnMut(&Request) -> Response) -> usize {
+        let mut served = 0;
+        while served < max_conns {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    serve_one(stream, &mut handler);
+                    served += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept error: retry next tick
+            }
+        }
+        served
+    }
+}
+
+/// Reads one request head from `stream`, dispatches it, writes the
+/// response. All errors are swallowed: a misbehaving scraper must never
+/// take the telemetry thread down.
+fn serve_one(stream: TcpStream, handler: &mut impl FnMut(&Request) -> Response) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    let mut stream = stream;
+
+    let response = match read_request_head(&mut stream) {
+        Some(head) => match parse_request_line(&head) {
+            Some(req) if req.method == "GET" => handler(&req),
+            Some(_) => Response::text("only GET is supported\n").with_status(405),
+            None => Response::text("malformed request line\n").with_status(400),
+        },
+        None => Response::text("request too large or unreadable\n").with_status(400),
+    };
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Reads until the end-of-headers marker (or the size cap / a timeout).
+/// Returns the raw head bytes as lossy UTF-8.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+            }
+            Err(_) => break, // timeout or reset: parse what we have
+        }
+    }
+    if buf.is_empty() {
+        None
+    } else {
+        Some(String::from_utf8_lossy(&buf).into_owned())
+    }
+}
+
+/// Parses `METHOD PATH VERSION` from the first line.
+fn parse_request_line(head: &str) -> Option<Request> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(Request { method, path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        let status: u16 = out
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let body = out
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_bounded_requests_and_routes() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("local addr");
+
+        let client = std::thread::spawn(move || {
+            let a = get(addr, "/metrics");
+            let b = get(addr, "/nope");
+            (a, b)
+        });
+
+        let mut served = 0;
+        while served < 2 {
+            served += server.poll(8, |req| {
+                assert_eq!(req.method, "GET");
+                if req.path == "/metrics" {
+                    Response::prometheus("ringsampler_up 1\n")
+                } else {
+                    Response::not_found()
+                }
+            });
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let ((s1, b1), (s2, _)) = client.join().expect("client join");
+        assert_eq!(s1, 200);
+        assert_eq!(b1, "ringsampler_up 1\n");
+        assert_eq!(s2, 404);
+    }
+
+    #[test]
+    fn poll_returns_zero_with_no_pending_connections() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        assert_eq!(server.poll(4, |_| Response::text("x")), 0);
+    }
+
+    #[test]
+    fn non_get_is_405_and_garbage_is_400() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("local addr");
+
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").expect("write");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            let post_status: u16 = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"??\r\n\r\n").expect("write");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            let bad_status: u16 = out.split_whitespace().nth(1).unwrap().parse().unwrap();
+            (post_status, bad_status)
+        });
+
+        let mut served = 0;
+        while served < 2 {
+            served += server.poll(8, |_| Response::text("unreachable"));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (post_status, bad_status) = client.join().expect("client join");
+        assert_eq!(post_status, 405);
+        assert_eq!(bad_status, 400);
+    }
+
+    #[test]
+    fn response_bytes_have_content_length_and_close() {
+        let r = Response::json("{}".to_string());
+        let text = String::from_utf8(r.to_bytes()).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(Response::service_unavailable("x").status(), 503);
+        assert_eq!(Response::not_found().status(), 404);
+    }
+
+    #[test]
+    fn request_line_parsing() {
+        let req = parse_request_line("GET /progress HTTP/1.1\r\n").expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/progress");
+        assert!(parse_request_line("GET nothing-absolute HTTP/1.1").is_none());
+        assert!(parse_request_line("").is_none());
+    }
+}

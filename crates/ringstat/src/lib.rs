@@ -20,6 +20,12 @@
 //!   spans.
 //! * [`Json`], [`PromWriter`], [`ChromeTrace`] — dependency-free exporters
 //!   for the three artifact formats every run leaves behind.
+//! * [`SnapshotCell`] / [`WorkerSnapshot`] — the `ringscope` live-telemetry
+//!   publish side: a single-writer seqlock slot each worker overwrites
+//!   after every batch, readable by an observer thread without ever
+//!   blocking the writer.
+//! * [`HttpServer`] — a bounded, dependency-free HTTP listener for the
+//!   embedded `/metrics` · `/progress` · `/healthz` endpoints.
 //! * [`human_bytes`] / [`human_count`] — display helpers for run reports.
 //!
 //! ## The synchronization-free invariant
@@ -27,23 +33,32 @@
 //! Every recorder in this crate is **thread-private by design**: a worker
 //! owns its histograms and span log, records into them with plain `&mut`
 //! writes, and only at epoch join does the driver `merge` the per-thread
-//! values. There are no locks, no atomics, and no channels anywhere in
-//! this crate — `ringlint`'s `sync-free-hot-path` rule is enforced over
-//! [`hist`] and [`span`] to keep it that way.
+//! values. There are no locks and no channels anywhere in this crate,
+//! and the only atomics are the two word-sized version-counter accesses
+//! of the [`snapshot`] seqlock — a wait-free publish with no RMW, no CAS
+//! loop, and no blocking, which is the one sanctioned way a worker's
+//! state becomes externally visible mid-epoch. `ringlint`'s
+//! `sync-free-hot-path` rule is enforced over [`hist`], [`span`], and
+//! [`snapshot`] to keep it that way, and its `atomic-ordering` rule
+//! audits the seqlock's ordering discipline.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod fmt;
 pub mod hist;
+pub mod http;
 pub mod json;
 pub mod prometheus;
+pub mod snapshot;
 pub mod span;
 pub mod trace;
 
 pub use fmt::{human_bytes, human_count, human_nanos};
 pub use hist::{LatencyHistogram, NUM_BUCKETS};
+pub use http::{HttpServer, Request, Response};
 pub use json::Json;
 pub use prometheus::PromWriter;
+pub use snapshot::{SnapshotCell, WorkerSnapshot};
 pub use span::{Phase, PhaseTimes, SpanEvent, SpanLog, NUM_PHASES};
 pub use trace::ChromeTrace;

@@ -7,9 +7,10 @@
 //!
 //! Pass `--stats-json PATH` / `--trace PATH` / `--prometheus PATH` to dump
 //! the sampling-side observability report of every epoch (latency
-//! histograms, phase times, per-worker spans).
+//! histograms, phase times, per-worker spans). Pass `--serve <addr>` (or
+//! set `RS_SERVE=<addr>`) to watch the run live: `curl <addr>/progress`.
 
-use ringsampler::{RingSampler, SamplerConfig};
+use ringsampler::{RingSampler, SamplerConfig, TelemetryConfig};
 use ringsampler_bench::StatsSink;
 use ringsampler_gnn::features::SyntheticFeatures;
 use ringsampler_gnn::model::SageModel;
@@ -46,11 +47,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = build_dataset(n as u64, edges.into_iter(), &base, &PreprocessOptions::default())?;
     println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
 
+    // `--serve <addr>` / `RS_SERVE` turn on ringscope live telemetry for
+    // the DataLoader's prefetch worker (args win over the environment).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let serve = args
+        .windows(2)
+        .find(|w| w[0] == "--serve")
+        .map(|w| w[1].clone())
+        .or_else(|| std::env::var("RS_SERVE").ok().filter(|s| !s.is_empty()));
+
     let sampler = RingSampler::new(
         graph,
         SamplerConfig::new()
             .fanouts(&[10, 5])
             .batch_size(512)
+            .telemetry_opt(serve.map(TelemetryConfig::new))
             .seed(3),
     )?;
 
