@@ -7,10 +7,14 @@
 #   3. clippy with warnings denied
 #   4. ringlint — the workspace invariant checker (see DESIGN.md §7),
 #      whose hot-path scope covers the read planner (crates/core/src/plan.rs)
-#   5. plan_compare smoke — the read-plan ablation on a tiny graph, with
+#   5. ringlint baseline gate — the JSON report diffed against the
+#      committed ringlint-baseline.json (see DESIGN.md §11): new
+#      violations or stale `ringlint: allow` comments fail CI even if
+#      someone grows the baseline by hand
+#   6. plan_compare smoke — the read-plan ablation on a tiny graph, with
 #      RS_PLAN_ASSERT enforcing the >= 20% SQE-reduction floor and
 #      byte-identical samples across all plan modes
-#   6. ringscope smoke — fig4_overall with --serve 127.0.0.1:0, asserting
+#   7. ringscope smoke — fig4_overall with --serve 127.0.0.1:0, asserting
 #      that /metrics serves HTTP 200 with the ringsampler_ metric families
 #      and /healthz reports ok while the run is live
 #
@@ -29,6 +33,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> ringlint (workspace, incl. crates/ringstat hot-path recorders)"
 cargo run -q -p ringlint
+
+echo "==> ringlint baseline gate (--json --baseline ringlint-baseline.json)"
+cargo run -q -p ringlint -- --json --baseline ringlint-baseline.json >/dev/null
 
 echo "==> plan_compare smoke (tiny graph, RS_PLAN_ASSERT)"
 RS_PLAN_NODES=2000 RS_PLAN_EDGES=20000 RS_TARGETS=500 RS_THREADS=2 \

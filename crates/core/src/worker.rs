@@ -144,6 +144,7 @@ impl SamplerWorker {
         let engine = cfg.engine.unwrap_or_else(ringsampler_io::default_engine);
         let mut regbuf_bytes = 0u64;
         let mut regbuf_fallback = false;
+        let mut regfile_fallback = false;
         let reader: Box<dyn GroupReader> = match engine {
             EngineKind::Uring => {
                 let mut b = RingBuilder::new();
@@ -151,8 +152,11 @@ impl SamplerWorker {
                 let mut r = UringReader::with_file(file, b)?;
                 if cfg.register_file {
                     // Best effort: fall back to plain fd addressing if the
-                    // kernel refuses registration.
-                    let _ = r.register_file();
+                    // kernel refuses registration, but record the
+                    // degradation so operators can see it in span logs.
+                    if r.register_file().is_err() {
+                        regfile_fallback = true;
+                    }
                 }
                 if cfg.register_buffers {
                     // Best effort too: a refusal (old kernel, RLIMIT_MEMLOCK,
@@ -188,6 +192,10 @@ impl SamplerWorker {
             metrics.regbuf_fallbacks = 1;
             let now = Instant::now();
             spans.record("regbuf_fallback", now, now);
+        }
+        if regfile_fallback {
+            let now = Instant::now();
+            spans.record("regfile_fallback", now, now);
         }
         Ok(Self {
             graph,

@@ -1,0 +1,390 @@
+//! Baseline diff mode.
+//!
+//! `--baseline FILE` compares the current run against a committed snapshot
+//! so CI fails only on *new* violations: pre-existing, triaged findings are
+//! grandfathered until someone fixes them, while fresh regressions break
+//! the build immediately. Two deliberate asymmetries:
+//!
+//! * Matching ignores line numbers. A baselined violation is identified by
+//!   `(rule, file, message)` as a **multiset** — unrelated edits that shift
+//!   a finding up or down a few lines do not un-grandfather it, but adding
+//!   a *second* identical finding in the same file does fail the gate.
+//! * `stale-allow` findings are never grandfathered and never written into
+//!   a baseline. A stale exemption is a one-line deletion; letting it ride
+//!   in a baseline would defeat the hygiene rule entirely.
+//!
+//! The file format is deliberately tiny (`schema_version` 2, matching the
+//! report JSON):
+//!
+//! ```json
+//! {"schema_version":2,"violations":[
+//!   {"rule":"buffer-loan","file":"crates/io/src/x.rs","message":"..."}]}
+//! ```
+//!
+//! Parsing is hand-rolled (no serde offline) but escape-complete for
+//! everything [`crate::diag::json_escape`] can emit, plus `\uXXXX`.
+
+use crate::diag::{json_escape, Report, Violation};
+use crate::rules::RULE_STALE;
+use std::collections::HashMap;
+
+/// Schema version written by [`render`] and accepted by [`parse`].
+pub const BASELINE_SCHEMA_VERSION: u64 = 2;
+
+/// A baselined violation identity: everything but the line number.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Rule name, e.g. `buffer-loan`.
+    pub rule: String,
+    /// Workspace-relative forward-slash path.
+    pub file: String,
+    /// The full diagnostic message.
+    pub message: String,
+}
+
+/// Renders the baseline JSON for a report's current violations
+/// (`--update-baseline`). `stale-allow` findings are excluded: they must be
+/// fixed, not recorded.
+pub fn render(report: &Report) -> String {
+    let mut entries: Vec<Entry> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule != RULE_STALE)
+        .map(|v| Entry {
+            rule: v.rule.to_string(),
+            file: v.file.clone(),
+            message: v.message.clone(),
+        })
+        .collect();
+    entries.sort();
+    let mut out = format!("{{\"schema_version\":{BASELINE_SCHEMA_VERSION},\"violations\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"file\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&e.rule),
+            json_escape(&e.file),
+            json_escape(&e.message)
+        ));
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Violations in `report` that are not covered by `baseline`.
+///
+/// Multiset semantics: each baseline entry absorbs at most one current
+/// violation with the same `(rule, file, message)`. `stale-allow` findings
+/// are always returned as new.
+pub fn new_violations(report: &Report, baseline: &[Entry]) -> Vec<Violation> {
+    let mut budget: HashMap<(&str, &str, &str), usize> = HashMap::new();
+    for e in baseline {
+        *budget
+            .entry((e.rule.as_str(), e.file.as_str(), e.message.as_str()))
+            .or_default() += 1;
+    }
+    report
+        .violations
+        .iter()
+        .filter(|v| {
+            if v.rule == RULE_STALE {
+                return true;
+            }
+            match budget.get_mut(&(v.rule, v.file.as_str(), v.message.as_str())) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+/// Parses a baseline file. Tolerates an optional `line` field per entry
+/// (older snapshots) and unknown top-level keys; rejects a
+/// `schema_version` newer than [`BASELINE_SCHEMA_VERSION`].
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    p.ws();
+    p.expect(b'{')?;
+    let mut entries = Vec::new();
+    loop {
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "schema_version" => {
+                let v = p.number()?;
+                if v > BASELINE_SCHEMA_VERSION {
+                    return Err(format!(
+                        "baseline schema_version {v} is newer than supported \
+                         {BASELINE_SCHEMA_VERSION}; regenerate with --update-baseline"
+                    ));
+                }
+            }
+            "violations" => {
+                p.expect(b'[')?;
+                loop {
+                    p.ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    entries.push(p.entry()?);
+                    p.ws();
+                    if !p.eat(b',') {
+                        p.ws();
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        p.ws();
+        if !p.eat(b',') {
+            p.ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    Ok(entries)
+}
+
+/// Minimal cursor over the baseline's JSON subset.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected `{}`",
+                self.i, c as char
+            ))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.i < self.b.len() && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'-')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("baseline parse error at byte {start}: expected a number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = *self
+                        .b
+                        .get(self.i)
+                        .ok_or("baseline parse error: truncated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("baseline parse error: bad \\u escape")?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err("baseline parse error: unknown escape".into()),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "baseline parse error: invalid UTF-8")?;
+                    let c = rest.chars().next().ok_or("baseline parse error: EOF")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+        Err("baseline parse error: unterminated string".into())
+    }
+
+    /// Parses one `{"rule":..,"file":..,"message":..}` object.
+    fn entry(&mut self) -> Result<Entry, String> {
+        self.ws();
+        self.expect(b'{')?;
+        let (mut rule, mut file, mut message) = (None, None, None);
+        loop {
+            self.ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "message" => message = Some(self.string()?),
+                _ => self.skip_value()?,
+            }
+            self.ws();
+            if !self.eat(b',') {
+                self.ws();
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        match (rule, file, message) {
+            (Some(rule), Some(file), Some(message)) => Ok(Entry { rule, file, message }),
+            _ => Err("baseline entry missing rule/file/message".into()),
+        }
+    }
+
+    /// Skips any scalar value (string or number/keyword) — used for
+    /// unknown keys so old or extended baselines still parse.
+    fn skip_value(&mut self) -> Result<(), String> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == b'"' {
+            self.string().map(|_| ())
+        } else {
+            while self.i < self.b.len()
+                && !matches!(self.b[self.i], b',' | b'}' | b']')
+            {
+                self.i += 1;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: u32, message: &str) -> Violation {
+        Violation { rule, file: file.into(), line, message: message.into() }
+    }
+
+    fn report(violations: Vec<Violation>) -> Report {
+        let mut r = Report { files_scanned: 1, violations, allowed: 0 };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let r = report(vec![
+            v("buffer-loan", "crates/io/src/a.rs", 10, "msg \"quoted\" and \\slash"),
+            v("swallowed-ring-error", "crates/core/src/b.rs", 3, "line\nbreak"),
+        ]);
+        let text = render(&r);
+        let entries = parse(&text).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.message == "msg \"quoted\" and \\slash"));
+        assert!(entries.iter().any(|e| e.message == "line\nbreak"));
+        // Round-tripped baseline grandfathers everything.
+        assert!(new_violations(&r, &entries).is_empty());
+    }
+
+    #[test]
+    fn line_shift_stays_grandfathered_but_duplicates_do_not() {
+        let old = report(vec![v("buffer-loan", "a.rs", 10, "m")]);
+        let entries = parse(&render(&old)).unwrap();
+        // Same finding, different line: covered.
+        let shifted = report(vec![v("buffer-loan", "a.rs", 99, "m")]);
+        assert!(new_violations(&shifted, &entries).is_empty());
+        // A second identical finding exhausts the multiset budget.
+        let doubled = report(vec![
+            v("buffer-loan", "a.rs", 10, "m"),
+            v("buffer-loan", "a.rs", 99, "m"),
+        ]);
+        assert_eq!(new_violations(&doubled, &entries).len(), 1);
+    }
+
+    #[test]
+    fn stale_allow_is_never_grandfathered() {
+        let r = report(vec![v(crate::rules::RULE_STALE, "a.rs", 5, "stale")]);
+        // Not written out...
+        let text = render(&r);
+        assert!(parse(&text).unwrap().is_empty());
+        // ...and always new even if someone hand-edits one in.
+        let entries = vec![Entry {
+            rule: crate::rules::RULE_STALE.into(),
+            file: "a.rs".into(),
+            message: "stale".into(),
+        }];
+        assert_eq!(new_violations(&r, &entries).len(), 1);
+    }
+
+    #[test]
+    fn tolerates_line_fields_and_unknown_keys() {
+        let text = "{\"schema_version\":1,\"generator\":\"x\",\"violations\":[\n\
+                    {\"rule\":\"r\",\"file\":\"f.rs\",\"line\":7,\"message\":\"m\"}]}";
+        let entries = parse(text).expect("parse");
+        assert_eq!(entries, vec![Entry { rule: "r".into(), file: "f.rs".into(), message: "m".into() }]);
+    }
+
+    #[test]
+    fn rejects_future_schema() {
+        let err = parse("{\"schema_version\":99,\"violations\":[]}").unwrap_err();
+        assert!(err.contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn empty_baseline_marks_everything_new() {
+        let r = report(vec![v("buffer-loan", "a.rs", 1, "m")]);
+        let entries = parse("{\"schema_version\":2,\"violations\":[]}").unwrap();
+        assert_eq!(new_violations(&r, &entries).len(), 1);
+    }
+}

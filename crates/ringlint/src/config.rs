@@ -10,7 +10,8 @@
 //! protocol.
 
 use crate::rules::{
-    RULE_ATOMIC, RULE_BLOCKING, RULE_PANIC, RULE_SYNC, RULE_UNSAFE,
+    RULE_ATOMIC, RULE_BLOCKING, RULE_LOAN, RULE_LOCK_SUBMIT, RULE_PANIC, RULE_SWALLOWED,
+    RULE_SYNC, RULE_UNSAFE,
 };
 
 /// Modules executed per-batch by sampler workers (paper §3.1: the
@@ -64,7 +65,13 @@ fn in_scope(rel: &str, scope: &[&str]) -> bool {
 }
 
 /// The rules that apply to a workspace-relative path. `unsafe-audit`
-/// applies everywhere; the others only in their scoped module lists.
+/// applies everywhere; the token rules only in their scoped module lists;
+/// the dataflow rules (buffer-loan, lock-across-submit,
+/// swallowed-ring-error) on every crate source file — they are
+/// pattern-gated on ring-operation names, so they are silent in modules
+/// that never touch the ring. Test code (`tests/` roots) and vendored
+/// sources are excluded from the dataflow rules: tests hold env locks
+/// across ring calls by design, and vendor code is not ours to fix.
 pub fn rules_for(rel: &str) -> Vec<&'static str> {
     let mut rules = vec![RULE_UNSAFE];
     if in_scope(rel, HOT_PATH) {
@@ -76,6 +83,11 @@ pub fn rules_for(rel: &str) -> Vec<&'static str> {
     }
     if in_scope(rel, ATOMIC_PATH) {
         rules.push(RULE_ATOMIC);
+    }
+    if rel.starts_with("crates/") && rel.contains("/src/") {
+        rules.push(RULE_LOAN);
+        rules.push(RULE_LOCK_SUBMIT);
+        rules.push(RULE_SWALLOWED);
     }
     rules
 }
@@ -103,10 +115,37 @@ mod tests {
 
     #[test]
     fn fallback_engines_not_in_io_scope() {
-        let rules = rules_for("crates/io/src/mmap.rs");
-        assert_eq!(rules, vec![RULE_UNSAFE]);
-        let rules = rules_for("crates/io/src/ondemand.rs");
-        assert_eq!(rules, vec![RULE_UNSAFE]);
+        for rel in ["crates/io/src/mmap.rs", "crates/io/src/ondemand.rs"] {
+            let rules = rules_for(rel);
+            assert!(!rules.contains(&RULE_BLOCKING), "{rel}");
+            assert!(!rules.contains(&RULE_SYNC), "{rel}");
+            // The dataflow rules still watch any ring calls they make.
+            assert!(rules.contains(&RULE_LOAN), "{rel}");
+        }
+    }
+
+    #[test]
+    fn dataflow_rules_cover_crate_sources_only() {
+        for rel in [
+            "crates/io/src/ring.rs",
+            "crates/core/src/worker.rs",
+            "crates/ringstat/src/json.rs",
+        ] {
+            let rules = rules_for(rel);
+            assert!(rules.contains(&RULE_LOAN), "{rel}");
+            assert!(rules.contains(&RULE_LOCK_SUBMIT), "{rel}");
+            assert!(rules.contains(&RULE_SWALLOWED), "{rel}");
+        }
+        for rel in [
+            "tests/e2e.rs",
+            "crates/ringstat/tests/prop_hist.rs",
+            "vendor/proptest/src/lib.rs",
+        ] {
+            let rules = rules_for(rel);
+            assert!(!rules.contains(&RULE_LOAN), "{rel}");
+            assert!(!rules.contains(&RULE_LOCK_SUBMIT), "{rel}");
+            assert!(!rules.contains(&RULE_SWALLOWED), "{rel}");
+        }
     }
 
     #[test]
@@ -135,9 +174,9 @@ mod tests {
             assert!(!rules.contains(&RULE_BLOCKING), "{rel}");
         }
         // Export-side modules run at epoch join, not in the hot loop.
-        assert_eq!(rules_for("crates/ringstat/src/json.rs"), vec![RULE_UNSAFE]);
+        assert!(!rules_for("crates/ringstat/src/json.rs").contains(&RULE_SYNC));
         // The telemetry server runs on its own thread, outside hot scope.
-        assert_eq!(rules_for("crates/ringstat/src/http.rs"), vec![RULE_UNSAFE]);
+        assert!(!rules_for("crates/ringstat/src/http.rs").contains(&RULE_SYNC));
     }
 
     #[test]

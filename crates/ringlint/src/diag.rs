@@ -38,11 +38,14 @@ impl Report {
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
 
-    /// Per-rule violation counts in rule-declaration order.
+    /// Per-rule violation counts in rule-declaration order, followed by
+    /// the `stale-allow` hygiene count.
     pub fn counts(&self) -> Vec<(&'static str, usize)> {
         crate::rules::ALL_RULES
             .iter()
-            .map(|&r| (r, self.violations.iter().filter(|v| v.rule == r).count()))
+            .copied()
+            .chain(std::iter::once(crate::rules::RULE_STALE))
+            .map(|r| (r, self.violations.iter().filter(|v| v.rule == r).count()))
             .collect()
     }
 
@@ -63,9 +66,13 @@ impl Report {
     }
 
     /// Machine-readable JSON report (hand-rolled; no serde offline).
+    ///
+    /// Schema history: v2 renamed `version` to `schema_version`, added the
+    /// dataflow rules and `stale-allow` to `counts`; v1 covered the five
+    /// token rules only.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str("\"version\":1,");
+        out.push_str("\"schema_version\":2,");
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
         out.push_str(&format!("\"allowed\":{},", self.allowed));
         out.push_str("\"counts\":{");
@@ -134,11 +141,15 @@ mod tests {
         };
         r.finish();
         let j = r.to_json();
-        assert!(j.starts_with("{\"version\":1,"));
+        assert!(j.starts_with("{\"schema_version\":2,"));
         assert!(j.contains("\"files_scanned\":2"));
         assert!(j.contains("\"allowed\":1"));
         assert!(j.contains("\"unsafe-audit\":1"));
         assert!(j.contains("\"line\":10"));
+        // v2 counts cover the dataflow rules and exemption hygiene.
+        for rule in ["buffer-loan", "lock-across-submit", "swallowed-ring-error", "stale-allow"] {
+            assert!(j.contains(&format!("\"{rule}\":0")), "missing {rule} in {j}");
+        }
     }
 
     #[test]

@@ -7,15 +7,27 @@
 //! atomics follow the kernel's acquire/release protocol, hot-path code
 //! never panics, and every `unsafe` site carries a written justification.
 //! ringlint lexes each workspace source file (stable toolchain, no rustc
-//! internals) and enforces those five invariants with `file:line`
-//! diagnostics, a `--json` mode, and per-site
+//! internals) and enforces those invariants with `file:line` diagnostics,
+//! a `--json` mode, and per-site
 //! `// ringlint: allow(<rule>) — <reason>` exemptions.
+//!
+//! On top of the token rules, a token-tree parser ([`parse`]) and an
+//! intra-function dataflow pass ([`dataflow`]) track the io_uring
+//! buffer-loan lifecycle: pointers lent to the kernel at SQE preparation
+//! must stay alive and unaliased until the completion is reaped, lock
+//! guards must not be live across ring entry, and ring errors must not be
+//! silently discarded. Stale `allow(..)` comments are reported so
+//! exemptions cannot rot, and `--baseline` diffs a run against a committed
+//! baseline so CI fails only on *new* violations.
 //!
 //! Run it with `cargo run -p ringlint`; it exits non-zero on violations.
 
+pub mod baseline;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use std::fs;

@@ -1,0 +1,377 @@
+//! Token-tree parser: the statement-level structure the dataflow rules
+//! need, built on the flat token list from [`crate::lexer`].
+//!
+//! The lexer already guarantees that delimiters inside strings, chars and
+//! comments never reach us, so nesting here is purely structural: every
+//! `{`/`(`/`[` opens a [`Group`] and the matching closer ends it. The
+//! parser is total — it never panics and never drops a token. Malformed
+//! input degrades gracefully: a closer with no matching opener becomes a
+//! plain leaf, and a group left open at end of file closes there (its
+//! `close` index is `None`). [`Parsed::flatten`] returns the tokens in
+//! original order, which the property tests use to prove round-tripping.
+//!
+//! On top of the tree, [`functions`] finds every `fn name(..) { .. }` in
+//! the file (free functions, methods in `impl` blocks, nested fns) so the
+//! dataflow pass can analyze one function body at a time.
+
+use crate::lexer::Tok;
+
+/// Which delimiter pair a [`Group`] was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `{ .. }`
+    Brace,
+    /// `( .. )`
+    Paren,
+    /// `[ .. ]`
+    Bracket,
+}
+
+impl Delim {
+    fn of(text: &str) -> Option<Delim> {
+        match text {
+            "{" => Some(Delim::Brace),
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            _ => None,
+        }
+    }
+
+    fn closer(self) -> &'static str {
+        match self {
+            Delim::Brace => "}",
+            Delim::Paren => ")",
+            Delim::Bracket => "]",
+        }
+    }
+}
+
+/// A delimited region of the token stream and everything nested inside it.
+#[derive(Debug)]
+pub struct Group {
+    /// Delimiter kind.
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter, or `None` if the file ended
+    /// with this group still open.
+    pub close: Option<usize>,
+    /// Nested trees between the delimiters, in source order.
+    pub children: Vec<Tree>,
+}
+
+/// One node of the token tree: a single token or a delimited group.
+#[derive(Debug)]
+pub enum Tree {
+    /// A non-delimiter token, by index into the lexed token list.
+    Leaf(usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// The token tree of one file.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Top-level trees in source order.
+    pub roots: Vec<Tree>,
+}
+
+impl Parsed {
+    /// Reconstructs the original token-index sequence from the tree.
+    /// `flatten()` over `parse(toks)` is always `0..toks.len()`.
+    pub fn flatten(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        flatten_into(&self.roots, &mut out);
+        out
+    }
+
+    /// Maximum group nesting depth (0 for a flat file).
+    pub fn max_depth(&self) -> usize {
+        fn depth(trees: &[Tree]) -> usize {
+            trees
+                .iter()
+                .map(|t| match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Group(g) => 1 + depth(&g.children),
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(&self.roots)
+    }
+}
+
+fn flatten_into(trees: &[Tree], out: &mut Vec<usize>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(i) => out.push(*i),
+            Tree::Group(g) => {
+                out.push(g.open);
+                flatten_into(&g.children, out);
+                if let Some(c) = g.close {
+                    out.push(c);
+                }
+            }
+        }
+    }
+}
+
+/// Parses the flat token list into a token tree. Total: every token
+/// appears in the output exactly once, in order, for any input.
+pub fn parse(toks: &[Tok]) -> Parsed {
+    // Stack of open groups; the top collects children until its closer.
+    let mut stack: Vec<Group> = Vec::new();
+    let mut roots: Vec<Tree> = Vec::new();
+
+    let push = |stack: &mut Vec<Group>, roots: &mut Vec<Tree>, tree: Tree| {
+        match stack.last_mut() {
+            Some(g) => g.children.push(tree),
+            None => roots.push(tree),
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if let Some(delim) = Delim::of(&t.text) {
+            stack.push(Group {
+                delim,
+                open: i,
+                close: None,
+                children: Vec::new(),
+            });
+        } else if matches!(t.text.as_str(), "}" | ")" | "]") {
+            // Close the innermost group with a matching opener. Mismatched
+            // closers first pop any inner groups left open (closing them at
+            // the position just before the closer), mirroring how rustc
+            // recovers; a closer with no opener anywhere becomes a leaf.
+            let has_match = stack.iter().any(|g| g.delim.closer() == t.text);
+            if has_match {
+                // `has_match` guarantees this terminates via the break.
+                while let Some(mut g) = stack.pop() {
+                    if g.delim.closer() == t.text {
+                        g.close = Some(i);
+                        push(&mut stack, &mut roots, Tree::Group(g));
+                        break;
+                    }
+                    // Inner group never closed: ends before this closer.
+                    push(&mut stack, &mut roots, Tree::Group(g));
+                }
+            } else {
+                push(&mut stack, &mut roots, Tree::Leaf(i));
+            }
+        } else {
+            push(&mut stack, &mut roots, Tree::Leaf(i));
+        }
+    }
+    // Groups still open at EOF close there.
+    while let Some(g) = stack.pop() {
+        push(&mut stack, &mut roots, Tree::Group(g));
+    }
+    Parsed { roots }
+}
+
+/// One `fn` item found in the tree: its name and body group.
+#[derive(Debug)]
+pub struct FnItem<'a> {
+    /// Function name (`""` for malformed items).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// The argument list group.
+    pub args: &'a Group,
+    /// The body group (`{ .. }`).
+    pub body: &'a Group,
+}
+
+/// Finds every function with a body, at any nesting depth (free fns,
+/// methods inside `impl`/`mod` braces, nested fns). Trait-method
+/// *declarations* (ending in `;`) have no body and are skipped.
+pub fn functions<'a>(parsed: &'a Parsed, toks: &[Tok]) -> Vec<FnItem<'a>> {
+    let mut out = Vec::new();
+    collect_fns(&parsed.roots, toks, &mut out);
+    out
+}
+
+fn collect_fns<'a>(trees: &'a [Tree], toks: &[Tok], out: &mut Vec<FnItem<'a>>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        if let Tree::Leaf(ti) = trees[i] {
+            if toks[ti].text == "fn" {
+                if let Some((item, consumed)) = match_fn(&trees[i..], toks) {
+                    // Recurse into the body for nested fns before pushing,
+                    // so items come out in source order of their `fn`.
+                    out.push(item);
+                    let body_idx = i + consumed - 1;
+                    if let Some(Tree::Group(g)) = trees.get(body_idx) {
+                        collect_fns(&g.children, toks, out);
+                    }
+                    i += consumed;
+                    continue;
+                }
+            }
+        }
+        if let Tree::Group(g) = &trees[i] {
+            collect_fns(&g.children, toks, out);
+        }
+        i += 1;
+    }
+}
+
+/// Tries to match `fn NAME .. (args) .. { body }` starting at `trees[0]`
+/// (the `fn` leaf). Returns the item and how many sibling trees it spans
+/// (through the body group). Gives up at `;` (bodyless declaration), at
+/// another `fn`, or after a bounded scan.
+fn match_fn<'a>(trees: &'a [Tree], toks: &[Tok]) -> Option<(FnItem<'a>, usize)> {
+    let fn_tok = match trees.first() {
+        Some(Tree::Leaf(i)) => *i,
+        _ => return None,
+    };
+    let name = match trees.get(1) {
+        Some(Tree::Leaf(i)) if is_ident(&toks[*i].text) => toks[*i].text.clone(),
+        _ => return None, // `fn` as a type (`fn(i32)`) or malformed
+    };
+    // Scan forward for the arg list, skipping generics tokens (`<`, `>`,
+    // lifetimes, bounds — all leaves, since angle brackets don't group).
+    let mut j = 2usize;
+    let mut args: Option<(&Group, usize)> = None;
+    while j < trees.len() && j < 64 {
+        match &trees[j] {
+            Tree::Leaf(i) => {
+                let t = toks[*i].text.as_str();
+                if t == ";" || t == "fn" {
+                    return None;
+                }
+            }
+            Tree::Group(g) if g.delim == Delim::Paren => {
+                args = Some((g, j));
+                break;
+            }
+            // A brace before the args (e.g. a const-generic default
+            // `{ N }`) — bail rather than misattach.
+            Tree::Group(_) => return None,
+        }
+        j += 1;
+    }
+    let (args, args_at) = args?;
+    // After the args: optional `-> Type` and where-clause leaves, then the
+    // body brace. `;` means declaration only.
+    let mut k = args_at + 1;
+    while k < trees.len() && k < args_at + 64 {
+        match &trees[k] {
+            Tree::Leaf(i) => {
+                let t = toks[*i].text.as_str();
+                if t == ";" || t == "fn" {
+                    return None;
+                }
+            }
+            Tree::Group(g) if g.delim == Delim::Brace => {
+                return Some((
+                    FnItem {
+                        name,
+                        line: toks[fn_tok].line,
+                        args,
+                        body: g,
+                    },
+                    k + 1,
+                ));
+            }
+            // Return types and where clauses can contain parens/brackets
+            // (e.g. `-> Result<(), E>` parses `()` as a group) — skip them.
+            Tree::Group(_) => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+fn is_ident(text: &str) -> bool {
+    text.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> (Parsed, Vec<Tok>) {
+        let lx = lex(src);
+        let p = parse(&lx.tokens);
+        (p, lx.tokens)
+    }
+
+    #[test]
+    fn flatten_round_trips_simple() {
+        let (p, toks) = parse_src("fn main() { let x = (1 + [2, 3][0]); }");
+        assert_eq!(p.flatten(), (0..toks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nesting_depth_counts_groups() {
+        let (p, _) = parse_src("fn f() { if x { g(&[1]); } }");
+        assert!(p.max_depth() >= 4); // body { if { ( [ … ] ) } }
+    }
+
+    #[test]
+    fn unbalanced_closer_is_leaf_and_round_trips() {
+        let (p, toks) = parse_src(") } fn f() {}");
+        assert_eq!(p.flatten(), (0..toks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unclosed_group_closes_at_eof_and_round_trips() {
+        let (p, toks) = parse_src("fn f() { let x = (1 + 2;");
+        assert_eq!(p.flatten(), (0..toks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mismatched_nesting_round_trips() {
+        let (p, toks) = parse_src("{ ( } ) [ { ] }");
+        assert_eq!(p.flatten(), (0..toks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn finds_free_fn_and_method() {
+        let src = "fn top(a: u32) -> u32 { a }\nimpl S { pub fn meth(&mut self) { body(); } }";
+        let (p, toks) = parse_src(src);
+        let fns = functions(&p, &toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top", "meth"]);
+        assert_eq!(fns[0].line, 1);
+        assert_eq!(fns[1].line, 2);
+    }
+
+    #[test]
+    fn finds_nested_fn_and_generic_fn() {
+        let src = "fn outer<T: Into<u64>>(x: T) -> Result<(), E> where T: Copy {\n    fn inner() {}\n    inner()\n}";
+        let (p, toks) = parse_src(src);
+        let fns = functions(&p, &toks);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn trait_declaration_without_body_skipped() {
+        let src = "trait T { fn decl(&self) -> u32; fn with_body(&self) -> u32 { 1 } }";
+        let (p, toks) = parse_src(src);
+        let fns = functions(&p, &toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "with_body");
+    }
+
+    #[test]
+    fn fn_pointer_type_not_a_function() {
+        let src = "type F = fn(u32) -> u32;\nstatic G: fn() = noop;";
+        let (p, toks) = parse_src(src);
+        assert!(functions(&p, &toks).is_empty());
+    }
+
+    #[test]
+    fn body_group_contains_statements() {
+        let (p, toks) = parse_src("fn f() { a(); b(); }");
+        let fns = functions(&p, &toks);
+        assert_eq!(fns.len(), 1);
+        // a ( ) ; b ( ) ; → 2 leaves + 2 paren groups + 2 semicolon leaves
+        assert_eq!(fns[0].body.children.len(), 6);
+    }
+}

@@ -1,11 +1,15 @@
-//! The five invariant rules, run over the token stream of one file.
+//! The eight invariant rules, run over the token stream of one file.
 //!
-//! Each detector works on the lexed tokens (never raw text), so patterns
-//! inside string literals and comments can't trigger false positives.
-//! `#[cfg(test)] mod .. { .. }` regions are excluded from every rule, and
-//! any remaining finding can be exempted at the site with
-//! `// ringlint: allow(<rule>) — <reason>`; an allow without a reason is
-//! itself a violation.
+//! Five rules are token-level detectors; three (`buffer-loan`,
+//! `lock-across-submit`, `swallowed-ring-error`) run on the statement-level
+//! dataflow analysis in [`crate::dataflow`]. Each detector works on the
+//! lexed tokens (never raw text), so patterns inside string literals and
+//! comments can't trigger false positives. `#[cfg(test)] mod .. { .. }`
+//! regions are excluded from every rule, and any remaining finding can be
+//! exempted at the site with `// ringlint: allow(<rule>) — <reason>`; an
+//! allow without a reason is itself a violation, and an allow that no
+//! longer suppresses anything is reported as `stale-allow` so exemptions
+//! cannot rot silently.
 
 use crate::config;
 use crate::diag::Violation;
@@ -24,14 +28,29 @@ pub const RULE_BLOCKING: &str = "no-blocking-io";
 pub const RULE_PANIC: &str = "panic-free-hot-path";
 /// Ring-buffer atomics must follow the kernel's acquire/release protocol.
 pub const RULE_ATOMIC: &str = "atomic-ordering";
+/// A buffer lent to the kernel (SQE prep / buffer registration) must not be
+/// dropped, reassigned, truncated or mutably re-borrowed before its
+/// completion is reaped, on every path.
+pub const RULE_LOAN: &str = "buffer-loan";
+/// No lock guard may be live across a ring submit/wait call on any path.
+pub const RULE_LOCK_SUBMIT: &str = "lock-across-submit";
+/// Fallible ring operations must not have their errors discarded with
+/// `let _ =` or `.ok()`.
+pub const RULE_SWALLOWED: &str = "swallowed-ring-error";
+/// Exemption hygiene (reported, never scoped): a `ringlint: allow(..)`
+/// comment that no longer suppresses any finding.
+pub const RULE_STALE: &str = "stale-allow";
 
-/// All rules, in reporting order.
+/// All scoped rules, in reporting order.
 pub const ALL_RULES: &[&str] = &[
     RULE_UNSAFE,
     RULE_SYNC,
     RULE_BLOCKING,
     RULE_PANIC,
     RULE_ATOMIC,
+    RULE_LOAN,
+    RULE_LOCK_SUBMIT,
+    RULE_SWALLOWED,
 ];
 
 /// A parsed `// ringlint: allow(<rule>) — <reason>` comment.
@@ -39,7 +58,7 @@ pub const ALL_RULES: &[&str] = &[
 struct Allow {
     rule: String,
     line: u32,
-    has_reason: bool,
+    reason: String,
     used: bool,
 }
 
@@ -69,6 +88,23 @@ pub fn lint_source(rel: &str, src: &str) -> FileOutcome {
             _ => {}
         }
     }
+    // The statement-level dataflow rules share one parse + analysis pass.
+    if active
+        .iter()
+        .any(|r| matches!(*r, RULE_LOAN | RULE_LOCK_SUBMIT | RULE_SWALLOWED))
+    {
+        let parsed = crate::parse::parse(&lx.tokens);
+        for f in crate::dataflow::analyze_file(&lx.tokens, &parsed, &a.skip) {
+            if active.contains(&f.rule) {
+                raw.push(Violation {
+                    rule: f.rule,
+                    file: rel.to_string(),
+                    line: f.line,
+                    message: f.message,
+                });
+            }
+        }
+    }
     a.apply_allows(rel, raw)
 }
 
@@ -79,6 +115,9 @@ struct Analysis<'a> {
     lx: &'a Lexed,
     /// Token indices inside `#[cfg(test)] mod { .. }` regions.
     skip: Vec<bool>,
+    /// Line ranges covered by those regions (for stale-allow exemption:
+    /// rules never fire there, so allows there can't be proven stale).
+    test_ranges: Vec<(u32, u32)>,
     /// 1-based line → index of its first token, if any.
     first_tok_on_line: Vec<Option<usize>>,
     allows: std::cell::RefCell<Vec<Allow>>,
@@ -96,13 +135,14 @@ impl<'a> Analysis<'a> {
             }
         }
         let skip = test_region_mask(toks);
+        let test_ranges = test_line_ranges(toks, &skip);
         let allows = lx
             .comments
             .iter()
-            .filter_map(|c| parse_allow(&c.text).map(|(rule, has_reason)| Allow {
+            .filter_map(|c| parse_allow(&c.text).map(|(rule, reason)| Allow {
                 rule,
                 line: c.line,
-                has_reason,
+                reason,
                 used: false,
             }))
             .collect();
@@ -110,6 +150,7 @@ impl<'a> Analysis<'a> {
             rel,
             lx,
             skip,
+            test_ranges,
             first_tok_on_line,
             allows: std::cell::RefCell::new(allows),
         }
@@ -135,7 +176,7 @@ impl<'a> Analysis<'a> {
         // Same-line trailing comment.
         if let Some(a) = allows.iter_mut().find(|a| a.rule == rule && a.line == line) {
             a.used = true;
-            return Some(a.has_reason);
+            return Some(!a.reason.is_empty());
         }
         // Comment run directly above: walk up through comment-only lines.
         let mut l = line.saturating_sub(1);
@@ -147,7 +188,7 @@ impl<'a> Analysis<'a> {
             }
             if let Some(a) = allows.iter_mut().find(|a| a.rule == rule && a.line == l) {
                 a.used = true;
-                return Some(a.has_reason);
+                return Some(!a.reason.is_empty());
             }
             l -= 1;
         }
@@ -174,22 +215,75 @@ impl<'a> Analysis<'a> {
                 None => violations.push(v),
             }
         }
+        // Exemption hygiene: an allow that suppressed nothing is itself a
+        // violation, so exemptions can't outlive the finding they excused.
+        // Allows inside `#[cfg(test)] mod` regions are exempt — no rule
+        // ever fires there, so "unused" proves nothing.
+        for a in self.allows.borrow().iter() {
+            if a.used
+                || self
+                    .test_ranges
+                    .iter()
+                    .any(|&(s, e)| a.line >= s && a.line <= e)
+            {
+                continue;
+            }
+            let why = if a.reason.is_empty() {
+                String::new()
+            } else {
+                format!(" (its reason was: {})", a.reason)
+            };
+            violations.push(Violation {
+                rule: RULE_STALE,
+                file: rel.to_string(),
+                line: a.line,
+                message: format!(
+                    "stale `ringlint: allow({})`: no {} finding left to suppress here — remove the exemption{}",
+                    a.rule, a.rule, why
+                ),
+            });
+        }
         FileOutcome { violations, allowed }
     }
 }
 
 /// Parses `ringlint: allow(rule) — reason` out of one comment, returning
-/// the rule name and whether a non-empty reason follows.
-fn parse_allow(comment: &str) -> Option<(String, bool)> {
-    let idx = comment.find("ringlint:")?;
-    let rest = &comment[idx + "ringlint:".len()..];
-    let rest = rest.trim_start();
+/// the rule name and the (possibly empty) reason text. The directive must
+/// lead the comment (only `//`/`/*` markers and whitespace before it):
+/// prose that merely *mentions* the syntax is not an exemption.
+fn parse_allow(comment: &str) -> Option<(String, String)> {
+    let lead = comment
+        .trim_start_matches(|c: char| c == '/' || c == '*' || c == '!' || c.is_whitespace());
+    if !lead.starts_with("ringlint:") {
+        return None;
+    }
+    let rest = lead["ringlint:".len()..].trim_start();
     let rest = rest.strip_prefix("allow(")?;
     let close = rest.find(')')?;
     let rule = rest[..close].trim().to_string();
     let reason = rest[close + 1..]
         .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':' || c == '–');
-    Some((rule, !reason.trim().is_empty()))
+    Some((rule, reason.trim().to_string()))
+}
+
+/// Line ranges covered by `#[cfg(test)] mod` token regions.
+fn test_line_ranges(toks: &[Tok], skip: &[bool]) -> Vec<(u32, u32)> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut cur: Option<(u32, u32)> = None;
+    for (i, t) in toks.iter().enumerate() {
+        if skip.get(i).copied().unwrap_or(false) {
+            cur = match cur {
+                None => Some((t.line, t.line)),
+                Some((s, _)) => Some((s, t.line)),
+            };
+        } else if let Some(r) = cur.take() {
+            ranges.push(r);
+        }
+    }
+    if let Some(r) = cur {
+        ranges.push(r);
+    }
+    ranges
 }
 
 /// Marks token indices inside `#[cfg(test)] mod name { .. }` regions.

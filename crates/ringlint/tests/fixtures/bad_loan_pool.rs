@@ -1,0 +1,21 @@
+//! Mutation fixture: FixedBufPool-style group read with a seeded
+//! use-after-release. The slot is returned to the free list BEFORE the
+//! completion is reaped, so the next `acquire` can hand the same buffer to
+//! another group while the kernel is still writing into this one.
+//! Exactly one `buffer-loan` diagnostic; `good_loan_pool.rs` is the
+//! correct twin.
+
+impl FixedFetch {
+    pub fn read_group(&mut self, ring: &mut Ring, fd: i32, len: u32) -> Result<(), RingError> {
+        let grant = self.pool.acquire(len as usize);
+        if let Some((slot, base)) = grant {
+            // SAFETY: `base` points into a pool buffer that stays pinned
+            // and unaliased until the group's completion is reaped.
+            unsafe { ring.prepare_read_fixed_buf(fd, true, base, len, 0, slot, 7)? };
+            ring.submit()?;
+            self.pool.release(slot);
+            ring.wait_group(7)?;
+        }
+        Ok(())
+    }
+}

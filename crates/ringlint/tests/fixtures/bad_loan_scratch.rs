@@ -1,0 +1,13 @@
+//! Mutation fixture: scratch-buffer read with a seeded drop-before-reap.
+//! The function submits the SQE and returns; `page` is freed at the end of
+//! scope while the kernel still holds its pointer — a use-after-free the
+//! borrow checker cannot see across the syscall boundary. Exactly one
+//! `buffer-loan` diagnostic; `good_loan_scratch.rs` is the correct twin.
+
+pub fn fetch_page(ring: &mut Ring, fd: i32, off: u64) -> Result<(), RingError> {
+    let mut page = vec![0u8; PAGE_BYTES];
+    // SAFETY: fd is open and `page` holds PAGE_BYTES writable bytes.
+    unsafe { ring.prepare_read(fd, page.as_mut_ptr(), PAGE_BYTES as u32, off, 1)? };
+    ring.submit()?;
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Fixture: a stats mutex guard held across ring entry. If the submit
+//! blocks in the kernel, every other thread contending for the stats lock
+//! stalls behind a syscall. One `lock-across-submit` diagnostic;
+//! `good_lock_submit.rs` is the correct twin.
+
+pub fn submit_with_stats(ring: &mut Ring, stats: &Mutex<Stats>) -> Result<(), RingError> {
+    let held = stats.lock().unwrap();
+    held.note_submit();
+    ring.submit_and_wait(1)?;
+    drop(held);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Fixture: fallible ring operations with their errors silently dropped —
+//! one via `let _ =`, one via `.ok()`. A failed submit means the batch's
+//! reads never happen; swallowing it turns data loss into a hang. Two
+//! `swallowed-ring-error` diagnostics; `good_swallowed.rs` is the twin.
+
+pub fn flush(ring: &mut Ring) {
+    let _ = ring.submit();
+    ring.wait_completion().ok();
+}

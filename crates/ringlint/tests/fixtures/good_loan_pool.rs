@@ -1,0 +1,18 @@
+//! Negative twin of `bad_loan_pool.rs`: the slot goes back to the free
+//! list only after `wait_group` reaps the completion, so the buffer is
+//! never recycled while the kernel holds its pointer. Lint-clean.
+
+impl FixedFetch {
+    pub fn read_group(&mut self, ring: &mut Ring, fd: i32, len: u32) -> Result<(), RingError> {
+        let grant = self.pool.acquire(len as usize);
+        if let Some((slot, base)) = grant {
+            // SAFETY: `base` points into a pool buffer that stays pinned
+            // and unaliased until the group's completion is reaped.
+            unsafe { ring.prepare_read_fixed_buf(fd, true, base, len, 0, slot, 7)? };
+            ring.submit()?;
+            ring.wait_group(7)?;
+            self.pool.release(slot);
+        }
+        Ok(())
+    }
+}

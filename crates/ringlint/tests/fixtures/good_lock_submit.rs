@@ -1,0 +1,11 @@
+//! Negative twin of `bad_lock_submit.rs`: the guard is dropped (or
+//! confined to an inner scope) before the ring is entered. Lint-clean.
+
+pub fn submit_with_stats(ring: &mut Ring, stats: &Mutex<Stats>) -> Result<(), RingError> {
+    {
+        let held = stats.lock().unwrap();
+        held.note_submit();
+    }
+    ring.submit_and_wait(1)?;
+    Ok(())
+}

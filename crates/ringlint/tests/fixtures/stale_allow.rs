@@ -1,0 +1,8 @@
+//! Fixture: a `ringlint: allow` whose code was since fixed — the
+//! exemption no longer suppresses anything and must be removed. One
+//! `stale-allow` diagnostic carrying the original reason text.
+
+pub fn head_snapshot(values: &[u64]) -> Option<u64> {
+    // ringlint: allow(panic-free-hot-path) — indexing predates the get() rewrite
+    values.first().copied()
+}

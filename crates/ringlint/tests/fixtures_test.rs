@@ -5,7 +5,8 @@
 
 use ringlint::diag::Report;
 use ringlint::rules::{
-    lint_source, RULE_ATOMIC, RULE_BLOCKING, RULE_PANIC, RULE_SYNC, RULE_UNSAFE,
+    lint_source, RULE_ATOMIC, RULE_BLOCKING, RULE_LOAN, RULE_LOCK_SUBMIT, RULE_PANIC, RULE_STALE,
+    RULE_SWALLOWED, RULE_SYNC, RULE_UNSAFE,
 };
 
 /// A generic non-hot-path module: only unsafe-audit applies.
@@ -16,6 +17,9 @@ const HOT: &str = "crates/core/src/sampling.rs";
 const RING: &str = "crates/io/src/ring.rs";
 /// The raw-syscall module: io + atomic scopes, not hot-path.
 const SYS: &str = "crates/io/src/sys.rs";
+/// Any crate source: unsafe-audit + the three dataflow rules, no token
+/// scopes — isolates the loan-lifecycle diagnostics from rule cross-talk.
+const POOL: &str = "crates/io/src/fixed_pool.rs";
 
 fn lines_for(rule: &str, rel: &str, src: &str) -> Vec<u32> {
     lint_source(rel, src)
@@ -117,6 +121,93 @@ fn allow_fixture_suppresses_with_reason_and_flags_without() {
 }
 
 #[test]
+fn bad_loan_pool_mutation_flags_exactly_one_use_after_release() {
+    let src = include_str!("fixtures/bad_loan_pool.rs");
+    let out = lint_source(POOL, src);
+    assert_eq!(out.violations.len(), 1, "{:#?}", out.violations);
+    assert_eq!(out.violations[0].rule, RULE_LOAN);
+    assert_eq!(out.violations[0].line, 16, "{:#?}", out.violations);
+    assert!(
+        out.violations[0].message.contains("released while"),
+        "{:#?}",
+        out.violations
+    );
+}
+
+#[test]
+fn good_loan_pool_fixture_is_clean() {
+    let out = lint_source(POOL, include_str!("fixtures/good_loan_pool.rs"));
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}
+
+#[test]
+fn bad_loan_scratch_mutation_flags_exactly_one_drop_before_reap() {
+    let src = include_str!("fixtures/bad_loan_scratch.rs");
+    let out = lint_source(POOL, src);
+    assert_eq!(out.violations.len(), 1, "{:#?}", out.violations);
+    assert_eq!(out.violations[0].rule, RULE_LOAN);
+    // Reported at the prepare call that opened the loan.
+    assert_eq!(out.violations[0].line, 10, "{:#?}", out.violations);
+    assert!(
+        out.violations[0].message.contains("out of scope"),
+        "{:#?}",
+        out.violations
+    );
+}
+
+#[test]
+fn good_loan_scratch_fixture_is_clean() {
+    let out = lint_source(POOL, include_str!("fixtures/good_loan_scratch.rs"));
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}
+
+#[test]
+fn bad_lock_submit_fixture_flags_guard_across_ring_entry() {
+    let src = include_str!("fixtures/bad_lock_submit.rs");
+    let out = lint_source(POOL, src);
+    assert_eq!(out.violations.len(), 1, "{:#?}", out.violations);
+    assert_eq!(out.violations[0].rule, RULE_LOCK_SUBMIT);
+    assert_eq!(out.violations[0].line, 9, "{:#?}", out.violations);
+}
+
+#[test]
+fn good_lock_submit_fixture_is_clean() {
+    let out = lint_source(POOL, include_str!("fixtures/good_lock_submit.rs"));
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}
+
+#[test]
+fn bad_swallowed_fixture_flags_let_underscore_and_dot_ok() {
+    let src = include_str!("fixtures/bad_swallowed.rs");
+    let out = lint_source(POOL, src);
+    assert_eq!(out.violations.len(), 2, "{:#?}", out.violations);
+    assert!(out.violations.iter().all(|v| v.rule == RULE_SWALLOWED));
+    let lines: Vec<u32> = out.violations.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![7, 8]);
+}
+
+#[test]
+fn good_swallowed_fixture_is_clean() {
+    let out = lint_source(POOL, include_str!("fixtures/good_swallowed.rs"));
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}
+
+#[test]
+fn stale_allow_fixture_reports_the_original_reason() {
+    let out = lint_source(HOT, include_str!("fixtures/stale_allow.rs"));
+    assert_eq!(out.allowed, 0);
+    assert_eq!(out.violations.len(), 1, "{:#?}", out.violations);
+    assert_eq!(out.violations[0].rule, RULE_STALE);
+    assert!(
+        out.violations[0]
+            .message
+            .contains("indexing predates the get() rewrite"),
+        "{:#?}",
+        out.violations
+    );
+}
+
+#[test]
 fn json_report_shape() {
     let outcome = lint_source(HOT, include_str!("fixtures/bad_panic.rs"));
     let mut report = Report {
@@ -126,12 +217,14 @@ fn json_report_shape() {
     };
     report.finish();
     let json = report.to_json();
-    assert!(json.starts_with("{\"version\":1,"));
+    assert!(json.starts_with("{\"schema_version\":2,"));
     assert!(json.contains("\"files_scanned\":1"));
     assert!(json.contains("\"allowed\":0"));
     assert!(json.contains("\"counts\":{"));
     assert!(json.contains("\"panic-free-hot-path\":4"));
     assert!(json.contains("\"unsafe-audit\":0"));
+    assert!(json.contains("\"buffer-loan\":0"));
+    assert!(json.contains("\"stale-allow\":0"));
     assert!(json.contains(
         "{\"rule\":\"panic-free-hot-path\",\"file\":\"crates/core/src/sampling.rs\",\"line\":2,"
     ));
@@ -172,6 +265,34 @@ fn bad_fixture_in_hot_path_module_fails_workspace_lint() {
         .iter()
         .all(|v| v.file == "crates/core/src/worker.rs" && v.rule == RULE_PANIC));
     assert_eq!(report.violations[0].line, 2);
+}
+
+/// The v2 acceptance criterion, end to end: seeding either buffer-loan
+/// mutation into a crate source module makes the full workspace lint
+/// report exactly one `buffer-loan` violation there.
+#[test]
+fn seeded_loan_mutations_fail_workspace_lint() {
+    for (fixture, expect_line) in [
+        (include_str!("fixtures/bad_loan_pool.rs"), 16u32),
+        (include_str!("fixtures/bad_loan_scratch.rs"), 10u32),
+    ] {
+        let root = std::env::temp_dir().join(format!(
+            "ringlint-loan-e2e-{}-{expect_line}",
+            std::process::id()
+        ));
+        let module_dir = root.join("crates/io/src");
+        std::fs::create_dir_all(&module_dir).expect("mkdir");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+        std::fs::write(module_dir.join("fixed_pool.rs"), fixture).expect("module");
+
+        let report = ringlint::lint_workspace(&root).expect("lint");
+        std::fs::remove_dir_all(&root).ok();
+
+        assert_eq!(report.violations.len(), 1, "{}", report.to_text());
+        assert_eq!(report.violations[0].rule, RULE_LOAN);
+        assert_eq!(report.violations[0].file, "crates/io/src/fixed_pool.rs");
+        assert_eq!(report.violations[0].line, expect_line);
+    }
 }
 
 /// Locks in the current state: the real workspace lints clean, so

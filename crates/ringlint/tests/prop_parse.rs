@@ -1,0 +1,109 @@
+//! Property tests for the token-tree parser: `parse` must be *total*
+//! (never panic, never drop or duplicate a token) on arbitrary soups of
+//! delimiters, strings, comments and punctuation — including unbalanced
+//! closers and unclosed groups — and must recover the exact nesting of
+//! well-balanced input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ringlint::lexer::lex;
+use ringlint::parse::{parse, Tree};
+
+/// Source fragments the generator draws from. Deliberately adversarial:
+/// bare closers, delimiters buried in string/char literals and comments,
+/// multi-char operators the lexer keeps as units.
+const PIECES: &[&str] = &[
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "fn",
+    "foo",
+    "let",
+    "x",
+    "=",
+    ";",
+    ",",
+    "->",
+    "&",
+    "mut",
+    "\"a string with { ( [ inside\"",
+    "'x'",
+    "'a",
+    "// line comment hiding } ] ) closers",
+    "/* block comment hiding { ( [ openers */",
+    "1.5e3",
+    "0xff",
+    "::",
+    "..",
+    "#",
+    "!",
+];
+
+fn soup(indices: &[usize]) -> String {
+    // Newline separators so line comments cannot swallow later pieces.
+    indices
+        .iter()
+        .map(|&i| PIECES[i % PIECES.len()])
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// `kinds` picks a delimiter per nesting level; the result is perfectly
+/// balanced with one leaf between each opener: `{ x ( x ... ) }`.
+fn balanced(kinds: &[usize]) -> String {
+    let opens = ["{", "(", "["];
+    let closes = ["}", ")", "]"];
+    let mut s = String::new();
+    for &k in kinds {
+        s.push_str(opens[k % 3]);
+        s.push_str(" x ");
+    }
+    for &k in kinds.iter().rev() {
+        s.push_str(closes[k % 3]);
+        s.push(' ');
+    }
+    s
+}
+
+fn all_closed(trees: &[Tree]) -> bool {
+    trees.iter().all(|t| match t {
+        Tree::Leaf(_) => true,
+        Tree::Group(g) => g.close.is_some() && all_closed(&g.children),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality + round-trip: whatever the input — balanced or not —
+    /// flattening the tree yields every token index exactly once, in
+    /// source order.
+    #[test]
+    fn parse_round_trips_arbitrary_token_soup(
+        indices in vec(0usize..PIECES.len(), 0..64),
+    ) {
+        let src = soup(&indices);
+        let lx = lex(&src);
+        let parsed = parse(&lx.tokens);
+        let expect: Vec<usize> = (0..lx.tokens.len()).collect();
+        prop_assert_eq!(parsed.flatten(), expect);
+    }
+
+    /// Well-balanced input is recovered exactly: nesting depth equals the
+    /// construction depth and every group has a matching closer.
+    #[test]
+    fn parse_recovers_balanced_nesting(
+        kinds in vec(0usize..3, 0..24),
+    ) {
+        let src = balanced(&kinds);
+        let lx = lex(&src);
+        let parsed = parse(&lx.tokens);
+        prop_assert_eq!(parsed.max_depth(), kinds.len());
+        prop_assert!(all_closed(&parsed.roots));
+        let expect: Vec<usize> = (0..lx.tokens.len()).collect();
+        prop_assert_eq!(parsed.flatten(), expect);
+    }
+}
