@@ -17,6 +17,11 @@
 #   7. ringscope smoke — fig4_overall with --serve 127.0.0.1:0, asserting
 #      that /metrics serves HTTP 200 with the ringsampler_ metric families
 #      and /healthz reports ok while the run is live
+#   8. ringtrace smoke — a small fig4_overall with --trace-events, whose
+#      flight-recorder dump is fed through the ringtrace analyzer with
+#      --assert-coverage 0.90: per-stage attribution (sample/plan/submit/
+#      wait/reap/scatter) must sum to within 10% of the end-to-end batch
+#      latency (see DESIGN.md §12)
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -66,5 +71,13 @@ curl -fsS "http://$ADDR/progress" | grep -q '"fleet"' || { echo "/progress missi
 kill "$SCOPE_PID" 2>/dev/null || true
 wait "$SCOPE_PID" 2>/dev/null || true
 echo "    ringscope smoke ok (/metrics, /healthz, /progress)"
+
+echo "==> ringtrace smoke (fig4_overall --trace-events, stage coverage >= 90%)"
+TRACE_DUMP="$(mktemp -d)/fig4-events.json"
+RS_SCALE=100000 RS_TARGETS=200 RS_EPOCHS=1 RS_THREADS=2 \
+RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/fig4_overall --trace-events "$TRACE_DUMP" >/dev/null
+./target/release/ringtrace "$TRACE_DUMP" --assert-coverage 0.90 >/dev/null
+echo "    ringtrace smoke ok (stage attribution covers >= 90% of batch time)"
 
 echo "CI: all gates passed."

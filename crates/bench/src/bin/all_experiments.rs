@@ -4,9 +4,10 @@
 
 use std::process::Command;
 
-/// Rewrites `--stats-json` / `--trace` / `--prometheus` values so each
-/// child writes `path.<bin>.<ext>` instead of all children overwriting one
-/// `path`: `run.json` becomes `run.fig4_overall.json`.
+/// Rewrites `--stats-json` / `--trace` / `--prometheus` /
+/// `--trace-events` values so each child writes `path.<bin>.<ext>`
+/// instead of all children overwriting one `path`: `run.json` becomes
+/// `run.fig4_overall.json`.
 fn per_bin_args(args: &[String], bin: &str) -> Vec<String> {
     let mut out = Vec::with_capacity(args.len());
     let mut rewrite_next = false;
@@ -27,7 +28,10 @@ fn per_bin_args(args: &[String], bin: &str) -> Vec<String> {
             rewrite_next = false;
             continue;
         }
-        rewrite_next = matches!(a.as_str(), "--stats-json" | "--trace" | "--prometheus");
+        rewrite_next = matches!(
+            a.as_str(),
+            "--stats-json" | "--trace" | "--prometheus" | "--trace-events"
+        );
         out.push(a.clone());
     }
     out

@@ -10,11 +10,16 @@
 //! least 20% fewer read requests than the naive plan (the CI smoke gate).
 //!
 //! Knobs: `RS_PLAN_NODES` / `RS_PLAN_EDGES` (graph shape, default
-//! 20k/200k), `RS_TARGETS`, `RS_THREADS`, plus the standard
-//! `--stats-json` / `--prometheus` / `--trace` artifact flags.
+//! 20k/200k), `RS_TARGETS`, `RS_THREADS`, `RS_TRACE_CAPACITY` (0 turns
+//! the flight recorder off), plus the standard `--stats-json` /
+//! `--prometheus` / `--trace` / `--trace-events` artifact flags.
+//! `--bench-json PATH` writes a compact perf-trajectory entry (see
+//! `BENCH_plan_compare.json` at the repo root) so future changes can be
+//! diffed against a committed baseline.
 
 use ringsampler::{epoch_targets, ReadPlanMode, RingSampler, SamplerConfig};
 use ringsampler_bench::{emit_table, HarnessConfig, StatsSink};
+use ringstat::Json;
 use ringsampler_graph::gen::GeneratorSpec;
 use ringsampler_graph::preprocess::{build_dataset, PreprocessOptions};
 
@@ -97,18 +102,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows: Vec<Row> = Vec::new();
 
     for (label, mode, regbuf) in variants {
-        let sampler = RingSampler::new(
-            graph.clone(),
-            SamplerConfig::new()
-                .fanouts(&FANOUTS)
-                .batch_size(256)
-                .threads(h.threads)
-                .with_replacement(true)
-                .read_plan(mode)
-                .register_buffers(regbuf)
-                .telemetry_opt(h.telemetry())
-                .seed(7),
-        )?;
+        let mut cfg = SamplerConfig::new()
+            .fanouts(&FANOUTS)
+            .batch_size(256)
+            .threads(h.threads)
+            .with_replacement(true)
+            .read_plan(mode)
+            .register_buffers(regbuf)
+            .telemetry_opt(h.telemetry())
+            .seed(7);
+        if let Some(n) = h.trace_capacity {
+            cfg = cfg.trace_capacity(n);
+        }
+        let sampler = RingSampler::new(graph.clone(), cfg)?;
         let digest = std::sync::atomic::AtomicU64::new(0);
         let report = sampler.sample_epoch_with(&targets, |idx, s| {
             digest.fetch_add(batch_digest(idx, &s), std::sync::atomic::Ordering::Relaxed);
@@ -144,6 +150,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     emit_table("plan_compare", &header, &lines)?;
     sink.finish()?;
+
+    // Perf-trajectory seed: a compact machine-readable entry future PRs
+    // diff against (committed as BENCH_plan_compare.json).
+    let bench_json = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--bench-json")
+        .map(|w| w[1].clone());
+    if let Some(path) = bench_json {
+        let mut entries = Vec::with_capacity(rows.len());
+        for r in &rows {
+            entries.push(
+                Json::object()
+                    .with("variant", Json::str(r.label))
+                    .with("seconds", Json::F64(r.seconds))
+                    .with("io_requests", Json::U64(r.io_requests))
+                    .with("reads_saved", Json::U64(r.reads_saved))
+                    .with("bytes_saved", Json::U64(r.bytes_saved))
+                    .with("fixed_buf_reads", Json::U64(r.fixed)),
+            );
+        }
+        let doc = Json::object()
+            .with("schema_version", Json::U64(1))
+            .with("bench", Json::str("plan_compare"))
+            .with(
+                "workload",
+                Json::object()
+                    .with("nodes", Json::U64(nodes))
+                    .with("edges", Json::U64(edges))
+                    .with("targets", Json::U64(targets_n as u64))
+                    .with("threads", Json::U64(h.threads as u64))
+                    .with("batch_size", Json::U64(256)),
+            )
+            .with("variants", Json::Array(entries))
+            .to_string_pretty();
+        std::fs::write(&path, doc)?;
+        eprintln!("wrote {path}");
+    }
 
     // Correctness gate: every variant must produce the exact same epoch.
     let reference = rows.first().map(|r| r.digest).unwrap_or(0);

@@ -29,6 +29,8 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod ringtrace;
+
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -98,13 +100,17 @@ pub struct HarnessConfig {
     /// port `0` to pick a free port). `None` (the default) disables
     /// telemetry entirely — no listener, no snapshot publishing.
     pub serve: Option<String>,
+    /// Flight-recorder ring capacity override (`RS_TRACE_CAPACITY`;
+    /// `0` disables event recording entirely). `None` keeps
+    /// [`SamplerConfig`]'s default capacity.
+    pub trace_capacity: Option<usize>,
 }
 
 impl HarnessConfig {
     /// Reads `RS_SCALE`, `RS_TARGETS`, `RS_EPOCHS`, `RS_DATA_DIR`,
-    /// `RS_THREADS`, `RS_READ_PLAN`, `RS_REGISTER_BUFFERS` and `RS_SERVE`
-    /// from the environment, then lets a `--serve <addr>` process argument
-    /// override the serve address.
+    /// `RS_THREADS`, `RS_READ_PLAN`, `RS_REGISTER_BUFFERS`,
+    /// `RS_TRACE_CAPACITY` and `RS_SERVE` from the environment, then lets
+    /// a `--serve <addr>` process argument override the serve address.
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::from_env_and_args(&args)
@@ -139,6 +145,10 @@ impl HarnessConfig {
                 .unwrap_or(ReadPlanMode::Off),
             register_buffers: env_flag("RS_REGISTER_BUFFERS"),
             serve: serve_arg.or_else(|| std::env::var("RS_SERVE").ok().filter(|s| !s.is_empty())),
+            // Unlike env_u64 this admits 0 (= recording off).
+            trace_capacity: std::env::var("RS_TRACE_CAPACITY")
+                .ok()
+                .and_then(|v| v.parse().ok()),
         }
     }
 
@@ -256,9 +266,8 @@ pub fn build_system(
 ) -> Result<Box<dyn NeighborSampler>, SamplerError> {
     let scale = harness.scale;
     Ok(match kind {
-        SystemKind::RingSampler => Box::new(RingSamplerSystem::new(RingSampler::new(
-            graph.clone(),
-            SamplerConfig::new()
+        SystemKind::RingSampler => {
+            let mut cfg = SamplerConfig::new()
                 .fanouts(fanouts)
                 .batch_size(batch)
                 .threads(threads)
@@ -266,8 +275,12 @@ pub fn build_system(
                 .read_plan(harness.read_plan)
                 .register_buffers(harness.register_buffers)
                 .telemetry_opt(harness.telemetry())
-                .seed(seed),
-        )?)),
+                .seed(seed);
+            if let Some(n) = harness.trace_capacity {
+                cfg = cfg.trace_capacity(n);
+            }
+            Box::new(RingSamplerSystem::new(RingSampler::new(graph.clone(), cfg)?))
+        }
         SystemKind::DglCpu => Box::new(InMemorySampler::new(
             graph, fanouts, batch, threads, budget, seed,
         )?),
@@ -318,7 +331,9 @@ pub fn build_system(
 /// * `--prometheus PATH` — Prometheus text exposition, one series set per
 ///   report with a `run` label;
 /// * `--trace PATH` — Chrome `trace.json` (Perfetto-loadable) with one
-///   timeline row per sampling worker.
+///   timeline row per sampling worker;
+/// * `--trace-events PATH` (env `RS_TRACE_EVENTS`) — raw flight-recorder
+///   event dump, the input of the `ringtrace` analyzer bin.
 ///
 /// With no flags the sink is disabled and [`note`](Self::note) is free.
 #[derive(Debug, Default)]
@@ -326,6 +341,7 @@ pub struct StatsSink {
     json_path: Option<PathBuf>,
     trace_path: Option<PathBuf>,
     prom_path: Option<PathBuf>,
+    trace_events_path: Option<PathBuf>,
     reports: Vec<(String, EpochReport)>,
 }
 
@@ -335,9 +351,11 @@ impl StatsSink {
         Self::default()
     }
 
-    /// Parses `--stats-json`, `--trace` and `--prometheus` from the
-    /// process arguments. Unknown arguments are ignored (the experiment
-    /// binaries take their main knobs from `RS_*` environment variables).
+    /// Parses `--stats-json`, `--trace`, `--prometheus` and
+    /// `--trace-events` from the process arguments (with `RS_TRACE_EVENTS`
+    /// as the environment fallback for the last). Unknown arguments are
+    /// ignored (the experiment binaries take their main knobs from `RS_*`
+    /// environment variables).
     pub fn from_args() -> Self {
         Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>())
     }
@@ -361,16 +379,29 @@ impl StatsSink {
                     sink.prom_path = value;
                     i += 1;
                 }
+                "--trace-events" => {
+                    sink.trace_events_path = value;
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
+        }
+        if sink.trace_events_path.is_none() {
+            sink.trace_events_path = std::env::var("RS_TRACE_EVENTS")
+                .ok()
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from);
         }
         sink
     }
 
     /// True if any output path was requested.
     pub fn is_enabled(&self) -> bool {
-        self.json_path.is_some() || self.trace_path.is_some() || self.prom_path.is_some()
+        self.json_path.is_some()
+            || self.trace_path.is_some()
+            || self.prom_path.is_some()
+            || self.trace_events_path.is_some()
     }
 
     /// Number of reports recorded so far.
@@ -418,17 +449,40 @@ impl StatsSink {
     }
 
     /// The Chrome trace document. Worker span logs from every report are
-    /// laid out on distinct `tid` rows so epochs don't overdraw each other.
+    /// laid out on distinct `tid` rows so epochs don't overdraw each
+    /// other; metadata events label each lane `<run label>/worker-N` in
+    /// Perfetto instead of a bare tid.
     pub fn trace_document(&self) -> String {
         let mut trace = ChromeTrace::new();
+        trace.set_process_name("ringsampler");
         let mut tid = 0u64;
-        for (_, report) in &self.reports {
-            for spans in &report.thread_spans {
+        for (label, report) in &self.reports {
+            for (w, spans) in report.thread_spans.iter().enumerate() {
+                trace.set_thread_name(tid, &format!("{label}/worker-{w}"));
                 trace.add_spans(tid, spans);
                 tid += 1;
             }
         }
         trace.to_json()
+    }
+
+    /// The raw flight-recorder dump written to `--trace-events`: every
+    /// report's drained per-worker event lists with wire-stable kind
+    /// names, as consumed by the `ringtrace` analyzer
+    /// ([`ringtrace::TraceDump::parse`]).
+    pub fn trace_events_document(&self) -> String {
+        let mut reports = Vec::with_capacity(self.reports.len());
+        for (label, report) in &self.reports {
+            reports.push(
+                Json::object()
+                    .with("label", Json::str(label))
+                    .with("trace", report.trace_events_json_value()),
+            );
+        }
+        Json::object()
+            .with("schema_version", Json::U64(1))
+            .with("reports", Json::Array(reports))
+            .to_string_pretty()
     }
 
     /// Writes every requested artifact (creating parent directories).
@@ -454,6 +508,9 @@ impl StatsSink {
         }
         if let Some(p) = &self.trace_path {
             write(p, &self.trace_document())?;
+        }
+        if let Some(p) = &self.trace_events_path {
+            write(p, &self.trace_events_document())?;
         }
         Ok(())
     }
@@ -692,13 +749,19 @@ mod tests {
             "t.json",
             "--prometheus",
             "m.prom",
+            "--trace-events",
+            "e.json",
         ]));
         assert!(s.is_enabled());
-        let none = StatsSink::from_arg_list(&strings(&["--unrelated", "x"]));
-        assert!(!none.is_enabled());
-        // A trailing flag with no value stays disabled rather than panicking.
-        let dangling = StatsSink::from_arg_list(&strings(&["--stats-json"]));
-        assert!(!dangling.is_enabled());
+        assert_eq!(s.trace_events_path.as_deref(), Some(Path::new("e.json")));
+        if std::env::var("RS_TRACE_EVENTS").is_err() {
+            let none = StatsSink::from_arg_list(&strings(&["--unrelated", "x"]));
+            assert!(!none.is_enabled());
+            // A trailing flag with no value stays disabled rather than
+            // panicking.
+            let dangling = StatsSink::from_arg_list(&strings(&["--stats-json"]));
+            assert!(!dangling.is_enabled());
+        }
     }
 
     #[test]
@@ -727,6 +790,41 @@ mod tests {
         );
         let trace = s.trace_document();
         assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("\"process_name\""), "{trace}");
+        assert!(trace.contains("ringsampler"), "{trace}");
+    }
+
+    #[test]
+    fn stats_sink_trace_events_document_round_trips() {
+        let mut s = StatsSink::from_arg_list(&strings(&["--trace-events", "unused.json"]));
+        let mut report = ringsampler::EpochReport::default();
+        report.thread_events.push(vec![
+            ringstat::TraceEvent {
+                ts_ns: 100,
+                kind: ringstat::EventKind::BatchStart,
+                a: 0,
+                b: 64,
+                c: 0,
+                d: 0,
+            },
+            ringstat::TraceEvent {
+                ts_ns: 900,
+                kind: ringstat::EventKind::BatchEnd,
+                a: 0,
+                b: 800,
+                c: 2,
+                d: 0,
+            },
+        ]);
+        report.trace_dropped = 1;
+        s.note("fig4/epoch0", &report);
+        let doc = s.trace_events_document();
+        assert!(doc.contains("\"schema_version\": 1"), "{doc}");
+        assert!(doc.contains("\"label\": \"fig4/epoch0\""), "{doc}");
+        let dump = ringtrace::TraceDump::parse(&doc).unwrap();
+        assert_eq!(dump.reports.len(), 1);
+        assert_eq!(dump.reports[0].dropped, 1);
+        assert_eq!(dump.reports[0].workers[0].events.len(), 2);
     }
 
     #[test]
@@ -742,6 +840,7 @@ mod tests {
             read_plan: ReadPlanMode::Dedup,
             register_buffers: false,
             serve: None,
+            trace_capacity: None,
         };
         let spec = DatasetSpec::scaled(DatasetId::OgbnPapers, h.scale);
         let graph = h.dataset(&spec).unwrap();

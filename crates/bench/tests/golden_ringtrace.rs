@@ -1,0 +1,124 @@
+//! Golden-file test byte-pinning the `ringtrace` stage-attribution
+//! output. The analyzer is the human-facing end of the flight-recorder
+//! wire format — any drift in stage semantics, column layout or the
+//! straggler/coverage math must be deliberate and show up in review as a
+//! golden diff.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p ringsampler-bench --test golden_ringtrace`
+
+use std::path::PathBuf;
+
+use ringsampler_bench::ringtrace::{report_analysis, to_chrome, TraceDump};
+use ringstat::{EventKind, TraceEvent};
+
+fn ev(ts_ns: u64, kind: EventKind, a: u64, b: u64, c: u64, d: u64) -> TraceEvent {
+    TraceEvent {
+        ts_ns,
+        kind,
+        a,
+        b,
+        c,
+        d,
+    }
+}
+
+/// A fixed two-worker dump: worker 0 with two clean batches (the second
+/// containing a straggler group), worker 1 with a truncated batch and a
+/// drop, so the analysis exercises every output section. No clocks.
+fn golden_dump() -> TraceDump {
+    let json = build_dump_json();
+    TraceDump::parse(&json).expect("fixture parses")
+}
+
+fn build_dump_json() -> String {
+    use ringsampler::{EpochReport, WorkerStats};
+
+    let w0 = WorkerStats {
+        events: vec![
+        ev(0, EventKind::BatchStart, 0, 256, 0, 0),
+        ev(60_000, EventKind::SampleDone, 20, 1_024, 55_000, 0),
+        ev(95_000, EventKind::PlanBuilt, 1_024, 512, 2_048, 30_000),
+        ev(110_000, EventKind::GroupSubmit, 1, 32, 32, 10_000),
+        ev(320_000, EventKind::GroupComplete, 1, 180_000, 150_000, 12_000),
+        ev(360_000, EventKind::ScatterDone, 1_024, 35_000, 0, 0),
+        ev(400_000, EventKind::BatchEnd, 0, 400_000, 2, 0),
+        ev(400_500, EventKind::BatchStart, 1, 256, 0, 0),
+        ev(455_000, EventKind::SampleDone, 20, 1_024, 52_000, 0),
+        ev(490_000, EventKind::PlanBuilt, 1_024, 512, 2_048, 28_000),
+        ev(505_000, EventKind::GroupSubmit, 2, 32, 48, 9_000),
+        ev(2_450_000, EventKind::GroupComplete, 2, 1_900_000, 1_870_000, 14_000),
+        ev(2_490_000, EventKind::ScatterDone, 1_024, 33_000, 0, 0),
+        ev(2_520_000, EventKind::BatchEnd, 1, 2_119_500, 2, 0),
+        ],
+        ..Default::default()
+    };
+    let w1 = WorkerStats {
+        events: vec![
+        ev(1_000, EventKind::BatchStart, 0, 256, 0, 0),
+        ev(58_000, EventKind::SampleDone, 20, 1_024, 51_000, 0),
+        ev(70_000, EventKind::CacheHit, 640, 0, 0, 0),
+        ev(71_000, EventKind::CacheMiss, 384, 0, 0, 0),
+        ev(92_000, EventKind::PlanBuilt, 384, 200, 1_024, 19_000),
+        ev(101_000, EventKind::GroupSubmit, 5, 16, 16, 7_000),
+        // batch_end lost to ring overflow: stays incomplete.
+        ],
+        trace_dropped: 3,
+        ..Default::default()
+    };
+
+    let mut report = EpochReport::default();
+    report.absorb(w0);
+    report.absorb(w1);
+
+    // Reuse the exact StatsSink wire format so the golden pins the whole
+    // producer→analyzer path.
+    let mut sink =
+        ringsampler_bench::StatsSink::from_arg_list(&["--trace-events".into(), "x.json".into()]);
+    sink.note("fig4/epoch0", &report);
+    sink.trace_events_document()
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden file; if the format change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn stage_table_is_pinned() {
+    // k = 0.5: with only two completed groups p99 is the max, so a k >= 1
+    // threshold can never fire; 0.5 flags the 1.9 ms group against the
+    // 0.95 ms threshold.
+    let analysis = report_analysis(&golden_dump().reports[0], 0.5);
+    // Acceptance spot-checks before byte-pinning: every stage row, the
+    // straggler and the drop warning are present.
+    for needle in [
+        "sample", "plan", "submit", "wait", "reap", "scatter", "attributed", "batch e2e",
+        "queue depth", "stragglers", "group 2", "3 event(s) dropped",
+    ] {
+        assert!(analysis.contains(needle), "missing {needle:?} in:\n{analysis}");
+    }
+    check_golden("ringtrace_stage_table.txt", &analysis);
+}
+
+#[test]
+fn chrome_export_is_pinned() {
+    check_golden("ringtrace_chrome.json", &to_chrome(&golden_dump()));
+}

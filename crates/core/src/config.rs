@@ -75,6 +75,10 @@ pub struct SamplerConfig {
     /// (per-thread; bounded so recording never allocates mid-epoch).
     /// 0 disables span recording entirely.
     pub span_capacity: usize,
+    /// Capacity of each worker's `ringtrace` lifecycle event ring
+    /// (per-thread; fixed-size, recording drops instead of blocking when
+    /// full — see `ringstat::EventRing`). 0 disables event recording.
+    pub trace_capacity: usize,
     /// Read-plan optimization for the per-layer entry fetch (see
     /// [`crate::plan`]). `Off` (default) issues the paper-faithful one
     /// read per sampled entry, bit-identical to pre-planner behavior.
@@ -107,6 +111,7 @@ impl Default for SamplerConfig {
             register_file: true,
             with_replacement: false,
             span_capacity: 8192,
+            trace_capacity: 8192,
             read_plan: ReadPlanMode::Off,
             register_buffers: false,
             telemetry: None,
@@ -205,6 +210,13 @@ impl SamplerConfig {
         self
     }
 
+    /// Sets the per-worker lifecycle event-ring capacity (0 disables
+    /// `ringtrace` event recording).
+    pub fn trace_capacity(mut self, n: usize) -> Self {
+        self.trace_capacity = n;
+        self
+    }
+
     /// Selects the read-plan optimization (default [`ReadPlanMode::Off`]).
     pub fn read_plan(mut self, mode: ReadPlanMode) -> Self {
         self.read_plan = mode;
@@ -291,7 +303,9 @@ mod tests {
         assert_eq!(c.ring_entries, 512);
         assert_eq!(c.pipeline, PipelineMode::Async);
         assert_eq!(c.cache, CachePolicy::None);
+        assert_eq!(c.trace_capacity, 8192);
         assert!(c.validate().is_ok());
+        assert_eq!(SamplerConfig::new().trace_capacity(0).trace_capacity, 0);
     }
 
     #[test]

@@ -87,6 +87,9 @@ impl RingSampler {
             // batch totals are unknown, so the snapshot carries 0.
             let epoch = h.registry().next_epoch();
             worker.attach_telemetry(h.registry().register(), epoch, 0);
+            if let Some(ring) = worker.events_ring() {
+                h.registry().append_ring(Arc::clone(ring));
+            }
         }
         Ok(worker)
     }
@@ -144,8 +147,17 @@ impl RingSampler {
                 handles.push(scope.spawn(move || -> Result<WorkerStats> {
                     let mut worker = SamplerWorker::new(Arc::clone(&self.graph), self.cfg.clone())?;
                     // All workers share the epoch-start origin, so their
-                    // span timelines line up in the Chrome trace.
+                    // span timelines line up in the Chrome trace, and
+                    // flight-recorder timestamps are comparable across
+                    // threads in the ringtrace stage table.
                     worker.set_span_origin(start);
+                    if let Some(h) = &self.telemetry {
+                        if let Some(ring) = worker.events_ring() {
+                            // Live `/trace` tail: cold-path registration,
+                            // once per worker per epoch.
+                            h.registry().register_ring(t, Arc::clone(ring));
+                        }
+                    }
                     if let Some(cell) = slot {
                         // Round-robin partition: worker t owns batches
                         // t, t + n, t + 2n, … — its assigned total.
@@ -341,8 +353,14 @@ mod tests {
         assert!(r.thread_spans.iter().any(|s| !s.is_empty()));
         assert!(r.phases.total() > 0);
         // The three artifact exports are well-formed and self-consistent.
+        assert_eq!(r.thread_events.len(), 2, "one event list per worker");
+        assert!(
+            r.thread_events.iter().all(|e| !e.is_empty()),
+            "every worker records trace events by default"
+        );
+        assert_eq!(r.trace_dropped, 0, "small epoch must not overflow rings");
         let json = r.to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains(&format!("\"batches\": {}", r.metrics.batches)));
         let prom = r.to_prometheus();
         assert!(prom.contains(&format!(

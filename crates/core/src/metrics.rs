@@ -13,7 +13,7 @@ use std::time::Duration;
 use ringsampler_io::ReaderStats;
 use ringstat::{
     human_bytes, human_count, human_nanos, ChromeTrace, Json, LatencyHistogram, Phase,
-    PhaseTimes, PromWriter, SpanLog,
+    PhaseTimes, PromWriter, SpanLog, TraceEvent,
 };
 
 /// Counters accumulated while sampling (mergeable across threads).
@@ -156,6 +156,14 @@ pub struct WorkerStats {
     pub phases: PhaseTimes,
     /// This thread's recorded batch and I/O-group spans.
     pub spans: SpanLog,
+    /// Flight-recorder events drained from this thread's event ring
+    /// (empty for the non-destructive
+    /// [`stats`](crate::worker::SamplerWorker::stats) snapshot; populated
+    /// by `take_stats` at epoch join).
+    pub events: Vec<TraceEvent>,
+    /// Events the ring dropped on overflow (recording never blocks; the
+    /// drop counter is the recorder's overload signal).
+    pub trace_dropped: u64,
 }
 
 impl WorkerStats {
@@ -192,6 +200,13 @@ pub struct EpochReport {
     /// One span log per worker thread (indexed by worker id), feeding the
     /// Chrome trace export.
     pub thread_spans: Vec<SpanLog>,
+    /// One flight-recorder event list per worker thread (indexed like
+    /// `thread_spans`), feeding the `--trace-events` dump and the
+    /// `ringtrace` analyzer.
+    pub thread_events: Vec<Vec<TraceEvent>>,
+    /// Total flight-recorder events dropped on ring overflow, across all
+    /// threads.
+    pub trace_dropped: u64,
 }
 
 impl EpochReport {
@@ -219,14 +234,18 @@ impl EpochReport {
         self.cq_wait.merge(&worker.cq_wait);
         self.phases.merge(&worker.phases);
         self.thread_spans.push(worker.spans);
+        self.thread_events.push(worker.events);
+        self.trace_dropped += worker.trace_dropped;
     }
 
-    /// The report as a JSON tree (`schema_version` 2). Raw values only —
+    /// The report as a JSON tree (`schema_version` 3). Raw values only —
     /// humanization is a Display concern.
     ///
-    /// Schema history: v2 added the read-planner counters (`reads_planned`,
-    /// `reads_saved`, `bytes_saved`, `fixed_buf_reads`, `regbuf_fallbacks`)
-    /// and the derived `coalesce_ratio`; v1 was the initial format.
+    /// Schema history: v3 added the `trace` summary block (flight-recorder
+    /// event and overflow-drop counts); v2 added the read-planner counters
+    /// (`reads_planned`, `reads_saved`, `bytes_saved`, `fixed_buf_reads`,
+    /// `regbuf_fallbacks`) and the derived `coalesce_ratio`; v1 was the
+    /// initial format.
     pub fn to_json_value(&self) -> Json {
         let m = &self.metrics;
         let counters = Json::object()
@@ -266,8 +285,13 @@ impl EpochReport {
             .with("threads", Json::U64(self.thread_spans.len() as u64))
             .with("events", Json::U64(events))
             .with("dropped", Json::U64(dropped));
+        let trace_events: u64 = self.thread_events.iter().map(|e| e.len() as u64).sum();
+        let trace = Json::object()
+            .with("threads", Json::U64(self.thread_events.len() as u64))
+            .with("events", Json::U64(trace_events))
+            .with("dropped", Json::U64(self.trace_dropped));
         Json::object()
-            .with("schema_version", Json::U64(2))
+            .with("schema_version", Json::U64(3))
             .with("threads", Json::U64(self.threads as u64))
             .with("wall_seconds", Json::F64(self.seconds()))
             .with("counters", counters)
@@ -275,6 +299,40 @@ impl EpochReport {
             .with("phase_nanos", phases)
             .with("histograms", histograms)
             .with("spans", spans)
+            .with("trace", trace)
+    }
+
+    /// The raw flight-recorder dump as JSON: per-thread event lists with
+    /// wire-stable kind names, plus the total overflow-drop count. This is
+    /// the `--trace-events` artifact the `ringtrace` analyzer consumes
+    /// (see the bench harness's trace-events document for the file
+    /// wrapper).
+    pub fn trace_events_json_value(&self) -> Json {
+        let workers: Vec<Json> = self
+            .thread_events
+            .iter()
+            .enumerate()
+            .map(|(tid, evs)| {
+                let events: Vec<Json> = evs
+                    .iter()
+                    .map(|e| {
+                        Json::object()
+                            .with("ts_ns", Json::U64(e.ts_ns))
+                            .with("kind", Json::Str(e.kind.name().to_string()))
+                            .with("a", Json::U64(e.a))
+                            .with("b", Json::U64(e.b))
+                            .with("c", Json::U64(e.c))
+                            .with("d", Json::U64(e.d))
+                    })
+                    .collect();
+                Json::object()
+                    .with("thread", Json::U64(tid as u64))
+                    .with("events", Json::Array(events))
+            })
+            .collect();
+        Json::object()
+            .with("dropped", Json::U64(self.trace_dropped))
+            .with("workers", Json::Array(workers))
     }
 
     /// The JSON report document (pretty-printed, stable key order).
@@ -290,7 +348,7 @@ impl EpochReport {
         // `schema` label to detect format bumps, mirroring the JSON
         // export's `schema_version`.
         let mut with_schema: Vec<(&str, &str)> = labels.to_vec();
-        with_schema.push(("schema", "2"));
+        with_schema.push(("schema", "3"));
         w.gauge(
             "ringsampler_report_info",
             "Report format marker; the schema label tracks the JSON schema_version",
@@ -355,6 +413,12 @@ impl EpochReport {
             labels,
             m.regbuf_fallbacks,
         );
+        w.counter(
+            "ringsampler_trace_dropped_total",
+            "Flight-recorder events dropped on ring overflow",
+            labels,
+            self.trace_dropped,
+        );
         for p in Phase::ALL {
             let mut with_phase: Vec<(&str, &str)> = labels.to_vec();
             with_phase.push(("phase", p.name()));
@@ -413,10 +477,14 @@ impl EpochReport {
     }
 
     /// A Chrome trace-event document (Perfetto-viewable): one timeline row
-    /// per worker thread, with its batch and I/O-group spans.
+    /// per worker thread, with its batch and I/O-group spans. Metadata
+    /// events name the process and each worker lane so the viewer shows
+    /// "ringsampler / worker-N" instead of bare pid/tid numbers.
     pub fn to_chrome_trace(&self) -> String {
         let mut t = ChromeTrace::new();
+        t.set_process_name("ringsampler");
         for (tid, log) in self.thread_spans.iter().enumerate() {
+            t.set_thread_name(tid as u64, &format!("worker-{tid}"));
             t.add_spans(tid as u64, log);
         }
         t.to_json()
@@ -680,7 +748,7 @@ mod tests {
         assert_eq!(r.threads, 1);
         let json = r.to_json();
         for key in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"counters\"",
             "\"derived\"",
             "\"phase_nanos\"",
@@ -690,9 +758,75 @@ mod tests {
             "\"p95_nanos\"",
             "\"p99_nanos\"",
             "\"spans\"",
+            "\"trace\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn trace_events_flow_to_report_and_dump() {
+        use ringstat::EventKind;
+        let mk = |tid: u64, dropped: u64| WorkerStats {
+            events: vec![
+                TraceEvent {
+                    ts_ns: 10 * tid,
+                    kind: EventKind::BatchStart,
+                    a: tid,
+                    b: 64,
+                    c: 0,
+                    d: 0,
+                },
+                TraceEvent {
+                    ts_ns: 10 * tid + 5,
+                    kind: EventKind::BatchEnd,
+                    a: tid,
+                    b: 5,
+                    c: 2,
+                    d: 0,
+                },
+            ],
+            trace_dropped: dropped,
+            ..Default::default()
+        };
+        let mut r = EpochReport::default();
+        r.absorb(mk(0, 0));
+        r.absorb(mk(1, 3));
+        assert_eq!(r.thread_events.len(), 2);
+        assert_eq!(r.trace_dropped, 3);
+        let json = r.to_json();
+        assert!(json.contains("\"trace\""), "{json}");
+        assert!(json.contains("\"dropped\": 3"), "{json}");
+        let prom = r.to_prometheus();
+        assert!(prom.contains("ringsampler_trace_dropped_total 3"), "{prom}");
+        // The raw dump round-trips through the JSON parser.
+        let dump = r.trace_events_json_value().to_string_pretty();
+        let parsed = Json::parse(&dump).expect("dump parses");
+        assert_eq!(parsed.get("dropped").and_then(Json::as_u64), Some(3));
+        let workers = parsed.get("workers").and_then(Json::as_array).unwrap();
+        assert_eq!(workers.len(), 2);
+        let ev0 = workers[0].get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(ev0.len(), 2);
+        assert_eq!(
+            ev0[0].get("kind").and_then(Json::as_str),
+            Some("batch_start")
+        );
+        assert_eq!(ev0[1].get("b").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn chrome_trace_names_process_and_lanes() {
+        let mut w = WorkerStats {
+            spans: SpanLog::with_capacity(4),
+            ..Default::default()
+        };
+        w.spans.record_at("batch", 0, 5);
+        let r = w.into_epoch_report(Duration::from_secs(1));
+        let trace = r.to_chrome_trace();
+        assert!(trace.contains("\"ph\": \"M\""), "{trace}");
+        assert!(trace.contains("process_name"), "{trace}");
+        assert!(trace.contains("ringsampler"), "{trace}");
+        assert!(trace.contains("worker-0"), "{trace}");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   memory-ordering argument.
 //! * **Observe side** — one telemetry thread polls the
 //!   [`SnapshotRegistry`], serves `GET /metrics` (Prometheus text),
-//!   `GET /progress` (aggregated JSON with throughput and ETA), and
+//!   `GET /progress` (aggregated JSON with throughput and ETA),
+//!   `GET /trace` (the live tail of each worker's flight-recorder
+//!   ring, read with the non-destructive [`EventRing::recent`]), and
 //!   `GET /healthz`, and runs the stall watchdog: a worker whose
 //!   snapshot version stops advancing for longer than the configured
 //!   window is reported with its last-known state (group index,
@@ -27,7 +29,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ringsampler_io::IoEngineError;
-use ringstat::{HttpServer, Json, PromWriter, Response, SnapshotCell, WorkerSnapshot};
+use ringstat::{
+    EventRing, HttpServer, Json, PromWriter, Response, SnapshotCell, TraceEvent, WorkerSnapshot,
+};
 
 use crate::error::{Result, SamplerError};
 
@@ -111,6 +115,11 @@ pub struct WorkerObservation {
 pub struct SnapshotRegistry {
     slots: Mutex<Vec<Arc<SnapshotCell<WorkerSnapshot>>>>,
     epochs: Mutex<u64>,
+    /// Flight-recorder rings keyed by worker index, for the live
+    /// `GET /trace` tail. Registered at epoch setup (cold path); the
+    /// telemetry thread reads them with the best-effort, torn-slot-
+    /// skipping [`EventRing::recent`] — never the destructive drain.
+    rings: Mutex<Vec<(usize, Arc<EventRing>)>>,
 }
 
 impl SnapshotRegistry {
@@ -131,7 +140,9 @@ impl SnapshotRegistry {
     }
 
     /// Replaces all slots with `n` fresh ones for a new epoch and
-    /// returns them (one per worker thread, in index order).
+    /// returns them (one per worker thread, in index order). Flight-
+    /// recorder rings from the previous epoch are dropped too — the new
+    /// epoch's workers re-register theirs.
     pub fn reset_epoch(&self, n: usize) -> Vec<Arc<SnapshotCell<WorkerSnapshot>>> {
         let cells: Vec<_> = (0..n)
             .map(|_| Arc::new(SnapshotCell::new(WorkerSnapshot::new())))
@@ -139,7 +150,50 @@ impl SnapshotRegistry {
         if let Ok(mut slots) = self.slots.lock() {
             *slots = cells.clone();
         }
+        if let Ok(mut rings) = self.rings.lock() {
+            rings.clear();
+        }
         cells
+    }
+
+    /// Registers worker `worker`'s flight-recorder ring for the live
+    /// `/trace` tail. Cold path (epoch setup / loader construction).
+    pub fn register_ring(&self, worker: usize, ring: Arc<EventRing>) {
+        if let Ok(mut rings) = self.rings.lock() {
+            rings.push((worker, ring));
+            rings.sort_by_key(|(w, _)| *w);
+        }
+    }
+
+    /// Registers a standalone worker's ring (DataLoader path), assigning
+    /// the next free index. Returns the assigned index.
+    pub fn append_ring(&self, ring: Arc<EventRing>) -> usize {
+        if let Ok(mut rings) = self.rings.lock() {
+            let idx = rings.iter().map(|(w, _)| w + 1).max().unwrap_or(0);
+            rings.push((idx, ring));
+            idx
+        } else {
+            0
+        }
+    }
+
+    /// Reads the tail of every registered flight-recorder ring: up to `k`
+    /// most-recent events per worker (best effort — slots being written
+    /// concurrently are skipped) plus the recorded/dropped cursors.
+    pub fn observe_traces(&self, k: usize) -> Vec<TraceTail> {
+        let rings = match self.rings.lock() {
+            Ok(r) => r.clone(),
+            Err(_) => return Vec::new(),
+        };
+        rings
+            .iter()
+            .map(|(worker, ring)| TraceTail {
+                index: *worker,
+                recorded: ring.head(),
+                dropped: ring.dropped(),
+                events: ring.recent(k),
+            })
+            .collect()
     }
 
     /// Increments and returns the epoch counter (1-based).
@@ -169,6 +223,20 @@ impl SnapshotRegistry {
             })
             .collect()
     }
+}
+
+/// One reader-side observation of a worker's flight-recorder ring: the
+/// cursor counters plus a best-effort tail of recent events.
+#[derive(Debug, Clone)]
+pub struct TraceTail {
+    /// Worker index the ring belongs to.
+    pub index: usize,
+    /// Events recorded onto the ring since creation (the head cursor).
+    pub recorded: u64,
+    /// Events dropped on overflow.
+    pub dropped: u64,
+    /// Up to the requested number of most-recent events, oldest first.
+    pub events: Vec<TraceEvent>,
 }
 
 /// A worker the watchdog just declared stalled.
@@ -274,8 +342,10 @@ pub struct FleetRates {
 }
 
 /// Renders the `GET /metrics` Prometheus document for one poll's
-/// observations. Pure: same observations ⇒ same text.
-pub fn metrics_document(obs: &[WorkerObservation]) -> String {
+/// observations plus the flight-recorder cursor counters. Pure: same
+/// inputs ⇒ same text. `traces` may come from `observe_traces(0)` —
+/// only the recorded/dropped counters are used here, never the events.
+pub fn metrics_document(obs: &[WorkerObservation], traces: &[TraceTail]) -> String {
     let mut w = PromWriter::new();
     w.gauge("ringsampler_up", "Telemetry endpoint liveness", &[], 1.0);
     w.gauge(
@@ -361,7 +431,53 @@ pub fn metrics_document(obs: &[WorkerObservation]) -> String {
             &s.batch_latency,
         );
     }
+    for t in traces {
+        let idx = t.index.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &idx)];
+        w.counter(
+            "ringsampler_trace_recorded_total",
+            "Flight-recorder events recorded by the worker",
+            labels,
+            t.recorded,
+        );
+        w.counter(
+            "ringsampler_trace_dropped_total",
+            "Flight-recorder events dropped on ring overflow",
+            labels,
+            t.dropped,
+        );
+    }
     w.finish()
+}
+
+/// Renders the `GET /trace` JSON document: the best-effort tail of every
+/// registered flight-recorder ring, with wire-stable event-kind names.
+/// Pure: same tails ⇒ same text.
+pub fn trace_document(tails: &[TraceTail]) -> String {
+    let workers: Vec<Json> = tails
+        .iter()
+        .map(|t| {
+            let events: Vec<Json> = t.events.iter().map(trace_event_json).collect();
+            Json::object()
+                .with("worker", Json::U64(t.index as u64))
+                .with("recorded", Json::U64(t.recorded))
+                .with("dropped", Json::U64(t.dropped))
+                .with("events", Json::Array(events))
+        })
+        .collect();
+    Json::object()
+        .with("workers", Json::Array(workers))
+        .to_string_pretty()
+}
+
+fn trace_event_json(e: &TraceEvent) -> Json {
+    Json::object()
+        .with("ts_ns", Json::U64(e.ts_ns))
+        .with("kind", Json::str(e.kind.name()))
+        .with("a", Json::U64(e.a))
+        .with("b", Json::U64(e.b))
+        .with("c", Json::U64(e.c))
+        .with("d", Json::U64(e.d))
 }
 
 /// Renders the `GET /progress` JSON document: per-worker rows plus a
@@ -503,8 +619,12 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
             let stalled = detector.stalled_workers();
             let rates = compute_rates(&obs, &mut baseline, now);
             server.poll(8, |req| match req.path.as_str() {
-                "/metrics" => Response::prometheus(metrics_document(&obs)),
+                "/metrics" => Response::prometheus(metrics_document(
+                    &obs,
+                    &registry.observe_traces(0),
+                )),
                 "/progress" => Response::json(progress_document(&obs, &stalled, &rates)),
+                "/trace" => Response::json(trace_document(&registry.observe_traces(256))),
                 "/healthz" => {
                     if stalled.is_empty() {
                         Response::text("ok\n")
@@ -701,7 +821,7 @@ mod tests {
 
     #[test]
     fn metrics_document_has_acceptance_families() {
-        let doc = metrics_document(&obs_of(&[snap(3, 8, true), snap(2, 8, true)]));
+        let doc = metrics_document(&obs_of(&[snap(3, 8, true), snap(2, 8, true)]), &[]);
         assert!(doc.contains("# TYPE ringsampler_worker_sampled_edges_total counter"));
         assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 300"#));
         assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="1"} 200"#));
@@ -710,6 +830,90 @@ mod tests {
         assert!(doc.contains("ringsampler_workers 2"));
         // HELP/TYPE emitted once per family despite two workers.
         assert_eq!(doc.matches("# HELP ringsampler_worker_batches_total").count(), 1);
+    }
+
+    fn trace_ev(ts: u64, kind: ringstat::EventKind, a: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind,
+            a,
+            b: 0,
+            c: 0,
+            d: 0,
+        }
+    }
+
+    #[test]
+    fn metrics_document_carries_trace_counters() {
+        let tails = [
+            TraceTail {
+                index: 0,
+                recorded: 42,
+                dropped: 0,
+                events: Vec::new(),
+            },
+            TraceTail {
+                index: 1,
+                recorded: 9,
+                dropped: 3,
+                events: Vec::new(),
+            },
+        ];
+        let doc = metrics_document(&obs_of(&[snap(1, 4, true)]), &tails);
+        assert!(doc.contains(r#"ringsampler_trace_recorded_total{worker="0"} 42"#), "{doc}");
+        assert!(doc.contains(r#"ringsampler_trace_dropped_total{worker="1"} 3"#), "{doc}");
+    }
+
+    #[test]
+    fn registry_rings_register_reset_and_observe() {
+        use ringstat::EventKind;
+        let reg = SnapshotRegistry::new();
+        assert!(reg.observe_traces(8).is_empty());
+        let r1 = Arc::new(EventRing::new(8));
+        let r0 = Arc::new(EventRing::new(8));
+        // Registered out of order: observation is sorted by worker index.
+        reg.register_ring(1, Arc::clone(&r1));
+        reg.register_ring(0, Arc::clone(&r0));
+        r0.record(trace_ev(5, EventKind::BatchStart, 0));
+        r0.record(trace_ev(9, EventKind::BatchEnd, 0));
+        let tails = reg.observe_traces(8);
+        assert_eq!(tails.len(), 2);
+        assert_eq!(tails[0].index, 0);
+        assert_eq!(tails[0].recorded, 2);
+        assert_eq!(tails[0].events.len(), 2);
+        assert_eq!(tails[1].index, 1);
+        assert!(tails[1].events.is_empty());
+        // A standalone ring appends after the highest index.
+        let idx = reg.append_ring(Arc::new(EventRing::new(4)));
+        assert_eq!(idx, 2);
+        // Epoch reset forgets all rings.
+        reg.reset_epoch(2);
+        assert!(reg.observe_traces(8).is_empty());
+    }
+
+    #[test]
+    fn trace_document_renders_tails() {
+        use ringstat::EventKind;
+        let tails = [TraceTail {
+            index: 0,
+            recorded: 3,
+            dropped: 1,
+            events: vec![
+                trace_ev(100, EventKind::GroupSubmit, 7),
+                trace_ev(250, EventKind::GroupComplete, 7),
+            ],
+        }];
+        let doc = trace_document(&tails);
+        assert!(doc.contains("\"worker\": 0"), "{doc}");
+        assert!(doc.contains("\"recorded\": 3"), "{doc}");
+        assert!(doc.contains("\"dropped\": 1"), "{doc}");
+        assert!(doc.contains("\"kind\": \"group_submit\""), "{doc}");
+        assert!(doc.contains("\"kind\": \"group_complete\""), "{doc}");
+        assert!(doc.contains("\"ts_ns\": 250"), "{doc}");
+        // The document parses back as JSON.
+        let parsed = Json::parse(&doc).expect("trace document parses");
+        let workers = parsed.get("workers").and_then(Json::as_array).unwrap();
+        assert_eq!(workers.len(), 1);
     }
 
     #[test]
@@ -767,6 +971,21 @@ mod tests {
         let (code, body) = http_get(handle.addr(), "/progress");
         assert_eq!(code, 200);
         assert!(body.contains("\"fleet\""));
+        // The /trace tail serves registered flight-recorder rings live.
+        let ring = Arc::new(EventRing::new(16));
+        ring.record(TraceEvent {
+            ts_ns: 1,
+            kind: ringstat::EventKind::BatchStart,
+            a: 0,
+            b: 8,
+            c: 0,
+            d: 0,
+        });
+        registry.register_ring(0, Arc::clone(&ring));
+        let (code, body) = http_get(handle.addr(), "/trace");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"batch_start\""), "{body}");
+        assert!(body.contains("\"recorded\": 1"), "{body}");
         let (code, _) = http_get(handle.addr(), "/healthz");
         assert_eq!(code, 200);
         assert!(handle.is_healthy());

@@ -16,7 +16,10 @@ use rand::SeedableRng;
 use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
 use ringsampler_io::engine::{GroupReader, GroupToken, PreadReader, ReadSlice, UringReader};
 use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
-use ringstat::{LatencyHistogram, Phase, PhaseTimes, SnapshotCell, SpanLog, WorkerSnapshot};
+use ringstat::{
+    EventKind, EventRing, LatencyHistogram, Phase, PhaseTimes, SnapshotCell, SpanLog,
+    TraceEvent, WorkerSnapshot,
+};
 
 use crate::block::{BatchSample, LayerSample};
 use crate::cache::{page_of, PageCache, PAGE_SIZE};
@@ -86,6 +89,15 @@ pub struct SamplerWorker {
     /// word stores + a fence — the one sanctioned hot-path exception to
     /// "no atomics"; see `ringstat::snapshot`). `None` costs one branch.
     telemetry: Option<TelemetrySlot>,
+    /// `ringtrace` flight recorder: a fixed-capacity event ring shared
+    /// with this worker's I/O reader (same thread, so the ring's
+    /// single-writer contract holds). `None` when `trace_capacity == 0`;
+    /// recording costs one branch plus a clock read per event, and the
+    /// ring drops on overflow instead of blocking.
+    events: Option<Arc<EventRing>>,
+    /// Timestamp origin for trace events; rebased to the epoch start by
+    /// [`SamplerWorker::set_span_origin`], like the span log.
+    trace_origin: Instant,
 }
 
 /// Per-worker publish state for live telemetry (cold fields read every
@@ -197,7 +209,12 @@ impl SamplerWorker {
             let now = Instant::now();
             spans.record("regfile_fallback", now, now);
         }
-        Ok(Self {
+        let events = if cfg.trace_capacity > 0 {
+            Some(Arc::new(EventRing::new(cfg.trace_capacity)))
+        } else {
+            None
+        };
+        let w = Self {
             graph,
             cfg,
             reader,
@@ -222,7 +239,41 @@ impl SamplerWorker {
             phases: PhaseTimes::new(),
             spans,
             telemetry: None,
-        })
+            events,
+            trace_origin: Instant::now(),
+        };
+        // Degradations discovered during construction go to the flight
+        // recorder too, so `ringtrace` sees them alongside the I/O events.
+        if regbuf_fallback {
+            w.trace(EventKind::RegBufFallback, 0, 0, 0, 0);
+        }
+        if regfile_fallback {
+            w.trace(EventKind::RegFileFallback, 0, 0, 0, 0);
+        }
+        Ok(w)
+    }
+
+    /// Records a flight-recorder event, if tracing is enabled. Disabled
+    /// tracing costs one branch; enabled costs a clock read plus a
+    /// seqlock-cell publish (no locks, no RMW atomics, no allocation).
+    #[inline]
+    fn trace(&self, kind: EventKind, a: u64, b: u64, c: u64, d: u64) {
+        if let Some(ring) = &self.events {
+            ring.record(TraceEvent {
+                ts_ns: nanos_between(self.trace_origin, Instant::now()),
+                kind,
+                a,
+                b,
+                c,
+                d,
+            });
+        }
+    }
+
+    /// The flight-recorder ring, for live-telemetry registration (`None`
+    /// when `trace_capacity == 0` disabled tracing).
+    pub(crate) fn events_ring(&self) -> Option<&Arc<EventRing>> {
+        self.events.as_ref()
     }
 
     /// Attaches a live-telemetry slot: from now on the worker publishes
@@ -293,15 +344,25 @@ impl SamplerWorker {
         self.reader.engine_name()
     }
 
-    /// Re-anchors this worker's span timestamps to `origin` (the epoch
-    /// start), so spans from all workers share one timeline. Call before
-    /// the first batch.
+    /// Re-anchors this worker's span **and trace** timestamps to `origin`
+    /// (the epoch start), so spans and flight-recorder events from all
+    /// workers share one timeline, and attaches the event ring to the I/O
+    /// reader so engine-side events land on it too. Call before the first
+    /// batch.
     pub fn set_span_origin(&mut self, origin: Instant) {
         self.spans.rebase(origin);
+        self.trace_origin = origin;
+        if let Some(ring) = &self.events {
+            self.reader.attach_events(Arc::clone(ring), origin);
+        }
     }
 
     /// Snapshot of everything this worker has accumulated: counters plus
     /// the ringstat distributions (histograms, phase times, spans).
+    ///
+    /// Flight-recorder events are left on the ring (draining is
+    /// destructive); only the overflow-drop count is reported here. Use
+    /// [`SamplerWorker::take_stats`] to collect the events themselves.
     pub fn stats(&self) -> WorkerStats {
         WorkerStats {
             metrics: self.metrics(),
@@ -310,17 +371,25 @@ impl SamplerWorker {
             cq_wait: self.cq_hist,
             phases: self.phases,
             spans: self.spans.clone(),
+            events: Vec::new(),
+            trace_dropped: self.events.as_ref().map_or(0, |r| r.dropped()),
         }
     }
 
     /// Like [`SamplerWorker::stats`] but moves the span log out instead of
-    /// cloning it (the epoch-join path). Spans recorded after this call
-    /// are dropped (the replacement log has zero capacity).
+    /// cloning it and **drains** the flight-recorder ring (the epoch-join
+    /// path). Spans recorded after this call are dropped (the replacement
+    /// log has zero capacity); trace events recorded after it start a
+    /// fresh window on the now-empty ring.
     pub fn take_stats(&mut self) -> WorkerStats {
         // Final telemetry publish: the worker is done, so the watchdog
         // must stop expecting its version to advance.
         self.publish_snapshot(false);
         let spans = std::mem::take(&mut self.spans);
+        let (events, trace_dropped) = match &self.events {
+            Some(ring) => (ring.drain(), ring.dropped()),
+            None => (Vec::new(), 0),
+        };
         WorkerStats {
             metrics: self.metrics(),
             group_latency: self.reader.group_latency(),
@@ -328,6 +397,8 @@ impl SamplerWorker {
             cq_wait: self.cq_hist,
             phases: self.phases,
             spans,
+            events,
+            trace_dropped,
         }
     }
 
@@ -340,6 +411,8 @@ impl SamplerWorker {
     /// Propagates I/O errors and memory-budget exhaustion.
     pub fn sample_batch(&mut self, seeds: &[NodeId], batch_seed: u64) -> Result<BatchSample> {
         let batch_start = Instant::now();
+        let batch_index = self.metrics.batches;
+        self.trace(EventKind::BatchStart, batch_index, seeds.len() as u64, 0, 0);
         let mut rng =
             StdRng::seed_from_u64(self.cfg.seed ^ batch_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut targets: Vec<NodeId> = seeds.to_vec();
@@ -347,7 +420,20 @@ impl SamplerWorker {
         let mut layers = Vec::with_capacity(fanouts.len());
         for fanout in fanouts {
             let layer = self.sample_layer(&targets, fanout, &mut rng)?;
+            // The inter-layer reduce (dedup'ing neighbors into the next
+            // frontier) is sample-stage CPU work; traced with fanout 0 so
+            // ringtrace attributes it instead of leaving a coverage gap.
+            let u0 = self.events.as_ref().map(|_| Instant::now());
             targets = layer.unique_neighbors();
+            if let Some(u0) = u0 {
+                self.trace(
+                    EventKind::SampleDone,
+                    0,
+                    targets.len() as u64,
+                    u0.elapsed().as_nanos() as u64,
+                    0,
+                );
+            }
             self.metrics.layers += 1;
             self.metrics.sampled_edges += layer.num_edges() as u64;
             layers.push(layer);
@@ -356,6 +442,13 @@ impl SamplerWorker {
         let batch_end = Instant::now();
         self.batch_hist.record(nanos_between(batch_start, batch_end));
         self.spans.record("batch", batch_start, batch_end);
+        self.trace(
+            EventKind::BatchEnd,
+            batch_index,
+            nanos_between(batch_start, batch_end),
+            layers.len() as u64,
+            0,
+        );
         if let Some(slot) = &mut self.telemetry {
             slot.seeds_done += seeds.len() as u64;
         }
@@ -393,8 +486,16 @@ impl SamplerWorker {
                 self.src_pos.push(pos as u32);
             }
         }
+        let prepare_end = Instant::now();
         self.phases
-            .add(Phase::Prepare, nanos_between(prepare_start, Instant::now()));
+            .add(Phase::Prepare, nanos_between(prepare_start, prepare_end));
+        self.trace(
+            EventKind::SampleDone,
+            fanout as u64,
+            self.offsets.len() as u64,
+            nanos_between(prepare_start, prepare_end),
+            0,
+        );
         self.metrics.targets += targets.len() as u64;
         let entry_indices = std::mem::take(&mut self.offsets);
         let dst = self.fetch_entries(&entry_indices)?;
@@ -429,10 +530,25 @@ impl SamplerWorker {
         if self.cfg.read_plan.is_off() {
             // Paper-faithful path: one SQE per sampled entry. Kept verbatim
             // so `read_plan = Off` submits a bit-identical request stream.
+            // The identity plan is still traced (reqs_in == reqs_out) so
+            // ringtrace's stage coverage holds in Off mode too.
+            let t0 = self.events.as_ref().map(|_| Instant::now());
             self.reqs.clear();
             self.reqs.extend(entry_indices.iter().map(|&e| {
                 ReadSlice::new(OnDiskGraph::entry_byte_offset(e), ENTRY_BYTES as u32)
             }));
+            if let Some(t0) = t0 {
+                self.trace(
+                    EventKind::PlanBuilt,
+                    entry_indices.len() as u64,
+                    self.reqs.len() as u64,
+                    0,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+            // Off-mode decoding happens inside the consume closure, so the
+            // scatter stage is the Aggregate-phase delta across the read.
+            let agg0 = self.phases.get(Phase::Aggregate);
             let reqs = std::mem::take(&mut self.reqs);
             let mut out = Vec::with_capacity(entry_indices.len());
             self.pipelined_read(&reqs, |buf| {
@@ -442,6 +558,13 @@ impl SamplerWorker {
                 }));
             })?;
             self.reqs = reqs;
+            self.trace(
+                EventKind::ScatterDone,
+                entry_indices.len() as u64,
+                self.phases.get(Phase::Aggregate).saturating_sub(agg0),
+                0,
+                0,
+            );
             debug_assert_eq!(out.len(), entry_indices.len());
             return Ok(out);
         }
@@ -455,17 +578,30 @@ impl SamplerWorker {
             ENTRY_BYTES as u32,
             self.cfg.read_plan,
         );
+        let plan_end = Instant::now();
         self.phases
-            .add(Phase::Prepare, nanos_between(t0, Instant::now()));
+            .add(Phase::Prepare, nanos_between(t0, plan_end));
+        self.trace(
+            EventKind::PlanBuilt,
+            entry_indices.len() as u64,
+            stats.planned_reads,
+            stats.bytes_saved(),
+            nanos_between(t0, plan_end),
+        );
         self.metrics.reads_planned += stats.planned_reads;
         self.metrics.reads_saved += stats.reads_saved();
         self.metrics.bytes_saved += stats.bytes_saved();
         let mut payload = std::mem::take(&mut self.payload);
         payload.clear();
+        // The payload copy in `consume` runs inside `pipelined_read` as
+        // Aggregate-phase time; fold its delta into the scatter stage so
+        // ringtrace's attribution covers it.
+        let agg0 = self.phases.get(Phase::Aggregate);
         let read_res =
             self.pipelined_read(planner.slices(), |buf| payload.extend_from_slice(buf));
         let mut out = Vec::with_capacity(entry_indices.len());
         let mut decode_err = None;
+        let s0 = self.events.as_ref().map(|_| Instant::now());
         if read_res.is_ok() {
             for (&e, &po) in entry_indices.iter().zip(planner.scatter()) {
                 match entry_in_page(&payload, po as usize, OnDiskGraph::entry_byte_offset(e)) {
@@ -475,6 +611,16 @@ impl SamplerWorker {
                         break;
                     }
                 }
+            }
+            if let (Some(s0), None) = (s0, &decode_err) {
+                self.trace(
+                    EventKind::ScatterDone,
+                    entry_indices.len() as u64,
+                    self.phases.get(Phase::Aggregate).saturating_sub(agg0)
+                        + s0.elapsed().as_nanos() as u64,
+                    0,
+                    0,
+                );
             }
         }
         // Return the scratch before propagating errors so capacity (and
@@ -511,6 +657,13 @@ impl SamplerWorker {
                 }
             }
         }
+        let hits = entry_indices.len().saturating_sub(pending.len()) as u64;
+        if hits > 0 {
+            self.trace(EventKind::CacheHit, hits, 0, 0, 0);
+        }
+        if !pending.is_empty() {
+            self.trace(EventKind::CacheMiss, pending.len() as u64, 0, 0, 0);
+        }
         if pending.is_empty() {
             return Ok(out);
         }
@@ -543,8 +696,16 @@ impl SamplerWorker {
             let stats = planner.plan(&pages, 0, PAGE_SIZE as u32, ReadPlanMode::Coalesce { gap: 0 });
             self.reqs.extend_from_slice(planner.slices());
             self.planner = planner;
+            let plan_end = Instant::now();
             self.phases
-                .add(Phase::Prepare, nanos_between(t0, Instant::now()));
+                .add(Phase::Prepare, nanos_between(t0, plan_end));
+            self.trace(
+                EventKind::PlanBuilt,
+                pages.len() as u64,
+                stats.planned_reads,
+                stats.bytes_saved(),
+                nanos_between(t0, plan_end),
+            );
             self.metrics.reads_planned += stats.planned_reads;
             self.metrics.reads_saved += stats.reads_saved();
             self.metrics.bytes_saved += stats.bytes_saved();
@@ -557,10 +718,22 @@ impl SamplerWorker {
                 }
             }
         } else {
+            // No planning: one request per miss page. Traced as an
+            // identity plan so the stage table covers this path too.
+            let t0 = self.events.as_ref().map(|_| Instant::now());
             for &p in &pages {
                 let start = p * PAGE_SIZE as u64;
                 let len = PAGE_SIZE.min(self.file_len.saturating_sub(start) as usize) as u32;
                 self.reqs.push(ReadSlice::new(start, len));
+            }
+            if let Some(t0) = t0 {
+                self.trace(
+                    EventKind::PlanBuilt,
+                    pages.len() as u64,
+                    self.reqs.len() as u64,
+                    0,
+                    t0.elapsed().as_nanos() as u64,
+                );
             }
         }
         let reqs = std::mem::take(&mut self.reqs);
@@ -571,6 +744,10 @@ impl SamplerWorker {
         let mut page_data = std::mem::take(&mut self.page_data);
         let mut pool = std::mem::take(&mut self.page_pool);
         page_data.clear();
+        // As in the planned path, the page-split copy in `consume` is
+        // Aggregate-phase time inside `pipelined_read`; its delta belongs
+        // to the scatter stage.
+        let agg0 = self.phases.get(Phase::Aggregate);
         let read_res = self.pipelined_read(&reqs, |buf| {
             // One group buffer may hold several pages back to back.
             let mut cursor = 0usize;
@@ -584,6 +761,7 @@ impl SamplerWorker {
             }
         });
         self.reqs = reqs;
+        let r0 = self.events.as_ref().map(|_| Instant::now());
         let resolve_res = read_res.and_then(|()| {
             debug_assert_eq!(page_data.len(), pages.len());
             let cache = self.cache.as_mut().ok_or(SamplerError::Internal(
@@ -603,6 +781,19 @@ impl SamplerWorker {
             }
             Ok(())
         });
+        if let (Some(r0), Ok(())) = (r0, &resolve_res) {
+            // Scatter stage of the cached path: page-split copies during
+            // the read, cache insertion, and resolving every pending miss
+            // from the read-back pages.
+            self.trace(
+                EventKind::ScatterDone,
+                pending.len() as u64,
+                self.phases.get(Phase::Aggregate).saturating_sub(agg0)
+                    + r0.elapsed().as_nanos() as u64,
+                0,
+                0,
+            );
+        }
         // Drain page buffers back into the pool (capacity retained) before
         // propagating any error.
         pool.append(&mut page_data);
@@ -1222,6 +1413,122 @@ mod tests {
             .filter(|e| e.name == "regbuf_fallback")
             .count();
         assert_eq!(fallback_spans, 1, "fallback must leave a span");
+    }
+
+    #[test]
+    fn flight_recorder_captures_batch_lifecycle() {
+        let graph = test_graph("trace");
+        let cfg = SamplerConfig::new().fanouts(&[4, 3]).ring_entries(8).seed(2);
+        let mut w = worker(&graph, cfg);
+        w.set_span_origin(Instant::now());
+        let seeds: Vec<NodeId> = (0..64).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let s = w.take_stats();
+        assert_eq!(s.trace_dropped, 0);
+        let count = |k: EventKind| s.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::BatchStart), 1);
+        assert_eq!(count(EventKind::BatchEnd), 1);
+        assert_eq!(
+            count(EventKind::SampleDone),
+            4,
+            "one per layer draw plus one per inter-layer reduce"
+        );
+        let reduces = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::SampleDone && e.a == 0)
+            .count();
+        assert_eq!(reduces, 2, "reduce events carry fanout 0");
+        assert_eq!(count(EventKind::PlanBuilt), 2, "one per layer fetch");
+        assert_eq!(count(EventKind::ScatterDone), 2);
+        assert_eq!(count(EventKind::GroupSubmit) as u64, s.metrics.io_groups);
+        assert_eq!(count(EventKind::GroupComplete) as u64, s.metrics.io_groups);
+        // The ring is FIFO and single-writer: timestamps are monotone.
+        for pair in s.events.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns, "out-of-order events");
+        }
+        let end = s
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::BatchEnd)
+            .expect("BatchEnd recorded");
+        assert_eq!(end.a, 0, "first batch index");
+        assert!(end.b > 0, "batch duration recorded");
+        assert_eq!(end.c, 2, "layer count");
+        // take_stats drained the ring: the next window starts empty.
+        assert!(w.take_stats().events.is_empty());
+    }
+
+    #[test]
+    fn zero_trace_capacity_disables_recording() {
+        let graph = test_graph("notrace");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[3])
+            .ring_entries(8)
+            .trace_capacity(0);
+        let mut w = worker(&graph, cfg);
+        w.set_span_origin(Instant::now());
+        let seeds: Vec<NodeId> = (0..32).collect();
+        w.sample_batch(&seeds, 0).unwrap();
+        let s = w.take_stats();
+        assert!(s.events.is_empty());
+        assert_eq!(s.trace_dropped, 0);
+    }
+
+    #[test]
+    fn flight_recorder_counts_cache_traffic() {
+        let graph = test_graph("tracecache");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[4, 4])
+            .ring_entries(16)
+            .seed(9)
+            .cache(CachePolicy::Page {
+                budget_bytes: 64 * (PAGE_SIZE as u64 + 64),
+            });
+        let mut w = worker(&graph, cfg);
+        w.set_span_origin(Instant::now());
+        let seeds: Vec<NodeId> = (0..64).collect();
+        for batch in 0..3 {
+            w.sample_batch(&seeds, batch).unwrap();
+        }
+        let s = w.take_stats();
+        let hit_sum: u64 = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::CacheHit)
+            .map(|e| e.a)
+            .sum();
+        let miss_sum: u64 = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::CacheMiss)
+            .map(|e| e.a)
+            .sum();
+        assert_eq!(hit_sum, s.metrics.cache_hits, "hit events sum to counter");
+        assert_eq!(miss_sum, s.metrics.cache_misses, "miss events sum to counter");
+        assert!(hit_sum > 0, "repeat batches must record hits");
+    }
+
+    #[test]
+    fn regbuf_failure_leaves_trace_event() {
+        let _guard = PLAN_ENV_LOCK.lock().unwrap();
+        std::env::set_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS", "1");
+        let graph = test_graph("trace-regbuf");
+        let cfg = SamplerConfig::new()
+            .fanouts(&[3])
+            .ring_entries(8)
+            .engine(EngineKind::Uring)
+            .register_buffers(true);
+        let result = SamplerWorker::new(Arc::clone(&graph), cfg);
+        std::env::remove_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS");
+        let mut w = result.expect("registration failure must not be an error");
+        let s = w.take_stats();
+        let fallbacks = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::RegBufFallback)
+            .count();
+        assert_eq!(fallbacks, 1, "fallback must reach the flight recorder");
     }
 
     #[test]

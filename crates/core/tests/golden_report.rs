@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use ringsampler::{EpochReport, SampleMetrics, WorkerStats};
-use ringstat::{Phase, PromWriter, SpanLog};
+use ringstat::{EventKind, Phase, PromWriter, SpanLog, TraceEvent};
 
 /// A fully deterministic report: fixed counters, fixed histogram samples,
 /// fixed span timestamps. No clocks involved.
@@ -55,6 +55,24 @@ fn golden_report() -> EpochReport {
     spans.record_at("batch", 0, 1_000_000);
     spans.record_at("io_group", 120_000, 80_000);
     worker.spans = spans;
+    let ev = |ts_ns: u64, kind: EventKind, a: u64, b: u64, c: u64, d: u64| TraceEvent {
+        ts_ns,
+        kind,
+        a,
+        b,
+        c,
+        d,
+    };
+    worker.events = vec![
+        ev(0, EventKind::BatchStart, 0, 128, 0, 0),
+        ev(50_000, EventKind::SampleDone, 10, 640, 45_000, 0),
+        ev(80_000, EventKind::PlanBuilt, 640, 480, 640, 28_000),
+        ev(120_000, EventKind::GroupSubmit, 1, 32, 32, 9_000),
+        ev(200_000, EventKind::GroupComplete, 1, 71_000, 60_000, 11_000),
+        ev(230_000, EventKind::ScatterDone, 640, 25_000, 0, 0),
+        ev(1_000_000, EventKind::BatchEnd, 0, 1_000_000, 2, 0),
+    ];
+    worker.trace_dropped = 2;
     worker.into_epoch_report(Duration::from_millis(250))
 }
 
@@ -92,4 +110,14 @@ fn prometheus_format_is_pinned() {
 #[test]
 fn chrome_trace_is_pinned() {
     check_golden("trace.json", &golden_report().to_chrome_trace());
+}
+
+#[test]
+fn trace_events_dump_is_pinned() {
+    // The `--trace-events` artifact the `ringtrace` analyzer consumes:
+    // wire-stable kind names and per-thread event lists.
+    check_golden(
+        "trace_events.json",
+        &golden_report().trace_events_json_value().to_string_pretty(),
+    );
 }

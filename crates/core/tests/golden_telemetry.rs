@@ -1,8 +1,9 @@
 //! Golden-file tests pinning the exact bytes of the `ringscope` live
-//! endpoints (`GET /metrics`, `GET /progress`) against a fixed
-//! two-worker snapshot registry. The documents are rendered by the same
-//! pure functions the telemetry thread calls, with all time-dependent
-//! inputs (rates, ETA) fixed — so the goldens are byte-stable.
+//! endpoints (`GET /metrics`, `GET /progress`, `GET /trace`) against a
+//! fixed two-worker snapshot registry. The documents are rendered by the
+//! same pure functions the telemetry thread calls, with all
+//! time-dependent inputs (rates, ETA) fixed — so the goldens are
+//! byte-stable.
 //!
 //! To regenerate after an intentional format change:
 //! `UPDATE_GOLDEN=1 cargo test -p ringsampler --test golden_telemetry`
@@ -10,8 +11,10 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use ringsampler::telemetry::{metrics_document, progress_document, FleetRates, SnapshotRegistry};
-use ringstat::WorkerSnapshot;
+use ringsampler::telemetry::{
+    metrics_document, progress_document, trace_document, FleetRates, SnapshotRegistry,
+};
+use ringstat::{EventKind, EventRing, TraceEvent, WorkerSnapshot};
 
 /// The fixed two-worker fleet: worker 0 mid-epoch with reads in flight,
 /// worker 1 further along. Deterministic histogram samples, no clocks.
@@ -55,6 +58,28 @@ fn golden_registry() -> Arc<SnapshotRegistry> {
     }
     cells[1].publish(w1);
 
+    // Flight-recorder rings: worker 0 mid-batch (submit without its
+    // complete yet), worker 1 with one full group lifecycle and a drop.
+    let ev = |ts_ns: u64, kind: EventKind, a: u64, b: u64, c: u64, d: u64| TraceEvent {
+        ts_ns,
+        kind,
+        a,
+        b,
+        c,
+        d,
+    };
+    let r0 = Arc::new(EventRing::new(8));
+    r0.record(ev(1_000, EventKind::BatchStart, 2, 128, 0, 0));
+    r0.record(ev(1_500, EventKind::SampleDone, 10, 640, 450, 0));
+    r0.record(ev(1_800, EventKind::PlanBuilt, 640, 320, 1_280, 250));
+    r0.record(ev(2_000, EventKind::GroupSubmit, 6, 32, 32, 150));
+    registry.register_ring(0, r0);
+    let r1 = Arc::new(EventRing::new(2));
+    r1.record(ev(900, EventKind::GroupSubmit, 9, 32, 32, 140));
+    r1.record(ev(4_000, EventKind::GroupComplete, 9, 3_100, 2_600, 500));
+    r1.record(ev(4_200, EventKind::ScatterDone, 640, 180, 0, 0)); // dropped
+    registry.register_ring(1, r1);
+
     registry
 }
 
@@ -79,14 +104,28 @@ fn check_golden(name: &str, actual: &str) {
 
 #[test]
 fn metrics_endpoint_body_is_pinned() {
-    let doc = metrics_document(&golden_registry().observe());
+    let registry = golden_registry();
+    let doc = metrics_document(&registry.observe(), &registry.observe_traces(0));
     // Acceptance criteria: per-worker sampled-edge counters and in-flight
     // SQE gauges are present before byte-pinning the whole document.
     assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 1536"#));
     assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="1"} 2560"#));
     assert!(doc.contains(r#"ringsampler_worker_inflight_reads{worker="0"} 4"#));
     assert!(doc.contains(r#"ringsampler_worker_inflight_reads{worker="1"} 0"#));
+    assert!(doc.contains(r#"ringsampler_trace_recorded_total{worker="0"} 4"#));
+    assert!(doc.contains(r#"ringsampler_trace_dropped_total{worker="1"} 1"#));
     check_golden("telemetry_metrics.prom", &doc);
+}
+
+#[test]
+fn trace_endpoint_body_is_pinned() {
+    let doc = trace_document(&golden_registry().observe_traces(256));
+    // The tail must carry the full group lifecycle with stage-attributed
+    // payload fields before byte-pinning the whole document.
+    assert!(doc.contains("\"kind\": \"group_submit\""));
+    assert!(doc.contains("\"kind\": \"group_complete\""));
+    assert!(doc.contains("\"dropped\": 1"));
+    check_golden("telemetry_trace.json", &doc);
 }
 
 #[test]

@@ -21,9 +21,10 @@ use std::fs::File;
 use std::os::unix::fs::FileExt;
 use std::os::unix::io::AsRawFd;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
-use ringstat::LatencyHistogram;
+use ringstat::{EventKind, EventRing, LatencyHistogram, TraceEvent};
 
 use crate::error::{IoEngineError, Result};
 use crate::ring::{Ring, RingBuilder};
@@ -118,6 +119,17 @@ pub trait GroupReader: Send {
     /// allocation-free (the histogram is a fixed-size `Copy` value).
     fn group_latency(&self) -> LatencyHistogram;
 
+    /// Attaches a `ringtrace` flight-recorder ring: the engine records
+    /// `GroupSubmit` / `GroupComplete` lifecycle events into it, with
+    /// timestamps in nanoseconds since `origin` (the caller's epoch-start
+    /// instant, shared across workers so all lanes share one timeline).
+    /// The reader and the ring share the worker's thread, preserving the
+    /// ring's single-writer contract. Default: no-op, for engines without
+    /// lifecycle instrumentation.
+    fn attach_events(&mut self, ring: Arc<EventRing>, origin: Instant) {
+        let _ = (ring, origin);
+    }
+
     /// Human-readable engine name (for experiment logs).
     fn engine_name(&self) -> &'static str;
 }
@@ -205,6 +217,10 @@ pub struct UringReader {
     outstanding: u64,
     stats: ReaderStats,
     lat: LatencyHistogram,
+    /// Flight recorder + epoch-start origin (see
+    /// [`GroupReader::attach_events`]); `None` keeps the hot path free of
+    /// any extra clock reads.
+    events: Option<(Arc<EventRing>, Instant)>,
 }
 
 impl std::fmt::Debug for UringReader {
@@ -243,7 +259,22 @@ impl UringReader {
             outstanding: 0,
             stats: ReaderStats::default(),
             lat: LatencyHistogram::new(),
+            events: None,
         })
+    }
+
+    /// Records one lifecycle event if a flight recorder is attached.
+    fn trace(&self, kind: EventKind, a: u64, b: u64, c: u64, d: u64) {
+        if let Some((ring, origin)) = &self.events {
+            ring.record(TraceEvent {
+                ts_ns: origin.elapsed().as_nanos() as u64,
+                kind,
+                a,
+                b,
+                c,
+                d,
+            });
+        }
     }
 
     /// Installs the file into the ring's registered-file table and
@@ -366,6 +397,8 @@ impl GroupReader for UringReader {
             reqs.len() < (1 << 20),
             "group index must fit in 20 bits of user_data"
         );
+        // Clock reads for the flight recorder only happen when attached.
+        let t0 = self.events.as_ref().map(|_| Instant::now());
         let total: usize = reqs.iter().map(|r| r.len as usize).sum();
         buf.clear();
         buf.resize(total, 0);
@@ -449,6 +482,15 @@ impl GroupReader for UringReader {
                 fixed: fixed.map(|(k, _)| k),
             },
         );
+        if let Some(t0) = t0 {
+            self.trace(
+                EventKind::GroupSubmit,
+                id,
+                reqs.len() as u64,
+                self.outstanding,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(GroupToken {
             id,
             total_len: total,
@@ -456,6 +498,8 @@ impl GroupReader for UringReader {
     }
 
     fn complete_group(&mut self, token: GroupToken) -> Result<Vec<u8>> {
+        let t0 = self.events.as_ref().map(|_| Instant::now());
+        let mut wait_ns = 0u64;
         loop {
             let done = self
                 .slots
@@ -469,7 +513,14 @@ impl GroupReader for UringReader {
             // pump_one(block=true) falls back to GETEVENTS after a bounded
             // spin inside wait_completion.
             if !self.pump_one(false)? {
-                self.pump_one(true)?;
+                // The blocking pump is the pipeline's inflight-wait stage;
+                // attribute it separately from non-blocking reaping.
+                if let Some(w0) = t0.map(|_| Instant::now()) {
+                    self.pump_one(true)?;
+                    wait_ns += w0.elapsed().as_nanos() as u64;
+                } else {
+                    self.pump_one(true)?;
+                }
             }
         }
         let mut slot = self
@@ -490,7 +541,18 @@ impl GroupReader for UringReader {
         // Latency is recorded for every completed group, error or not:
         // a group whose reads failed still occupied the ring for its
         // full submit→complete window.
-        self.lat.record_duration(slot.submitted.elapsed());
+        let kernel_visible = slot.submitted.elapsed();
+        self.lat.record_duration(kernel_visible);
+        if let Some(t0) = t0 {
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            self.trace(
+                EventKind::GroupComplete,
+                token.id,
+                kernel_visible.as_nanos() as u64,
+                wait_ns,
+                total_ns.saturating_sub(wait_ns),
+            );
+        }
         match slot.error {
             Some(e) => Err(e),
             None => Ok(slot.buf),
@@ -509,6 +571,10 @@ impl GroupReader for UringReader {
 
     fn group_latency(&self) -> LatencyHistogram {
         self.lat
+    }
+
+    fn attach_events(&mut self, ring: Arc<EventRing>, origin: Instant) {
+        self.events = Some((ring, origin));
     }
 
     fn engine_name(&self) -> &'static str {
@@ -544,6 +610,8 @@ pub struct PreadReader {
     ready: HashMap<u64, std::result::Result<Vec<u8>, IoEngineError>>,
     stats: ReaderStats,
     lat: LatencyHistogram,
+    /// Flight recorder + epoch-start origin; `None` disables recording.
+    events: Option<(Arc<EventRing>, Instant)>,
 }
 
 impl std::fmt::Debug for PreadReader {
@@ -574,6 +642,21 @@ impl PreadReader {
             ready: HashMap::new(),
             stats: ReaderStats::default(),
             lat: LatencyHistogram::new(),
+            events: None,
+        }
+    }
+
+    /// Records one lifecycle event if a flight recorder is attached.
+    fn trace(&self, kind: EventKind, a: u64, b: u64, c: u64, d: u64) {
+        if let Some((ring, origin)) = &self.events {
+            ring.record(TraceEvent {
+                ts_ns: origin.elapsed().as_nanos() as u64,
+                kind,
+                a,
+                b,
+                c,
+                d,
+            });
         }
     }
 }
@@ -631,6 +714,12 @@ impl GroupReader for PreadReader {
 
         let id = self.next_id;
         self.next_id += 1;
+        // The eager engine's whole I/O happens in the submit call, so the
+        // submit event carries the full duration and the complete event
+        // reports zero wait/reap (nothing is ever pending).
+        let eager_ns = started.elapsed().as_nanos() as u64;
+        self.trace(EventKind::GroupSubmit, id, reqs.len() as u64, 0, eager_ns);
+        self.trace(EventKind::GroupComplete, id, eager_ns, 0, 0);
         self.ready.insert(id, outcome.map(|()| buf));
         Ok(GroupToken {
             id,
@@ -654,6 +743,10 @@ impl GroupReader for PreadReader {
 
     fn group_latency(&self) -> LatencyHistogram {
         self.lat
+    }
+
+    fn attach_events(&mut self, ring: Arc<EventRing>, origin: Instant) {
+        self.events = Some((ring, origin));
     }
 
     fn engine_name(&self) -> &'static str {
@@ -941,6 +1034,51 @@ mod tests {
             );
             assert!(lat.max() >= lat.min());
             assert!(lat.p99() >= lat.p50());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn attached_event_ring_records_group_lifecycle() {
+        let path = write_u32_file(1_000);
+        for (mk, name) in [
+            (
+                (|p: &Path| Box::new(UringReader::open(p, 16).unwrap()) as Box<dyn GroupReader>)
+                    as fn(&Path) -> Box<dyn GroupReader>,
+                "io_uring",
+            ),
+            (
+                (|p: &Path| Box::new(PreadReader::open(p, 16).unwrap()) as Box<dyn GroupReader>)
+                    as fn(&Path) -> Box<dyn GroupReader>,
+                "pread",
+            ),
+        ] {
+            let mut r = mk(&path);
+            let ring = Arc::new(EventRing::new(64));
+            r.attach_events(Arc::clone(&ring), Instant::now());
+            let reqs: Vec<ReadSlice> = (0..8u64).map(|i| ReadSlice::new(i * 4, 4)).collect();
+            read_group_blocking(r.as_mut(), &reqs, Vec::new()).unwrap();
+            read_group_blocking(r.as_mut(), &reqs, Vec::new()).unwrap();
+            let events = ring.drain();
+            let submits: Vec<&TraceEvent> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::GroupSubmit)
+                .collect();
+            let completes: Vec<&TraceEvent> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::GroupComplete)
+                .collect();
+            assert_eq!(submits.len(), 2, "{name}");
+            assert_eq!(completes.len(), 2, "{name}");
+            for s in &submits {
+                assert_eq!(s.b, 8, "{name}: SQE count");
+            }
+            for (s, c) in submits.iter().zip(&completes) {
+                assert_eq!(s.a, c.a, "{name}: matching group ids");
+                assert!(c.b > 0, "{name}: kernel-visible latency recorded");
+                assert!(c.ts_ns >= s.ts_ns, "{name}: complete after submit");
+            }
+            assert_eq!(ring.dropped(), 0, "{name}");
         }
         std::fs::remove_file(path).ok();
     }

@@ -32,6 +32,9 @@ pub const HOT_PATH: &[&str] = &[
     // The seqlock publish runs once per batch on every worker; aside from
     // its two audited version-counter accesses it must stay sync-free.
     "crates/ringstat/src/snapshot.rs",
+    // The flight recorder records an event per pipeline stage on every
+    // worker; its store-only cursors must never grow a lock or RMW.
+    "crates/ringstat/src/events.rs",
 ];
 
 /// Modules on the io_uring submission/completion path. Blocking reads here
@@ -56,6 +59,9 @@ pub const ATOMIC_PATH: &[&str] = &[
     // The snapshot seqlock is a single-writer acquire/release protocol;
     // its two relaxed accesses carry reasoned `ringlint: allow` comments.
     "crates/ringstat/src/snapshot.rs",
+    // The event ring's cursors follow the same single-writer discipline
+    // (load-Acquire / store-Release only, no RMW, no relaxed accesses).
+    "crates/ringstat/src/events.rs",
 ];
 
 /// Returns true if `rel` (forward-slash, workspace-relative) ends with any
@@ -182,6 +188,15 @@ mod tests {
     #[test]
     fn snapshot_seqlock_is_hot_and_atomic_but_not_io() {
         let rules = rules_for("crates/ringstat/src/snapshot.rs");
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_ATOMIC));
+        assert!(!rules.contains(&RULE_BLOCKING));
+    }
+
+    #[test]
+    fn event_ring_is_hot_and_atomic_but_not_io() {
+        let rules = rules_for("crates/ringstat/src/events.rs");
         assert!(rules.contains(&RULE_SYNC));
         assert!(rules.contains(&RULE_PANIC));
         assert!(rules.contains(&RULE_ATOMIC));

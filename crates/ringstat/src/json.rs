@@ -1,9 +1,12 @@
-//! A minimal, dependency-free JSON value and serializer.
+//! A minimal, dependency-free JSON value, serializer, and parser.
 //!
 //! The container is offline, so instead of serde we carry a tiny tree
 //! type that covers exactly what the epoch reports need: objects with
 //! insertion-ordered keys (stable golden files), arrays, strings, and
-//! numbers. Non-finite floats serialize as `null` per RFC 8259.
+//! numbers. Non-finite floats serialize as `null` per RFC 8259. The
+//! [`Json::parse`] side exists so analysis tools (`ringtrace`) can read
+//! back the documents this crate writes; it accepts standard JSON and
+//! round-trips everything the serializer emits.
 
 use std::fmt::Write as _;
 
@@ -65,6 +68,70 @@ impl Json {
         self.write(&mut out, Some(2), 0);
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document. Numbers parse as [`Json::U64`] when they
+    /// are non-negative integers that fit in `u64`, as [`Json::F64`]
+    /// otherwise. Errors carry a byte offset and a short reason.
+    ///
+    /// # Errors
+    /// Returns `Err` on malformed input or trailing non-whitespace.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value of a `U64` (or integral non-negative `F64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::F64(f) if f.is_finite() && *f >= 0.0 && *f == f.trunc() && *f < 1.85e19 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value of a `U64` or `F64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string value of a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items of an `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
@@ -154,6 +221,187 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Recursive-descent JSON parser over raw bytes (JSON structure is
+/// ASCII; string contents pass through as UTF-8).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8 up to the next quote/escape.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogates (which this crate never writes)
+                            // decode to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                // The scan loop above stops only at '"', '\\', or EOF.
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +450,74 @@ mod tests {
             .with("arr", Json::Array(vec![]))
             .with("obj", Json::object());
         assert_eq!(obj.to_string_compact(), r#"{"arr":[],"obj":{}}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-3").unwrap(), Json::F64(-3.0));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::F64(2000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parse_containers_and_accessors() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": 7}}"#).unwrap();
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
+        // Integral floats coerce through as_u64; strings don't.
+        assert_eq!(Json::F64(3.0).as_u64(), Some(3));
+        assert_eq!(Json::F64(3.5).as_u64(), None);
+        assert_eq!(Json::str("3").as_u64(), None);
+    }
+
+    #[test]
+    fn parse_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0041\u0001\t\/""#).unwrap(),
+            Json::str("a\"b\\c\ndA\u{1}\t/")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let original = Json::object()
+            .with("name", Json::str("batch \"7\"\n"))
+            .with("count", Json::U64(u64::MAX))
+            .with("frac", Json::F64(0.333333))
+            .with("whole", Json::F64(5.0))
+            .with("none", Json::Null)
+            .with("flags", Json::Array(vec![Json::Bool(true), Json::Bool(false)]))
+            .with("empty", Json::object());
+        for doc in [original.to_string_pretty(), original.to_string_compact()] {
+            let parsed = Json::parse(&doc).unwrap();
+            assert_eq!(parsed.get("name").and_then(Json::as_str), Some("batch \"7\"\n"));
+            assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(u64::MAX));
+            assert_eq!(parsed.get("frac").and_then(Json::as_f64), Some(0.333333));
+            assert_eq!(parsed.get("whole"), Some(&Json::F64(5.0)));
+            assert_eq!(parsed.get("none"), Some(&Json::Null));
+            assert_eq!(parsed.to_string_compact(), original.to_string_compact());
+        }
     }
 }

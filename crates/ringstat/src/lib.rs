@@ -24,6 +24,10 @@
 //!   publish side: a single-writer seqlock slot each worker overwrites
 //!   after every batch, readable by an observer thread without ever
 //!   blocking the writer.
+//! * [`EventRing`] / [`TraceEvent`] — the `ringtrace` flight recorder: a
+//!   fixed-capacity, allocation-free, single-writer ring of seqlock
+//!   slots recording per-batch / per-I/O-group lifecycle events, with an
+//!   overflow-drop counter instead of blocking.
 //! * [`HttpServer`] — a bounded, dependency-free HTTP listener for the
 //!   embedded `/metrics` · `/progress` · `/healthz` endpoints.
 //! * [`human_bytes`] / [`human_count`] — display helpers for run reports.
@@ -34,17 +38,19 @@
 //! owns its histograms and span log, records into them with plain `&mut`
 //! writes, and only at epoch join does the driver `merge` the per-thread
 //! values. There are no locks and no channels anywhere in this crate,
-//! and the only atomics are the two word-sized version-counter accesses
-//! of the [`snapshot`] seqlock — a wait-free publish with no RMW, no CAS
-//! loop, and no blocking, which is the one sanctioned way a worker's
-//! state becomes externally visible mid-epoch. `ringlint`'s
-//! `sync-free-hot-path` rule is enforced over [`hist`], [`span`], and
-//! [`snapshot`] to keep it that way, and its `atomic-ordering` rule
-//! audits the seqlock's ordering discipline.
+//! and the only atomics are the word-sized version-counter accesses of
+//! the [`snapshot`] seqlock and the store-only cursors of the [`events`]
+//! flight recorder — wait-free publishes with no RMW, no CAS loop, and
+//! no blocking, which are the sanctioned ways a worker's state becomes
+//! externally visible mid-epoch. `ringlint`'s `sync-free-hot-path` rule
+//! is enforced over [`hist`], [`span`], [`snapshot`], and [`events`] to
+//! keep it that way, and its `atomic-ordering` rule audits the ordering
+//! discipline of both.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod events;
 pub mod fmt;
 pub mod hist;
 pub mod http;
@@ -54,6 +60,7 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use events::{EventKind, EventRing, TraceEvent};
 pub use fmt::{human_bytes, human_count, human_nanos};
 pub use hist::{LatencyHistogram, NUM_BUCKETS};
 pub use http::{HttpServer, Request, Response};

@@ -34,6 +34,30 @@ impl ChromeTrace {
         );
     }
 
+    /// Labels the process lane in Perfetto (a `"ph": "M"` metadata
+    /// event). Call once per trace.
+    pub fn set_process_name(&mut self, name: &str) {
+        self.metadata("process_name", 0, name, false);
+    }
+
+    /// Labels thread lane `tid` in Perfetto (a `"ph": "M"` metadata
+    /// event), e.g. `worker 3`, instead of a bare tid number.
+    pub fn set_thread_name(&mut self, tid: u64, name: &str) {
+        self.metadata("thread_name", tid, name, true);
+    }
+
+    fn metadata(&mut self, kind: &str, tid: u64, name: &str, with_tid: bool) {
+        let mut ev = Json::object()
+            .with("name", Json::str(kind))
+            .with("ph", Json::str("M"))
+            .with("pid", Json::U64(1));
+        if with_tid {
+            ev.push("tid", Json::U64(tid));
+        }
+        self.events
+            .push(ev.with("args", Json::object().with("name", Json::str(name))));
+    }
+
     /// Adds every span in `log` on thread `tid`, converting ns → µs.
     pub fn add_spans(&mut self, tid: u64, log: &SpanLog) {
         for event in log.events() {
@@ -95,6 +119,20 @@ mod tests {
         let out = t.to_json();
         assert!(out.contains("\"ts\": 5.0"), "{out}");
         assert!(out.contains("\"dur\": 1.5"), "{out}");
+    }
+
+    #[test]
+    fn metadata_events_label_lanes() {
+        let mut t = ChromeTrace::new();
+        t.set_process_name("ringsampler");
+        t.set_thread_name(2, "worker 2");
+        t.add_span(2, "batch", 0.0, 1.0);
+        let out = t.to_json();
+        assert!(out.contains("\"name\": \"process_name\""), "{out}");
+        assert!(out.contains("\"name\": \"thread_name\""), "{out}");
+        assert!(out.contains("\"ph\": \"M\""), "{out}");
+        assert!(out.contains("\"name\": \"worker 2\""), "{out}");
+        assert!(out.contains("\"name\": \"ringsampler\""), "{out}");
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //!
 //! Pass `--stats-json PATH` / `--trace PATH` / `--prometheus PATH` to dump
 //! the sampling-side observability report of every epoch (latency
-//! histograms, phase times, per-worker spans). Pass `--serve <addr>` (or
-//! set `RS_SERVE=<addr>`) to watch the run live: `curl <addr>/progress`.
+//! histograms, phase times, per-worker spans), and `--trace-events PATH`
+//! (or `RS_TRACE_EVENTS=PATH`) for the raw flight-recorder dump that the
+//! `ringtrace` analyzer turns into a per-stage latency breakdown. Pass
+//! `--serve <addr>` (or set `RS_SERVE=<addr>`) to watch the run live:
+//! `curl <addr>/progress`.
 
 use ringsampler::{RingSampler, SamplerConfig, TelemetryConfig};
 use ringsampler_bench::StatsSink;
