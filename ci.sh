@@ -22,6 +22,12 @@
 #      --assert-coverage 0.90: per-stage attribution (sample/plan/submit/
 #      wait/reap/scatter) must sum to within 10% of the end-to-end batch
 #      latency (see DESIGN.md §12)
+#   9. ring_modes gate — the zero-syscall ring-mode ladder A/B (see
+#      DESIGN.md §13), with RS_RING_ASSERT enforcing byte-identical
+#      samples across every rung and a >= 50% enter-syscall-per-I/O-group
+#      reduction for defer_taskrun vs off (self-skips with a notice when
+#      the kernel refuses DEFER_TASKRUN — there is nothing to measure
+#      then); refreshes the committed BENCH_ring_modes.json baseline
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -79,5 +85,9 @@ RS_DATA_DIR="$(mktemp -d)" \
     ./target/release/fig4_overall --trace-events "$TRACE_DUMP" >/dev/null
 ./target/release/ringtrace "$TRACE_DUMP" --assert-coverage 0.90 >/dev/null
 echo "    ringtrace smoke ok (stage attribution covers >= 90% of batch time)"
+
+echo "==> ring_modes gate (ring-mode ladder A/B, RS_RING_ASSERT)"
+RS_RING_ASSERT=1 RS_TARGETS=4096 RS_THREADS=4 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/ring_modes --bench-json BENCH_ring_modes.json
 
 echo "CI: all gates passed."

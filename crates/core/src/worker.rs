@@ -6,6 +6,7 @@
 //! scratch vectors, and an optional page cache — so threads never
 //! synchronize during an epoch ("Eliminating thread synchronization").
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::sync::Arc;
 use std::time::Instant;
@@ -23,7 +24,7 @@ use ringstat::{
 
 use crate::block::{BatchSample, LayerSample};
 use crate::cache::{page_of, PageCache, PAGE_SIZE};
-use crate::config::{CachePolicy, PipelineMode, SamplerConfig};
+use crate::config::{CachePolicy, PipelineMode, RingMode, SamplerConfig};
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
 use crate::metrics::{SampleMetrics, WorkerStats};
@@ -37,6 +38,15 @@ use crate::sampling::OffsetSampler;
 const REG_BUF_COUNT: usize = 4;
 /// Bytes per registered fixed buffer (256 KiB; 1 MiB pinned per worker).
 const REG_BUF_BYTES: usize = 256 * 1024;
+/// Bytes per provided buffer in `RingMode::BufRing`'s kernel-recycled
+/// group: one page, covering both entry reads and page-cache fills.
+const PBUF_EACH_BYTES: u32 = 4096;
+/// In-flight group window of the async pipeline when the ring defers
+/// submission (`RingMode::DeferTaskrun`+): the single GETEVENTS enter
+/// that reaps the oldest group also flushes every published SQE behind
+/// it, so a window of three amortizes one syscall across three groups
+/// (~0.33 enters/group vs 1.0 for eager submission).
+const LAZY_PIPELINE_DEPTH: usize = 3;
 
 /// Nanoseconds between two instants, saturating at zero and `u64::MAX`.
 #[inline]
@@ -157,10 +167,39 @@ impl SamplerWorker {
         let mut regbuf_bytes = 0u64;
         let mut regbuf_fallback = false;
         let mut regfile_fallback = false;
+        let mut ring_mode_fallbacks = 0u64;
         let reader: Box<dyn GroupReader> = match engine {
             EngineKind::Uring => {
-                let mut b = RingBuilder::new();
-                b.entries(cfg.ring_entries).sqpoll(cfg.sqpoll);
+                let mut b = RingBuilder::new().entries(cfg.ring_entries).sqpoll(cfg.sqpoll);
+                // Climb the ring-mode ladder rung by rung, but only onto
+                // rungs the kernel actually grants (probed once per
+                // process): a refused rung is a recorded fallback, never
+                // an error, and never changes sampling output.
+                let caps = ringsampler_io::uring_caps();
+                if cfg.ring_mode >= RingMode::Registered {
+                    if caps.registered_ring_fds {
+                        b = b.register_ring_fd(true);
+                    } else {
+                        ring_mode_fallbacks += 1;
+                    }
+                }
+                if cfg.ring_mode >= RingMode::DeferTaskrun {
+                    if caps.defer_taskrun {
+                        b = b.defer_taskrun(true).lazy_submission(true);
+                    } else {
+                        ring_mode_fallbacks += 1;
+                    }
+                }
+                if cfg.ring_mode >= RingMode::BufRing {
+                    if caps.buf_ring {
+                        // ~2 groups of provided buffers in flight, each
+                        // slot big enough for a page-mode read.
+                        let entries = (cfg.ring_entries.saturating_mul(2)).min(32_768) as u16;
+                        b = b.buf_ring(entries, PBUF_EACH_BYTES);
+                    } else {
+                        ring_mode_fallbacks += 1;
+                    }
+                }
                 let mut r = UringReader::with_file(file, b)?;
                 if cfg.register_file {
                     // Best effort: fall back to plain fd addressing if the
@@ -204,6 +243,11 @@ impl SamplerWorker {
             metrics.regbuf_fallbacks = 1;
             let now = Instant::now();
             spans.record("regbuf_fallback", now, now);
+        }
+        if ring_mode_fallbacks > 0 {
+            metrics.ring_mode_fallbacks = ring_mode_fallbacks;
+            let now = Instant::now();
+            spans.record("ring_mode_fallback", now, now);
         }
         if regfile_fallback {
             let now = Instant::now();
@@ -305,6 +349,7 @@ impl SamplerWorker {
         let m = self.metrics();
         let inflight = self.reader.inflight();
         let batch_latency = self.batch_hist;
+        let ring_setup = self.reader.ring_setup();
         if let Some(slot) = &mut self.telemetry {
             slot.cell.publish(WorkerSnapshot {
                 epoch: slot.epoch,
@@ -319,6 +364,8 @@ impl SamplerWorker {
                 inflight,
                 io_groups: m.io_groups,
                 active,
+                ring_requested_flags: ring_setup.requested_flags,
+                ring_granted_flags: ring_setup.granted_flags,
                 batch_latency,
             });
         }
@@ -373,6 +420,8 @@ impl SamplerWorker {
             spans: self.spans.clone(),
             events: Vec::new(),
             trace_dropped: self.events.as_ref().map_or(0, |r| r.dropped()),
+            ring_mode: self.cfg.ring_mode,
+            ring_setup: self.reader.ring_setup(),
         }
     }
 
@@ -399,6 +448,8 @@ impl SamplerWorker {
             spans,
             events,
             trace_dropped,
+            ring_mode: self.cfg.ring_mode,
+            ring_setup: self.reader.ring_setup(),
         }
     }
 
@@ -814,7 +865,23 @@ impl SamplerWorker {
     where
         F: FnMut(&[u8]),
     {
-        let qd = self.reader.queue_depth();
+        let mut qd = self.reader.queue_depth();
+        // Deferred submission only merges submit and wait enters when the
+        // SQ can hold a whole in-flight window of groups at once: a
+        // full-ring group forces a blocking flush before the next submit,
+        // degenerating the async pipeline to one enter per group. Under
+        // the lazy rung, widen the window to three groups (the flush that
+        // the oldest group's completion needs carries every published
+        // SQE, so one enter drives the whole window) and shrink chunks so
+        // the window fits the SQ.
+        let depth = if self.cfg.pipeline == PipelineMode::Async
+            && self.reader.ring_setup().lazy_submission
+        {
+            qd = (qd / LAZY_PIPELINE_DEPTH).max(1);
+            LAZY_PIPELINE_DEPTH
+        } else {
+            2
+        };
         let mut prepare_nanos = 0u64;
         let mut complete_nanos = 0u64;
         let mut aggregate_nanos = 0u64;
@@ -839,26 +906,32 @@ impl SamplerWorker {
             PipelineMode::Async => {
                 // Each in-flight token carries its submit instant so the
                 // io_group span covers the full submit→complete window.
-                let mut prev: Option<(GroupToken, Instant)> = None;
+                // Groups complete strictly in submission order (FIFO), so
+                // `consume` sees the same byte stream at every depth.
+                let mut inflight: VecDeque<(GroupToken, Instant)> = VecDeque::new();
                 for chunk in reqs.chunks(qd) {
                     let buf = self.buf_pool.pop().unwrap_or_default();
                     let t0 = Instant::now();
                     let token = self.reader.submit_group(chunk, buf)?;
                     let t1 = Instant::now();
                     prepare_nanos += nanos_between(t0, t1);
-                    if let Some((p, p_submitted)) = prev.take() {
+                    inflight.push_back((token, t0));
+                    while inflight.len() >= depth {
+                        let Some((p, p_submitted)) = inflight.pop_front() else {
+                            break;
+                        };
+                        let tc0 = Instant::now();
                         let filled = self.reader.complete_group(p)?;
                         let t2 = Instant::now();
-                        complete_nanos += nanos_between(t1, t2);
-                        self.cq_hist.record(nanos_between(t1, t2));
+                        complete_nanos += nanos_between(tc0, t2);
+                        self.cq_hist.record(nanos_between(tc0, t2));
                         self.spans.record("io_group", p_submitted, t2);
                         consume(&filled);
                         aggregate_nanos += nanos_between(t2, Instant::now());
                         self.buf_pool.push(filled);
                     }
-                    prev = Some((token, t0));
                 }
-                if let Some((p, p_submitted)) = prev {
+                while let Some((p, p_submitted)) = inflight.pop_front() {
                     let t1 = Instant::now();
                     let filled = self.reader.complete_group(p)?;
                     let t2 = Instant::now();

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use ringsampler::{CachePolicy, ReadPlanMode, ReadPlanner, RingSampler, SamplerConfig};
+use ringsampler::{CachePolicy, ReadPlanMode, ReadPlanner, RingMode, RingSampler, SamplerConfig};
 use ringsampler_graph::edgefile::write_csr;
 use ringsampler_graph::{CsrGraph, NodeId, OnDiskGraph, ENTRY_BYTES};
 use ringsampler_io::EngineKind;
@@ -71,14 +71,21 @@ fn arb_bool() -> impl Strategy<Value = bool> {
     (0u8..2).prop_map(|i| i == 1)
 }
 
+fn arb_ring_mode() -> impl Strategy<Value = RingMode> {
+    (0u8..4).prop_map(|i| RingMode::ALL[i as usize])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Differential: every plan mode × cache × engine × replacement
-    /// yields the exact sample the naive (Off, raw, no-cache) path does.
+    /// Differential: every plan mode × ring mode × cache × engine ×
+    /// replacement yields the exact sample the naive (Off, raw, no-cache,
+    /// ring-mode-off) path does — the zero-syscall ladder must be
+    /// byte-invisible in sampling output on every rung.
     #[test]
     fn all_modes_agree_with_naive(
         mode in arb_mode(),
+        ring_mode in arb_ring_mode(),
         skew in arb_skew(),
         cached in arb_bool(),
         engine_uring in arb_bool(),
@@ -89,7 +96,7 @@ proptest! {
         let graph = build_graph(nodes, 6, skew, seed);
         let graph_b = build_graph(nodes, 6, skew, seed);
         let engine = if engine_uring { EngineKind::Uring } else { EngineKind::Pread };
-        let mk = |g, mode, cached: bool, engine| {
+        let mk = |g, mode, ring_mode, cached: bool, engine| {
             let mut cfg = SamplerConfig::new()
                 .fanouts(&[5, 3])
                 .ring_entries(8)
@@ -98,6 +105,7 @@ proptest! {
                 .seed(seed ^ 0xABCD)
                 .with_replacement(replace)
                 .engine(engine)
+                .ring_mode(ring_mode)
                 .read_plan(mode);
             if cached {
                 cfg = cfg.cache(CachePolicy::Page { budget_bytes: 96 * 4160 });
@@ -105,8 +113,8 @@ proptest! {
             RingSampler::new(g, cfg).unwrap()
         };
         let seeds: Vec<NodeId> = (0..nodes).collect();
-        let naive = mk(graph, ReadPlanMode::Off, false, EngineKind::Pread);
-        let tuned = mk(graph_b, mode, cached, engine);
+        let naive = mk(graph, ReadPlanMode::Off, RingMode::Off, false, EngineKind::Pread);
+        let tuned = mk(graph_b, mode, ring_mode, cached, engine);
         let want = std::sync::Mutex::new(None);
         naive.sample_epoch_with(&seeds, |_, s| {
             *want.lock().unwrap() = Some(s);

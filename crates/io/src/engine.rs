@@ -27,7 +27,8 @@ use std::time::Instant;
 use ringstat::{EventKind, EventRing, LatencyHistogram, TraceEvent};
 
 use crate::error::{IoEngineError, Result};
-use crate::ring::{Ring, RingBuilder};
+use crate::ring::{Ring, RingBuilder, RingSetupInfo};
+use crate::sys;
 
 /// One scattered read: `len` bytes at byte `offset` of the reader's file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,11 @@ pub struct ReaderStats {
     /// Read requests served through registered fixed buffers
     /// (`IORING_OP_READ_FIXED`); always 0 for the pread fallback.
     pub fixed_buf_reads: u64,
+    /// Read requests served through the provided-buffer ring
+    /// (`IOSQE_BUFFER_SELECT`); always 0 without a registered pbuf ring.
+    pub bufring_reads: u64,
+    /// Provided buffers recycled back to the kernel after copy-out.
+    pub bufring_recycles: u64,
 }
 
 /// A reader that executes scattered-read groups against one file.
@@ -130,6 +136,12 @@ pub trait GroupReader: Send {
         let _ = (ring, origin);
     }
 
+    /// Requested-vs-granted ring setup state, for fallback reporting.
+    /// Engines without a ring return the all-zero default.
+    fn ring_setup(&self) -> RingSetupInfo {
+        RingSetupInfo::default()
+    }
+
     /// Human-readable engine name (for experiment logs).
     fn engine_name(&self) -> &'static str;
 }
@@ -154,8 +166,9 @@ pub fn read_group_blocking(
 
 struct Slot {
     buf: Vec<u8>,
-    /// (offset, len) per request, indexed by the low bits of user_data.
-    reqs: Vec<(u64, u32)>,
+    /// (offset, len, dst) per request, indexed by the low bits of
+    /// user_data; `dst` is the request's cursor into `buf`.
+    reqs: Vec<(u64, u32, u32)>,
     remaining: u32,
     /// First error observed among the group's completions.
     error: Option<IoEngineError>,
@@ -165,6 +178,10 @@ struct Slot {
     /// payload is copied into `buf` at completion and the slot returned to
     /// the pool's free list.
     fixed: Option<u16>,
+    /// The group reads through the provided-buffer ring: the kernel picks
+    /// each destination buffer at issue time, and the payload is copied
+    /// into `buf` (and the buffer recycled) as each CQE is reaped.
+    pbuf: bool,
 }
 
 /// Pool of kernel-registered fixed buffers (`IORING_REGISTER_BUFFERS`).
@@ -240,7 +257,7 @@ impl UringReader {
     /// Fails if the file cannot be opened or the ring cannot be created.
     pub fn open(path: &Path, queue_depth: u32) -> Result<Self> {
         let file = File::open(path).map_err(IoEngineError::File)?;
-        Self::with_file(file, RingBuilder::new().entries(queue_depth).clone())
+        Self::with_file(file, RingBuilder::new().entries(queue_depth))
     }
 
     /// Builds a reader from an already-open file and a configured ring.
@@ -354,20 +371,45 @@ impl UringReader {
         let idx = (c.user_data & 0xFFFFF) as usize;
         if let Some(slot) = self.slots.get_mut(&gid) {
             match slot.reqs.get(idx).copied() {
-                Some((offset, len)) => match c.bytes() {
-                    Ok(n) if n == len => {}
-                    Ok(n) => {
-                        slot.error.get_or_insert(IoEngineError::ShortRead {
-                            offset,
-                            expected: len,
-                            got: n as i32,
-                        });
+                Some((offset, len, dst)) => {
+                    // Provided-buffer completions carry their buffer id in
+                    // the CQE flags: copy the payload out into the group's
+                    // buffer and hand the buffer straight back to the
+                    // kernel (reap-time recycling keeps the group small).
+                    if slot.pbuf {
+                        if c.flags & sys::IORING_CQE_F_BUFFER != 0 {
+                            let bid = (c.flags >> sys::IORING_CQE_BUFFER_SHIFT) as u16;
+                            if let Ok(n) = c.bytes() {
+                                let end = (dst as usize + len as usize).min(slot.buf.len());
+                                self.ring.buf_ring_copy(
+                                    bid,
+                                    n as usize,
+                                    &mut slot.buf[dst as usize..end],
+                                );
+                            }
+                            self.ring.buf_ring_recycle(bid);
+                            self.stats.bufring_recycles += 1;
+                        } else {
+                            // Failed before a buffer was picked (e.g.
+                            // ENOBUFS): restore the admission credit.
+                            self.ring.buf_ring_return_credit();
+                        }
                     }
-                    Err(source) => {
-                        slot.error
-                            .get_or_insert(IoEngineError::Completion { offset, source });
+                    match c.bytes() {
+                        Ok(n) if n == len => {}
+                        Ok(n) => {
+                            slot.error.get_or_insert(IoEngineError::ShortRead {
+                                offset,
+                                expected: len,
+                                got: n as i32,
+                            });
+                        }
+                        Err(source) => {
+                            slot.error
+                                .get_or_insert(IoEngineError::Completion { offset, source });
+                        }
                     }
-                },
+                }
                 // A CQE whose user_data indexes outside the group it names:
                 // a ring accounting bug, reported instead of panicking.
                 None => {
@@ -411,19 +453,44 @@ impl GroupReader for UringReader {
             self.pump_one(true)?;
         }
 
-        // Borrow a registered fixed buffer when the whole group fits in one;
-        // otherwise (pool absent, exhausted, or payload too large) reads go
-        // through the plain path into `buf` directly.
-        let fixed = self
-            .fixed_bufs
-            .as_mut()
-            .and_then(|pool| pool.acquire(total));
+        // Ladder rung 1: the provided-buffer ring serves the whole group
+        // when every request fits one provided buffer and enough credits
+        // remain (two pipelined groups never over-subscribe the kernel's
+        // buffer pool). No caller memory is exposed to the kernel at all.
+        let pbuf = self.ring.buf_ring_active()
+            && !reqs.is_empty()
+            && reqs.len() <= self.ring.buf_ring_credits() as usize
+            && reqs.iter().all(|r| r.len <= self.ring.buf_ring_each_len());
+
+        // Ladder rung 2: borrow a registered fixed buffer when the whole
+        // group fits in one; otherwise (pool absent, exhausted, or payload
+        // too large) rung 3 reads go into `buf` directly.
+        let fixed = if pbuf {
+            None
+        } else {
+            self.fixed_bufs.as_mut().and_then(|pool| pool.acquire(total))
+        };
 
         let fd = self.file.as_raw_fd();
         let mut cursor = 0usize;
         let mut req_meta = Vec::with_capacity(reqs.len());
         for (i, r) in reqs.iter().enumerate() {
             let user_data = (id << 20) | i as u64;
+            if pbuf {
+                // Safe path: the kernel writes into the ring-owned arena,
+                // never caller memory; payload is copied into `buf` at
+                // reap time by pump_one.
+                self.ring.prepare_read_select(
+                    if self.registered { 0 } else { fd },
+                    self.registered,
+                    r.len,
+                    r.offset,
+                    user_data,
+                )?;
+                req_meta.push((r.offset, r.len, cursor as u32));
+                cursor += r.len as usize;
+                continue;
+            }
             // SAFETY: the destination is either `buf` (owned by the slot we
             // insert below, not moved or freed until the group completes or
             // the reader drains it on drop) or a registered fixed buffer that
@@ -459,14 +526,17 @@ impl GroupReader for UringReader {
                     )?;
                 }
             }
+            req_meta.push((r.offset, r.len, cursor as u32));
             cursor += r.len as usize;
-            req_meta.push((r.offset, r.len));
         }
         self.ring.submit()?;
         self.outstanding += reqs.len() as u64;
         self.stats.groups += 1;
         self.stats.requests += reqs.len() as u64;
         self.stats.bytes += total as u64;
+        if pbuf {
+            self.stats.bufring_reads += reqs.len() as u64;
+        }
         if fixed.is_some() {
             self.stats.fixed_buf_reads += reqs.len() as u64;
         }
@@ -480,6 +550,7 @@ impl GroupReader for UringReader {
                 error: None,
                 submitted: Instant::now(),
                 fixed: fixed.map(|(k, _)| k),
+                pbuf,
             },
         );
         if let Some(t0) = t0 {
@@ -575,6 +646,10 @@ impl GroupReader for UringReader {
 
     fn attach_events(&mut self, ring: Arc<EventRing>, origin: Instant) {
         self.events = Some((ring, origin));
+    }
+
+    fn ring_setup(&self) -> RingSetupInfo {
+        self.ring.setup_info()
     }
 
     fn engine_name(&self) -> &'static str {
@@ -847,7 +922,7 @@ mod tests {
 
     #[test]
     fn registered_buffers_mode_is_equivalent() {
-        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = write_u32_file(5_000);
         let mut plain = UringReader::open(&path, 32).unwrap();
         let mut fixed = UringReader::open(&path, 32).unwrap();
@@ -867,7 +942,7 @@ mod tests {
 
     #[test]
     fn fixed_buffers_compose_with_registered_file() {
-        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = write_u32_file(5_000);
         let mut r = UringReader::open(&path, 32).unwrap();
         r.register_file().unwrap();
@@ -886,7 +961,7 @@ mod tests {
 
     #[test]
     fn oversized_group_falls_back_to_plain_reads() {
-        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = write_u32_file(5_000);
         let mut r = UringReader::open(&path, 32).unwrap();
         // Minimum pool buffer size is 4096; a >4096-byte group must bypass it.
@@ -907,7 +982,7 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_falls_back_and_recovers() {
-        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = write_u32_file(5_000);
         let mut r = UringReader::open(&path, 32).unwrap();
         r.register_read_buffers(1, 4096).unwrap();
@@ -929,7 +1004,7 @@ mod tests {
 
     #[test]
     fn register_buffers_failure_leaves_reader_usable() {
-        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap();
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         std::env::set_var("RINGSAMPLER_FAIL_REGISTER_BUFFERS", "1");
         let path = write_u32_file(1_000);
         let mut r = UringReader::open(&path, 16).unwrap();
@@ -1080,6 +1155,127 @@ mod tests {
             }
             assert_eq!(ring.dropped(), 0, "{name}");
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn buf_ring_mode_is_equivalent_and_recycles() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if !crate::probe::uring_caps().buf_ring {
+            eprintln!("skipping: kernel does not honor IOSQE_BUFFER_SELECT");
+            return;
+        }
+        let path = write_u32_file(5_000);
+        let mut plain = UringReader::open(&path, 32).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let mut pb =
+            UringReader::with_file(file, RingBuilder::new().entries(32).buf_ring(64, 4096))
+                .unwrap();
+        assert!(pb.ring().buf_ring_active());
+        let reqs: Vec<ReadSlice> = (0..32u64)
+            .map(|i| ReadSlice::new((i * 389 % 5000) * 4, 4))
+            .collect();
+        let a = read_group_blocking(&mut plain, &reqs, Vec::new()).unwrap();
+        let b = read_group_blocking(&mut pb, &reqs, Vec::new()).unwrap();
+        assert_eq!(a, b);
+        let s = pb.stats();
+        assert_eq!(s.bufring_reads, reqs.len() as u64);
+        assert_eq!(s.bufring_recycles, reqs.len() as u64);
+        assert_eq!(s.fixed_buf_reads, 0);
+        assert_eq!(plain.stats().bufring_reads, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_request_bypasses_buf_ring() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        if !crate::probe::uring_caps().buf_ring {
+            eprintln!("skipping: kernel does not honor IOSQE_BUFFER_SELECT");
+            return;
+        }
+        let path = write_u32_file(5_000);
+        let file = std::fs::File::open(&path).unwrap();
+        // 256-byte provided buffers: a 8192-byte request must use the
+        // plain rung, and the whole group goes with it.
+        let mut r =
+            UringReader::with_file(file, RingBuilder::new().entries(8).buf_ring(8, 256)).unwrap();
+        let reqs = [ReadSlice::new(0, 8192), ReadSlice::new(0, 4)];
+        let buf = read_group_blocking(&mut r, &reqs, Vec::new()).unwrap();
+        assert_eq!(buf.len(), 8196);
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(buf[8192..8196].try_into().unwrap()), 0);
+        assert_eq!(r.stats().bufring_reads, 0);
+        // A small group afterwards rides the pbuf rung.
+        let buf = read_group_blocking(&mut r, &[ReadSlice::new(40, 4)], Vec::new()).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 10);
+        assert_eq!(r.stats().bufring_reads, 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn full_ladder_reader_is_equivalent() {
+        let _env = crate::ring::TEST_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = write_u32_file(5_000);
+        let mut plain = UringReader::open(&path, 32).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let mut b = RingBuilder::new()
+            .entries(32)
+            .defer_taskrun(true)
+            .register_ring_fd(true)
+            .lazy_submission(true);
+        // Only climb the pbuf rung where the kernel honors selection.
+        if crate::probe::uring_caps().buf_ring {
+            b = b.buf_ring(64, 4096);
+        }
+        let mut full = UringReader::with_file(file, b).unwrap();
+        full.register_file().unwrap();
+        // Interleaved in-flight groups, the async pipeline's shape.
+        let mk = |s: u64| -> Vec<ReadSlice> {
+            (0..16u64).map(|i| ReadSlice::new(((s + i * 197) % 5000) * 4, 4)).collect()
+        };
+        let (g1, g2) = (mk(3), mk(11));
+        let ta = full.submit_group(&g1, Vec::new()).unwrap();
+        let tb = full.submit_group(&g2, Vec::new()).unwrap();
+        let a1 = full.complete_group(ta).unwrap();
+        let a2 = full.complete_group(tb).unwrap();
+        let e1 = read_group_blocking(&mut plain, &g1, Vec::new()).unwrap();
+        let e2 = read_group_blocking(&mut plain, &g2, Vec::new()).unwrap();
+        assert_eq!(a1, e1);
+        assert_eq!(a2, e2);
+        let setup = full.ring_setup();
+        assert!(setup.lazy_submission);
+        assert_eq!(setup.requested_flags, full.ring().setup_flags().0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lazy_submission_halves_enters_for_pipelined_groups() {
+        let path = write_u32_file(50_000);
+        let file = std::fs::File::open(&path).unwrap();
+        let mut lazy =
+            UringReader::with_file(file, RingBuilder::new().entries(64).lazy_submission(true))
+                .unwrap();
+        let mut eager = UringReader::open(&path, 64).unwrap();
+        let groups: Vec<Vec<ReadSlice>> = (0..16u64)
+            .map(|g| (0..32u64).map(|i| ReadSlice::new(((g * 811 + i * 127) % 50_000) * 4, 4)).collect())
+            .collect();
+        // Two-in-flight pipeline (the paper's async mode).
+        for r in [&mut lazy, &mut eager] {
+            let mut prev: Option<GroupToken> = None;
+            for g in &groups {
+                let t = r.submit_group(g, Vec::new()).unwrap();
+                if let Some(p) = prev.take() {
+                    r.complete_group(p).unwrap();
+                }
+                prev = Some(t);
+            }
+            r.complete_group(prev.unwrap()).unwrap();
+        }
+        let (le, ee) = (lazy.stats().syscalls, eager.stats().syscalls);
+        assert!(
+            le * 2 <= ee + 1,
+            "lazy mode should at least halve enter syscalls: lazy={le} eager={ee}"
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -46,5 +46,5 @@ pub mod sys;
 
 pub use engine::{GroupReader, PreadReader, ReadSlice, ReaderStats, UringReader};
 pub use error::{IoEngineError, Result};
-pub use probe::{default_engine, open_reader, uring_available, EngineKind};
-pub use ring::{Completion, Ring, RingBuilder, DEFAULT_RING_ENTRIES};
+pub use probe::{default_engine, open_reader, uring_available, uring_caps, EngineKind, UringCaps};
+pub use ring::{Completion, Ring, RingBuilder, RingSetupInfo, DEFAULT_RING_ENTRIES};

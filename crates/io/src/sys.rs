@@ -30,8 +30,20 @@ pub const IORING_SETUP_SQ_AFF: u32 = 1 << 2;
 pub const IORING_SETUP_CQSIZE: u32 = 1 << 3;
 /// Clamp ring sizes instead of failing.
 pub const IORING_SETUP_CLAMP: u32 = 1 << 4;
+/// Cooperative task running: completions do not IPI the submitting task;
+/// they are run the next time it transitions to the kernel anyway.
+pub const IORING_SETUP_COOP_TASKRUN: u32 = 1 << 8;
 /// Hint: only a single thread submits (enables kernel fast paths).
 pub const IORING_SETUP_SINGLE_ISSUER: u32 = 1 << 12;
+/// Defer completion-side task work until the owning task calls
+/// `io_uring_enter(GETEVENTS)`. Requires `SINGLE_ISSUER`; enter from any
+/// other task fails with `EEXIST`.
+pub const IORING_SETUP_DEFER_TASKRUN: u32 = 1 << 13;
+/// Start the ring disabled; no I/O is possible until
+/// `IORING_REGISTER_ENABLE_RINGS`. With `SINGLE_ISSUER`, the *enabling*
+/// task (not the creating one) becomes the ring owner — which is how a
+/// ring built on one thread can be armed on the thread that will use it.
+pub const IORING_SETUP_R_DISABLED: u32 = 1 << 6;
 
 // --- feature flags (io_uring_params.features) ---
 
@@ -46,6 +58,9 @@ pub const IORING_FEAT_NODROP: u32 = 1 << 1;
 pub const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
 /// Wake up the SQPOLL kernel thread.
 pub const IORING_ENTER_SQ_WAKEUP: u32 = 1 << 1;
+/// `fd` is an index into the registered-ring-fd table rather than a real
+/// file descriptor; skips the fdget/fdput lookup on every enter.
+pub const IORING_ENTER_REGISTERED_RING: u32 = 1 << 4;
 
 // --- SQ ring flags (shared memory, written by kernel) ---
 
@@ -91,6 +106,16 @@ pub const IOSQE_FIXED_FILE: u8 = 1 << 0;
 pub const IOSQE_IO_DRAIN: u8 = 1 << 1;
 /// Link the next SQE to this one.
 pub const IOSQE_IO_LINK: u8 = 1 << 2;
+/// Select a buffer from the group in `sqe.buf_index` at issue time instead
+/// of supplying one in `sqe.addr` (provided-buffer rings).
+pub const IOSQE_BUFFER_SELECT: u8 = 1 << 4;
+
+// --- CQE flags ---
+
+/// The CQE consumed a provided buffer; its id is `cqe.flags >> 16`.
+pub const IORING_CQE_F_BUFFER: u32 = 1 << 0;
+/// Shift extracting the provided-buffer id from `cqe.flags`.
+pub const IORING_CQE_BUFFER_SHIFT: u32 = 16;
 
 // --- register opcodes ---
 
@@ -102,6 +127,19 @@ pub const IORING_UNREGISTER_BUFFERS: u32 = 1;
 pub const IORING_REGISTER_FILES: u32 = 2;
 /// Unregister the fixed file table.
 pub const IORING_UNREGISTER_FILES: u32 = 3;
+/// Probe supported opcodes (arg = `io_uring_probe` + op array).
+pub const IORING_REGISTER_PROBE: u32 = 8;
+/// Enable a ring created with `IORING_SETUP_R_DISABLED`.
+pub const IORING_REGISTER_ENABLE_RINGS: u32 = 12;
+/// Register the ring fd itself in the calling *task's* private table so
+/// `io_uring_enter` can use `IORING_ENTER_REGISTERED_RING`.
+pub const IORING_REGISTER_RING_FDS: u32 = 20;
+/// Unregister ring fds from the calling task's table.
+pub const IORING_UNREGISTER_RING_FDS: u32 = 21;
+/// Register a provided-buffer ring (arg = [`IoUringBufReg`]).
+pub const IORING_REGISTER_PBUF_RING: u32 = 22;
+/// Unregister a provided-buffer ring by group id.
+pub const IORING_UNREGISTER_PBUF_RING: u32 = 23;
 
 /// Offsets of the submission-queue ring fields inside its mmap region.
 #[repr(C)]
@@ -193,6 +231,75 @@ pub struct IoUringCqe {
     pub res: i32,
     pub flags: u32,
 }
+
+/// One slot of a registration update table, used by
+/// `IORING_REGISTER_RING_FDS` (`data` = ring fd, `offset` = desired table
+/// index or `u32::MAX` to let the kernel pick; the kernel writes the
+/// allocated index back into `offset`).
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+#[allow(missing_docs)] // fields mirror <linux/io_uring.h> verbatim
+pub struct IoUringRsrcUpdate {
+    pub offset: u32,
+    pub resv: u32,
+    pub data: u64,
+}
+
+/// Registration descriptor for a provided-buffer ring
+/// (`IORING_REGISTER_PBUF_RING`). `ring_addr` must be page-aligned and
+/// hold `ring_entries` [`IoUringBuf`] slots (power of two).
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+#[allow(missing_docs)] // fields mirror <linux/io_uring.h> verbatim
+pub struct IoUringBufReg {
+    pub ring_addr: u64,
+    pub ring_entries: u32,
+    pub bgid: u16,
+    pub flags: u16,
+    pub resv: [u64; 3],
+}
+
+/// One entry of a provided-buffer ring (16 bytes, kernel-shared). The
+/// ring tail lives in the `resv` field of the *first* entry (offset 14).
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+#[allow(missing_docs)] // fields mirror <linux/io_uring.h> verbatim
+pub struct IoUringBuf {
+    pub addr: u64,
+    pub len: u32,
+    pub bid: u16,
+    pub resv: u16,
+}
+
+/// Byte offset of the buffer-ring tail (the `resv` of entry 0).
+pub const IORING_BUF_RING_TAIL_OFFSET: usize = 14;
+
+/// Header of the `IORING_REGISTER_PROBE` result, followed inline by
+/// `ops_len` [`IoUringProbeOp`] entries.
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+#[allow(missing_docs)] // fields mirror <linux/io_uring.h> verbatim
+pub struct IoUringProbe {
+    pub last_op: u8,
+    pub ops_len: u8,
+    pub resv: u16,
+    pub resv2: [u32; 3],
+}
+
+/// One per-opcode entry of the `IORING_REGISTER_PROBE` result.
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+#[allow(missing_docs)] // fields mirror <linux/io_uring.h> verbatim
+pub struct IoUringProbeOp {
+    pub op: u8,
+    pub resv: u8,
+    /// `IO_URING_OP_SUPPORTED` (bit 0) when the kernel implements `op`.
+    pub flags: u16,
+    pub resv2: u32,
+}
+
+/// `IoUringProbeOp::flags` bit: the opcode is supported.
+pub const IO_URING_OP_SUPPORTED: u16 = 1 << 0;
 
 /// Thin wrapper over the `io_uring_setup(2)` syscall.
 ///
@@ -295,6 +402,23 @@ mod tests {
     fn params_layout_is_120_bytes() {
         // 8 leading u32s + resv[3] = 40, sq_off = 40, cq_off = 40.
         assert_eq!(size_of::<IoUringParams>(), 120);
+    }
+
+    #[test]
+    fn buf_ring_entry_is_16_bytes() {
+        assert_eq!(size_of::<IoUringBuf>(), 16);
+        // The shared tail occupies the `resv` u16 of entry 0.
+        assert_eq!(std::mem::offset_of!(IoUringBuf, resv), IORING_BUF_RING_TAIL_OFFSET);
+    }
+
+    #[test]
+    fn buf_reg_layout_is_40_bytes() {
+        assert_eq!(size_of::<IoUringBufReg>(), 40);
+    }
+
+    #[test]
+    fn rsrc_update_layout_is_16_bytes() {
+        assert_eq!(size_of::<IoUringRsrcUpdate>(), 16);
     }
 
     #[test]

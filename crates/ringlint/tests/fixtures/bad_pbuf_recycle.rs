@@ -1,0 +1,18 @@
+//! Mutation fixture: provided-buffer ids misused after recycling. `bid`
+//! is copied from *after* it was recycled to the kernel's buffer ring
+//! (the kernel may already be refilling it for another read), and
+//! `other` is recycled twice (handing one buffer to two in-flight
+//! reads). One `buffer-loan` diagnostic each; `good_pbuf_recycle.rs` is
+//! the correct twin.
+
+pub fn drain(ring: &mut Ring, out: &mut [u8]) -> Result<(), RingError> {
+    let c = ring.wait_completion()?;
+    let bid = (c.flags >> IORING_CQE_BUFFER_SHIFT) as u16;
+    ring.buf_ring_recycle(bid);
+    let _n = ring.buf_ring_copy(bid, ENTRY_BYTES, out);
+    let d = ring.wait_completion()?;
+    let other = (d.flags >> IORING_CQE_BUFFER_SHIFT) as u16;
+    ring.buf_ring_recycle(other);
+    ring.buf_ring_recycle(other);
+    Ok(())
+}

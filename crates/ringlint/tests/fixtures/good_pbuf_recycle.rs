@@ -1,0 +1,14 @@
+//! Negative twin of `bad_pbuf_recycle.rs`: each provided-buffer id is
+//! copied out while userspace still owns it and recycled exactly once;
+//! the reap loop re-`let`s `bid` from the next CQE, which names a fresh
+//! id rather than resurrecting the dead one. Lint-clean.
+
+pub fn drain(ring: &mut Ring, out: &mut [u8]) -> Result<(), RingError> {
+    for _ in 0..2 {
+        let c = ring.wait_completion()?;
+        let bid = (c.flags >> IORING_CQE_BUFFER_SHIFT) as u16;
+        let _n = ring.buf_ring_copy(bid, ENTRY_BYTES, out);
+        ring.buf_ring_recycle(bid);
+    }
+    Ok(())
+}

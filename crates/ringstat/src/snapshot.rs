@@ -77,6 +77,12 @@ pub struct WorkerSnapshot {
     /// True while the worker is actively sampling; flipped off at epoch
     /// join so the watchdog ignores finished workers.
     pub active: bool,
+    /// io_uring setup flags this worker's ring *requested* (0 for the
+    /// pread engine). Raw flag word; the consumer renders names.
+    pub ring_requested_flags: u32,
+    /// io_uring setup flags the kernel actually *granted*. Divergence
+    /// from `ring_requested_flags` means the ring-mode ladder fell back.
+    pub ring_granted_flags: u32,
     /// Per-batch wall-latency distribution (log2 buckets, lossless
     /// merge) for the current epoch.
     pub batch_latency: LatencyHistogram,
@@ -98,6 +104,8 @@ impl WorkerSnapshot {
             inflight: 0,
             io_groups: 0,
             active: false,
+            ring_requested_flags: 0,
+            ring_granted_flags: 0,
             batch_latency: LatencyHistogram::new(),
         }
     }
