@@ -28,6 +28,10 @@
 #      reduction for defer_taskrun vs off (self-skips with a notice when
 #      the kernel refuses DEFER_TASKRUN — there is nothing to measure
 #      then); refreshes the committed BENCH_ring_modes.json baseline
+#  10. ringtop gate — a small fig4_overall with --serve, asserting that
+#      /history serves the per-worker time series, /congestion serves
+#      verdicts, and `ringtop --once` renders a frame with every worker
+#      present and judged ok once the fleet idles (see DESIGN.md §14)
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -89,5 +93,41 @@ echo "    ringtrace smoke ok (stage attribution covers >= 90% of batch time)"
 echo "==> ring_modes gate (ring-mode ladder A/B, RS_RING_ASSERT)"
 RS_RING_ASSERT=1 RS_TARGETS=4096 RS_THREADS=4 RS_DATA_DIR="$(mktemp -d)" \
     ./target/release/ring_modes --bench-json BENCH_ring_modes.json
+
+echo "==> ringtop gate (fig4_overall --serve, /history + /congestion + ringtop --once)"
+TOP_LOG="$(mktemp)"
+# 8192 targets = 8 batches of 1024: both workers own batches, so both
+# appear in /history and must converge to an ok verdict.
+RS_SCALE=100000 RS_TARGETS=8192 RS_EPOCHS=1 RS_THREADS=2 \
+RS_SERVE_LINGER=20 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/fig4_overall --serve 127.0.0.1:0 >/dev/null 2>"$TOP_LOG" &
+TOP_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^ringscope listening on http://##p' "$TOP_LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$TOP_PID" 2>/dev/null || { cat "$TOP_LOG"; echo "fig4_overall exited before serving"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "    ringscope bound at $ADDR" || { cat "$TOP_LOG"; echo "no listening announcement"; exit 1; }
+curl -fsS "http://$ADDR/history?window=32" | grep -q '"workers"' || { echo "/history missing workers array"; kill "$TOP_PID"; exit 1; }
+curl -fsS "http://$ADDR/congestion" | grep -q '"fleet"' || { echo "/congestion missing fleet rollup"; kill "$TOP_PID"; exit 1; }
+# Once the run winds down the fleet idles, and an idle fleet must judge
+# all-ok: poll ringtop --once until the frame shows both workers ok.
+FRAME=""
+for _ in $(seq 1 100); do
+    FRAME="$(./target/release/ringtop --once "$ADDR" 2>/dev/null || true)"
+    if echo "$FRAME" | grep -q '^worker 0 \[ok\]' && echo "$FRAME" | grep -q '^worker 1 \[ok\]'; then
+        break
+    fi
+    FRAME=""
+    sleep 0.2
+done
+[ -n "$FRAME" ] || { echo "ringtop --once never rendered an all-ok two-worker frame"; ./target/release/ringtop --once "$ADDR" || true; kill "$TOP_PID"; exit 1; }
+echo "$FRAME" | grep -q '^fleet:' || { echo "ringtop frame missing fleet roll-up"; kill "$TOP_PID"; exit 1; }
+./target/release/ringtop --once --json "$ADDR" | grep -q '"history"' || { echo "ringtop --json missing history document"; kill "$TOP_PID"; exit 1; }
+kill "$TOP_PID" 2>/dev/null || true
+wait "$TOP_PID" 2>/dev/null || true
+echo "    ringtop gate ok (/history, /congestion, ringtop --once all-ok frame)"
 
 echo "CI: all gates passed."

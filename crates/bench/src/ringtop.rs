@@ -1,0 +1,470 @@
+//! `ringtop` — live terminal dashboard over the ringscope history feed.
+//!
+//! Polls a running sampler's `GET /history` and `GET /congestion`
+//! endpoints (the time-series layer described in DESIGN.md §14) and
+//! renders a per-worker panel:
+//!
+//! * **sparklines** over the retained window — edge throughput,
+//!   in-flight queue depth, and interval batch p99;
+//! * the windowed rates and EWMA/slope trends the server derived;
+//! * the worker's **congestion verdict**
+//!   (`ok | queue_saturated | cq_wait_rising | stalled | straggler`),
+//!   highlighted when non-`ok`, with the evidence that drove it;
+//! * a **fleet** roll-up line summing throughput across workers.
+//!
+//! Everything here is pure (parsed documents in, strings out) so frames
+//! can be asserted byte-for-byte by tests and by the CI gate's
+//! `ringtop --once` invocation; the thin binary only does the HTTP GET
+//! and the redraw loop.
+
+use ringstat::{human_bytes, human_count, human_nanos, Json};
+
+/// One parsed point of a worker's `/history` series.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Milliseconds since the telemetry thread started.
+    pub t_ms: u64,
+    /// Cumulative completed batches.
+    pub batches: u64,
+    /// Cumulative sampled edges.
+    pub sampled_edges: u64,
+    /// Cumulative bytes read.
+    pub bytes_read: u64,
+    /// In-flight SQEs at the sample instant.
+    pub inflight: u64,
+    /// Interval batch p99, ns (0 for the first point).
+    pub batch_p99_ns: f64,
+    /// Interval CQ-wait share in [0, 1].
+    pub cq_wait_share: f64,
+}
+
+/// One worker's `/history` entry: rates, trends, and the raw series.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct WorkerSeries {
+    /// Worker (thread) index.
+    pub worker: u64,
+    /// Wall-clock span of the retained window, seconds.
+    pub span_secs: f64,
+    /// Windowed edge throughput, edges/s.
+    pub edges_per_sec: f64,
+    /// Windowed batch completion rate, batches/s.
+    pub batches_per_sec: f64,
+    /// Windowed `io_uring_enter` rate, enters/s.
+    pub enters_per_sec: f64,
+    /// Windowed read bandwidth, bytes/s.
+    pub bytes_per_sec: f64,
+    /// EWMA-smoothed interval edge rate.
+    pub edges_ewma: f64,
+    /// Batch-p99 trend, ns per second.
+    pub p99_slope: f64,
+    /// CQ-wait-share trend, share per second.
+    pub cq_slope: f64,
+    /// The raw timestamped points, oldest first.
+    pub series: Vec<SeriesPoint>,
+}
+
+/// One worker's `/congestion` verdict with the evidence that drove it.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct WorkerVerdict {
+    /// Worker (thread) index.
+    pub worker: u64,
+    /// Verdict name (`ok`, `queue_saturated`, `cq_wait_rising`,
+    /// `stalled`, `straggler`).
+    pub state: String,
+    /// Mean in-flight depth over the evidence window.
+    pub mean_inflight: f64,
+    /// Last interval CQ-wait share.
+    pub cq_wait_share: f64,
+    /// CQ-wait-share slope, share per second.
+    pub cq_wait_share_slope: f64,
+    /// This worker's windowed batch rate.
+    pub batches_per_sec: f64,
+    /// The fleet's median windowed batch rate.
+    pub fleet_median_batches_per_sec: f64,
+}
+
+fn f64_field(obj: &Json, key: &str) -> f64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn u64_field(obj: &Json, key: &str) -> u64 {
+    obj.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Parses a `GET /history` document into per-worker series.
+///
+/// # Errors
+/// Returns a message when the text is not JSON or lacks a `workers`
+/// array.
+pub fn parse_history(text: &str) -> Result<Vec<WorkerSeries>, String> {
+    let root = Json::parse(text)?;
+    let workers = root
+        .get("workers")
+        .and_then(Json::as_array)
+        .ok_or("not a /history document (no \"workers\" array)")?;
+    let mut out = Vec::new();
+    for w in workers {
+        let rates = w.get("rates").cloned().unwrap_or(Json::object());
+        let trends = w.get("trends").cloned().unwrap_or(Json::object());
+        let mut ws = WorkerSeries {
+            worker: u64_field(w, "worker"),
+            span_secs: f64_field(w, "span_secs"),
+            edges_per_sec: f64_field(&rates, "edges_per_sec"),
+            batches_per_sec: f64_field(&rates, "batches_per_sec"),
+            enters_per_sec: f64_field(&rates, "enters_per_sec"),
+            bytes_per_sec: f64_field(&rates, "bytes_per_sec"),
+            edges_ewma: f64_field(&trends, "edges_per_sec_ewma"),
+            p99_slope: f64_field(&trends, "batch_p99_slope_ns_per_sec"),
+            cq_slope: f64_field(&trends, "cq_wait_share_slope_per_sec"),
+            series: Vec::new(),
+        };
+        for p in w.get("series").and_then(Json::as_array).unwrap_or(&[]) {
+            ws.series.push(SeriesPoint {
+                t_ms: u64_field(p, "t_ms"),
+                batches: u64_field(p, "batches"),
+                sampled_edges: u64_field(p, "sampled_edges"),
+                bytes_read: u64_field(p, "bytes_read"),
+                inflight: u64_field(p, "inflight"),
+                batch_p99_ns: f64_field(p, "batch_p99_ns"),
+                cq_wait_share: f64_field(p, "cq_wait_share"),
+            });
+        }
+        out.push(ws);
+    }
+    Ok(out)
+}
+
+/// Parses a `GET /congestion` document into per-worker verdicts.
+///
+/// # Errors
+/// Returns a message when the text is not JSON or lacks a `workers`
+/// array.
+pub fn parse_congestion(text: &str) -> Result<Vec<WorkerVerdict>, String> {
+    let root = Json::parse(text)?;
+    let workers = root
+        .get("workers")
+        .and_then(Json::as_array)
+        .ok_or("not a /congestion document (no \"workers\" array)")?;
+    let mut out = Vec::new();
+    for w in workers {
+        let e = w.get("evidence").cloned().unwrap_or(Json::object());
+        out.push(WorkerVerdict {
+            worker: u64_field(w, "worker"),
+            state: w
+                .get("state")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            mean_inflight: f64_field(&e, "mean_inflight"),
+            cq_wait_share: f64_field(&e, "cq_wait_share"),
+            cq_wait_share_slope: f64_field(&e, "cq_wait_share_slope"),
+            batches_per_sec: f64_field(&e, "batches_per_sec"),
+            fleet_median_batches_per_sec: f64_field(&e, "fleet_median_batches_per_sec"),
+        });
+    }
+    Ok(out)
+}
+
+const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a fixed-width sparkline. Values are scaled
+/// against the series maximum; zero renders as a space so idle gaps are
+/// visible. Series longer than `width` keep the most recent points;
+/// shorter series are left-padded so the line always ends "now".
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let tail: Vec<f64> = values
+        .iter()
+        .copied()
+        .skip(values.len().saturating_sub(width))
+        .collect();
+    let peak = tail.iter().copied().fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for _ in tail.len()..width {
+        out.push(' ');
+    }
+    for v in &tail {
+        if *v <= 0.0 || peak <= 0.0 {
+            out.push(' ');
+        } else {
+            // Ceiling-map so any nonzero value is visible.
+            let idx = ((v / peak * 8.0).ceil() as usize).clamp(1, 8) - 1;
+            out.push(GLYPHS.get(idx).copied().unwrap_or('█'));
+        }
+    }
+    out
+}
+
+/// Per-interval deltas of a cumulative counter column, aligned to the
+/// interval-ending point (first point contributes nothing).
+fn deltas(series: &[SeriesPoint], get: impl Fn(&SeriesPoint) -> u64) -> Vec<f64> {
+    series
+        .windows(2)
+        .map(|w| match w {
+            [a, b] => get(b).saturating_sub(get(a)) as f64,
+            _ => 0.0,
+        })
+        .collect()
+}
+
+fn verdict_for(verdicts: &[WorkerVerdict], worker: u64) -> Option<&WorkerVerdict> {
+    verdicts.iter().find(|v| v.worker == worker)
+}
+
+/// How a frame is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Plain text: no escape codes (for `--once`, CI logs, goldens).
+    Plain,
+    /// ANSI: non-`ok` verdicts are highlighted bold red.
+    Ansi,
+}
+
+fn verdict_cell(state: &str, style: Style) -> String {
+    match style {
+        Style::Plain => format!("[{state}]"),
+        Style::Ansi if state == "ok" => format!("\x1b[32m[{state}]\x1b[0m"),
+        Style::Ansi => format!("\x1b[1;31m[{state}]\x1b[0m"),
+    }
+}
+
+/// Renders one dashboard frame from parsed `/history` series and
+/// `/congestion` verdicts. Pure and byte-stable for fixed inputs.
+pub fn render_frame(
+    series: &[WorkerSeries],
+    verdicts: &[WorkerVerdict],
+    width: usize,
+    style: Style,
+) -> String {
+    let mut out = String::new();
+    let mut fleet_edges = 0.0;
+    let mut fleet_batches = 0.0;
+    let mut fleet_bytes = 0.0;
+    let congested = verdicts.iter().filter(|v| v.state != "ok").count();
+    out.push_str(&format!(
+        "ringtop — {} worker(s), {} congested\n",
+        series.len(),
+        congested
+    ));
+    for ws in series {
+        fleet_edges += ws.edges_per_sec;
+        fleet_batches += ws.batches_per_sec;
+        fleet_bytes += ws.bytes_per_sec;
+        let state = verdict_for(verdicts, ws.worker).map_or("?", |v| v.state.as_str());
+        out.push_str(&format!(
+            "worker {} {} {} edges/s · {:.1} batches/s · {}/s · {:.1} enters/s\n",
+            ws.worker,
+            verdict_cell(state, style),
+            human_count(ws.edges_per_sec as u64),
+            ws.batches_per_sec,
+            human_bytes(ws.bytes_per_sec as u64),
+            ws.enters_per_sec,
+        ));
+        let edges = deltas(&ws.series, |p| p.sampled_edges);
+        let inflight: Vec<f64> = ws.series.iter().map(|p| p.inflight as f64).collect();
+        let p99: Vec<f64> = ws.series.iter().map(|p| p.batch_p99_ns).collect();
+        let last_p99 = p99.iter().copied().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "  throughput |{}| ewma {} edges/s\n",
+            sparkline(&edges, width),
+            human_count(ws.edges_ewma as u64),
+        ));
+        out.push_str(&format!(
+            "  queue      |{}| now {} inflight\n",
+            sparkline(&inflight, width),
+            ws.series.last().map_or(0, |p| p.inflight),
+        ));
+        out.push_str(&format!(
+            "  batch p99  |{}| peak {} · slope {:+.0} ns/s\n",
+            sparkline(&p99, width),
+            human_nanos(last_p99 as u64),
+            ws.p99_slope,
+        ));
+        if let Some(v) = verdict_for(verdicts, ws.worker) {
+            if v.state != "ok" {
+                out.push_str(&format!(
+                    "  !! {}: {:.1} batches/s vs fleet median {:.1} · mean queue {:.0} \
+                     · cq share {:.2} ({:+.3}/s)\n",
+                    v.state,
+                    v.batches_per_sec,
+                    v.fleet_median_batches_per_sec,
+                    v.mean_inflight,
+                    v.cq_wait_share,
+                    v.cq_wait_share_slope,
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "fleet: {} edges/s · {:.1} batches/s · {}/s\n",
+        human_count(fleet_edges as u64),
+        fleet_batches,
+        human_bytes(fleet_bytes as u64),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t_ms: u64, edges: u64, inflight: u64, p99: f64) -> SeriesPoint {
+        SeriesPoint {
+            t_ms,
+            batches: t_ms / 100,
+            sampled_edges: edges,
+            bytes_read: edges * 4,
+            inflight,
+            batch_p99_ns: p99,
+            cq_wait_share: 0.1,
+        }
+    }
+
+    fn sample_series(worker: u64) -> WorkerSeries {
+        WorkerSeries {
+            worker,
+            span_secs: 0.3,
+            edges_per_sec: 5000.0,
+            batches_per_sec: 10.0,
+            enters_per_sec: 20.0,
+            bytes_per_sec: 20_000.0,
+            edges_ewma: 5000.0,
+            p99_slope: 12.0,
+            cq_slope: 0.0,
+            series: vec![
+                pt(0, 0, 8, 0.0),
+                pt(100, 500, 16, 90_000.0),
+                pt(200, 1000, 32, 100_000.0),
+                pt(300, 1500, 16, 95_000.0),
+            ],
+        }
+    }
+
+    fn ok_verdict(worker: u64) -> WorkerVerdict {
+        WorkerVerdict {
+            worker,
+            state: "ok".into(),
+            mean_inflight: 18.0,
+            cq_wait_share: 0.1,
+            cq_wait_share_slope: 0.0,
+            batches_per_sec: 10.0,
+            fleet_median_batches_per_sec: 10.0,
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_pads_and_truncates() {
+        assert_eq!(sparkline(&[], 4), "    ");
+        assert_eq!(sparkline(&[0.0, 0.0], 4), "    ");
+        // Left-padded to end "now"; ceiling-map keeps small values visible.
+        let line = sparkline(&[1.0, 4.0, 8.0], 4);
+        assert_eq!(line.chars().count(), 4);
+        assert_eq!(line.chars().next(), Some(' '));
+        assert_eq!(line.chars().last(), Some('█'));
+        assert!(line.contains('▁'), "{line}");
+        // Longer than width: keeps the most recent points only, rescaled
+        // against the visible tail (so the dropped 8.0 is not the peak).
+        let line = sparkline(&[8.0, 1.0, 1.0], 2);
+        assert_eq!(line, "██");
+    }
+
+    #[test]
+    fn parse_history_round_trips_document_fields() {
+        let text = r#"{"window": 64, "workers": [{
+            "worker": 1, "points": 2, "span_secs": 0.1,
+            "rates": {"edges_per_sec": 5000.0, "batches_per_sec": 10.0,
+                      "enters_per_sec": 20.0, "bytes_per_sec": 40960.0},
+            "trends": {"edges_per_sec_ewma": 5000.0,
+                       "batch_p99_slope_ns_per_sec": -3.5,
+                       "cq_wait_share_slope_per_sec": 0.01},
+            "series": [
+                {"t_ms": 0, "batches": 0, "targets": 9, "sampled_edges": 0,
+                 "bytes_read": 0, "inflight": 4, "io_groups": 0,
+                 "batch_p99_ns": 0.0, "cq_wait_share": 0.0},
+                {"t_ms": 100, "batches": 1, "targets": 9, "sampled_edges": 500,
+                 "bytes_read": 4096, "inflight": 8, "io_groups": 2,
+                 "batch_p99_ns": 70000.0, "cq_wait_share": 0.25}
+            ]}]}"#;
+        let parsed = parse_history(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let w = &parsed[0];
+        assert_eq!(w.worker, 1);
+        assert_eq!(w.edges_per_sec, 5000.0);
+        assert_eq!(w.p99_slope, -3.5);
+        assert_eq!(w.series.len(), 2);
+        assert_eq!(w.series[1].t_ms, 100);
+        assert_eq!(w.series[1].inflight, 8);
+        assert_eq!(w.series[1].cq_wait_share, 0.25);
+        assert!(parse_history("{\"x\": 1}").is_err());
+        assert!(parse_history("nope").is_err());
+    }
+
+    #[test]
+    fn parse_congestion_round_trips_document_fields() {
+        let text = r#"{"fleet": {"workers": 2, "ok": 1, "congested": 1,
+            "states": {"stalled": 0, "queue_saturated": 0,
+                       "cq_wait_rising": 0, "straggler": 1}},
+            "workers": [
+              {"worker": 0, "state": "ok", "evidence": {
+                 "window_start_ms": 0, "window_end_ms": 1000, "points": 10,
+                 "mean_inflight": 16.0, "cq_wait_share": 0.1,
+                 "cq_wait_share_slope": 0.0, "batches_per_sec": 10.0,
+                 "fleet_median_batches_per_sec": 10.0,
+                 "batch_p99_slope_ns_per_sec": 0.0}},
+              {"worker": 1, "state": "straggler", "evidence": {
+                 "window_start_ms": 0, "window_end_ms": 1000, "points": 10,
+                 "mean_inflight": 16.0, "cq_wait_share": 0.1,
+                 "cq_wait_share_slope": 0.0, "batches_per_sec": 1.0,
+                 "fleet_median_batches_per_sec": 10.0,
+                 "batch_p99_slope_ns_per_sec": 0.0}}]}"#;
+        let parsed = parse_congestion(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].state, "ok");
+        assert_eq!(parsed[1].state, "straggler");
+        assert_eq!(parsed[1].fleet_median_batches_per_sec, 10.0);
+        assert!(parse_congestion("{\"x\": 1}").is_err());
+    }
+
+    #[test]
+    fn plain_frame_shows_workers_verdicts_and_fleet() {
+        let series = [sample_series(0), sample_series(1)];
+        let mut verdicts = vec![ok_verdict(0), ok_verdict(1)];
+        verdicts[1].state = "straggler".into();
+        verdicts[1].batches_per_sec = 1.0;
+        let frame = render_frame(&series, &verdicts, 16, Style::Plain);
+        assert!(frame.contains("2 worker(s), 1 congested"), "{frame}");
+        assert!(frame.contains("worker 0 [ok]"), "{frame}");
+        assert!(frame.contains("worker 1 [straggler]"), "{frame}");
+        assert!(frame.contains("!! straggler: 1.0 batches/s vs fleet median 10.0"), "{frame}");
+        assert!(frame.contains("throughput |"), "{frame}");
+        assert!(frame.contains("queue      |"), "{frame}");
+        assert!(frame.contains("batch p99  |"), "{frame}");
+        assert!(frame.contains("fleet: 10,000 edges/s · 20.0 batches/s"), "{frame}");
+        // Plain frames carry no escape codes — safe for goldens and CI logs.
+        assert!(!frame.contains('\x1b'), "{frame}");
+    }
+
+    #[test]
+    fn ansi_frame_highlights_non_ok_only() {
+        let series = [sample_series(0)];
+        let mut verdicts = vec![ok_verdict(0)];
+        let ok_frame = render_frame(&series, &verdicts, 16, Style::Ansi);
+        assert!(ok_frame.contains("\x1b[32m[ok]\x1b[0m"), "{ok_frame}");
+        assert!(!ok_frame.contains("\x1b[1;31m"), "{ok_frame}");
+        verdicts[0].state = "stalled".into();
+        let bad_frame = render_frame(&series, &verdicts, 16, Style::Ansi);
+        assert!(bad_frame.contains("\x1b[1;31m[stalled]\x1b[0m"), "{bad_frame}");
+    }
+
+    #[test]
+    fn frame_tolerates_missing_verdicts_and_empty_series() {
+        let series = [WorkerSeries {
+            worker: 7,
+            ..WorkerSeries::default()
+        }];
+        let frame = render_frame(&series, &[], 8, Style::Plain);
+        assert!(frame.contains("worker 7 [?]"), "{frame}");
+        let empty = render_frame(&[], &[], 8, Style::Plain);
+        assert!(empty.contains("0 worker(s), 0 congested"), "{empty}");
+        assert!(empty.contains("fleet: 0 edges/s"), "{empty}");
+    }
+}

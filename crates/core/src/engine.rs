@@ -189,6 +189,11 @@ impl RingSampler {
         }
         report.wall = start.elapsed();
         report.threads = num_threads;
+        if let Some(handle) = &self.telemetry {
+            // Fold the epoch's congestion episodes (closing any still
+            // open) into the post-mortem report.
+            report.congestion = handle.registry().drain_episodes();
+        }
         Ok(report)
     }
 }
@@ -360,7 +365,7 @@ mod tests {
         );
         assert_eq!(r.trace_dropped, 0, "small epoch must not overflow rings");
         let json = r.to_json();
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains(&format!("\"batches\": {}", r.metrics.batches)));
         let prom = r.to_prometheus();
         assert!(prom.contains(&format!(

@@ -16,6 +16,8 @@ use ringstat::{
     PhaseTimes, PromWriter, SpanLog, TraceEvent,
 };
 
+use crate::telemetry::{CongestionEpisode, CongestionState};
+
 /// Counters accumulated while sampling (mergeable across threads).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SampleMetrics {
@@ -248,6 +250,11 @@ pub struct EpochReport {
     /// Requested vs granted ring setup, from the first absorbed worker
     /// (all workers build identical rings).
     pub ring_setup: RingSetupInfo,
+    /// Congestion episodes the telemetry history layer recorded during
+    /// this epoch (empty when telemetry or history is off): every
+    /// contiguous run of a non-`ok` verdict, with its time bounds on the
+    /// telemetry timeline. Drained from the registry at epoch join.
+    pub congestion: Vec<CongestionEpisode>,
 }
 
 impl EpochReport {
@@ -285,17 +292,20 @@ impl EpochReport {
         self.trace_dropped += worker.trace_dropped;
     }
 
-    /// The report as a JSON tree (`schema_version` 4). Raw values only —
+    /// The report as a JSON tree (`schema_version` 5). Raw values only —
     /// humanization is a Display concern.
     ///
-    /// Schema history: v4 added the `ring` block (mode, requested vs
-    /// granted setup flags, ladder state), the buffer-ring counters
-    /// (`bufring_reads`, `bufring_recycles`, `ring_mode_fallbacks`) and
-    /// the derived `syscalls_per_batch`; v3 added the `trace` summary
-    /// block (flight-recorder event and overflow-drop counts); v2 added
-    /// the read-planner counters (`reads_planned`, `reads_saved`,
-    /// `bytes_saved`, `fixed_buf_reads`, `regbuf_fallbacks`) and the
-    /// derived `coalesce_ratio`; v1 was the initial format.
+    /// Schema history: v5 added the `congestion` block (episodes with
+    /// worker, state, and time bounds, plus per-state totals) from the
+    /// telemetry history layer; v4 added the `ring` block (mode,
+    /// requested vs granted setup flags, ladder state), the buffer-ring
+    /// counters (`bufring_reads`, `bufring_recycles`,
+    /// `ring_mode_fallbacks`) and the derived `syscalls_per_batch`; v3
+    /// added the `trace` summary block (flight-recorder event and
+    /// overflow-drop counts); v2 added the read-planner counters
+    /// (`reads_planned`, `reads_saved`, `bytes_saved`,
+    /// `fixed_buf_reads`, `regbuf_fallbacks`) and the derived
+    /// `coalesce_ratio`; v1 was the initial format.
     pub fn to_json_value(&self) -> Json {
         let m = &self.metrics;
         let counters = Json::object()
@@ -354,8 +364,27 @@ impl EpochReport {
             .with("threads", Json::U64(self.thread_events.len() as u64))
             .with("events", Json::U64(trace_events))
             .with("dropped", Json::U64(self.trace_dropped));
+        let episodes: Vec<Json> = self
+            .congestion
+            .iter()
+            .map(|e| {
+                Json::object()
+                    .with("worker", Json::U64(e.worker as u64))
+                    .with("state", Json::str(e.state.name()))
+                    .with("start_ms", Json::U64(e.start_ms))
+                    .with("end_ms", Json::U64(e.end_ms))
+            })
+            .collect();
+        let mut by_state = Json::object();
+        for state in CongestionState::NON_OK {
+            let n = self.congestion.iter().filter(|e| e.state == state).count();
+            by_state.push(state.name(), Json::U64(n as u64));
+        }
+        let congestion = Json::object()
+            .with("episodes", Json::Array(episodes))
+            .with("by_state", by_state);
         Json::object()
-            .with("schema_version", Json::U64(4))
+            .with("schema_version", Json::U64(5))
             .with("threads", Json::U64(self.threads as u64))
             .with("wall_seconds", Json::F64(self.seconds()))
             .with("counters", counters)
@@ -365,6 +394,7 @@ impl EpochReport {
             .with("histograms", histograms)
             .with("spans", spans)
             .with("trace", trace)
+            .with("congestion", congestion)
     }
 
     /// The raw flight-recorder dump as JSON: per-thread event lists with
@@ -413,7 +443,7 @@ impl EpochReport {
         // `schema` label to detect format bumps, mirroring the JSON
         // export's `schema_version`.
         let mut with_schema: Vec<(&str, &str)> = labels.to_vec();
-        with_schema.push(("schema", "4"));
+        with_schema.push(("schema", "5"));
         w.gauge(
             "ringsampler_report_info",
             "Report format marker; the schema label tracks the JSON schema_version",
@@ -545,6 +575,19 @@ impl EpochReport {
             labels,
             self.trace_dropped,
         );
+        // Congestion episodes by state, all four non-ok states emitted
+        // (zeros included) so the label set is stable across runs.
+        for state in CongestionState::NON_OK {
+            let n = self.congestion.iter().filter(|e| e.state == state).count() as u64;
+            let mut with_state: Vec<(&str, &str)> = labels.to_vec();
+            with_state.push(("state", state.name()));
+            w.counter(
+                "ringsampler_congestion_episodes_total",
+                "Congestion episodes (contiguous non-ok verdicts) recorded this epoch",
+                &with_state,
+                n,
+            );
+        }
         for p in Phase::ALL {
             let mut with_phase: Vec<(&str, &str)> = labels.to_vec();
             with_phase.push(("phase", p.name()));
@@ -874,7 +917,7 @@ mod tests {
         assert_eq!(r.threads, 1);
         let json = r.to_json();
         for key in [
-            "\"schema_version\": 4",
+            "\"schema_version\": 5",
             "\"counters\"",
             "\"derived\"",
             "\"phase_nanos\"",

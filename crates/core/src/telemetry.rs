@@ -19,24 +19,41 @@
 //!   window is reported with its last-known state (group index,
 //!   in-flight depth) and flips `/healthz` to `503` — turning silent
 //!   io_uring wedges into diagnosable events.
+//! * **History side** (DESIGN.md §14) — every poll tick the telemetry
+//!   thread also appends each worker's snapshot to a per-worker
+//!   [`HistoryRing`] (drop-oldest, seqlock slots), from which
+//!   `GET /history` serves windowed time series (rates, EWMA trends,
+//!   slope estimators) and `GET /congestion` serves per-worker
+//!   congestion verdicts (`ok`, `queue_saturated`, `cq_wait_rising`,
+//!   `stalled`, `straggler`) with the evidence window that triggered
+//!   them. Episodes — contiguous runs of a non-`ok` verdict — are
+//!   tracked with their time bounds and folded into the post-mortem
+//!   [`crate::metrics::EpochReport`]. Thresholds live in
+//!   [`CongestionConfig`] with `RS_CONGESTION_*` env overrides.
 //!
 //! Everything here is cold-path: the registry's `Mutex` is touched only
 //! at epoch setup and by the telemetry thread, never per batch.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ringsampler_io::IoEngineError;
+use ringstat::history::{
+    batch_p99_series, batch_p99_slope, cq_wait_share_series, cq_wait_share_slope, ewma,
+    interval_series, io_busy_share, mean_inflight, windowed_rates,
+};
 use ringstat::{
-    EventRing, HttpServer, Json, PromWriter, Response, SnapshotCell, TraceEvent, WorkerSnapshot,
+    EventRing, HistoryPoint, HistoryRing, HttpServer, Json, PromWriter, Response, SnapshotCell,
+    TraceEvent, WorkerSnapshot,
 };
 
 use crate::error::{Result, SamplerError};
 
 /// Configuration for the embedded telemetry server and stall watchdog.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryConfig {
     /// Bind address for the HTTP endpoints, e.g. `127.0.0.1:9898`
     /// (port `0` picks a free port, printed to stderr at startup).
@@ -47,16 +64,26 @@ pub struct TelemetryConfig {
     /// How long a worker's snapshot version may stay unchanged (while
     /// the worker is active) before it is declared stalled.
     pub stall_threshold: Duration,
+    /// Points retained per worker in the telemetry history ring (one
+    /// point is appended per poll tick). `0` disables the history
+    /// sampler entirely — `/history` and `/congestion` then serve empty
+    /// documents and no per-tick work happens.
+    pub history_capacity: usize,
+    /// Congestion-detector thresholds (see [`CongestionConfig`]).
+    pub congestion: CongestionConfig,
 }
 
 impl TelemetryConfig {
     /// Telemetry on `addr` with the default cadence: 200 ms polls, 10 s
-    /// stall window.
+    /// stall window, 512-point history, and congestion thresholds from
+    /// [`CongestionConfig::from_env`].
     pub fn new(addr: impl Into<String>) -> Self {
         Self {
             addr: addr.into(),
             poll_interval: Duration::from_millis(200),
             stall_threshold: Duration::from_secs(10),
+            history_capacity: 512,
+            congestion: CongestionConfig::from_env(),
         }
     }
 
@@ -69,6 +96,18 @@ impl TelemetryConfig {
     /// Sets the stall-watchdog window.
     pub fn stall_threshold(mut self, window: Duration) -> Self {
         self.stall_threshold = window;
+        self
+    }
+
+    /// Sets the per-worker history capacity (`0` disables history).
+    pub fn history_capacity(mut self, capacity: usize) -> Self {
+        self.history_capacity = capacity;
+        self
+    }
+
+    /// Sets the congestion-detector thresholds.
+    pub fn congestion(mut self, congestion: CongestionConfig) -> Self {
+        self.congestion = congestion;
         self
     }
 
@@ -90,6 +129,124 @@ impl TelemetryConfig {
         if self.stall_threshold.is_zero() {
             return Err(SamplerError::InvalidConfig(
                 "telemetry stall threshold must be positive".into(),
+            ));
+        }
+        self.congestion.validate()
+    }
+}
+
+/// Thresholds for the online congestion detectors (DESIGN.md §14).
+/// Every field has an `RS_CONGESTION_*` environment override, applied by
+/// [`CongestionConfig::from_env`] (which [`TelemetryConfig::new`] uses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionConfig {
+    /// History points per evidence window (`RS_CONGESTION_WINDOW`).
+    /// The verdict for each worker is derived from its most recent
+    /// `window` points.
+    pub window: usize,
+    /// Minimum points before any non-stall verdict is attempted
+    /// (`RS_CONGESTION_MIN_POINTS`); thinner windows stay `ok`.
+    pub min_points: usize,
+    /// Mean in-flight read depth at or above which a worker is
+    /// `queue_saturated` (`RS_CONGESTION_QUEUE`). The default sits just
+    /// under the 512-entry ring: a worker pinned there can no longer
+    /// absorb bursts.
+    pub queue_depth: f64,
+    /// Minimum per-second upward slope of the CQ-wait share for
+    /// `cq_wait_rising` (`RS_CONGESTION_CQ_SLOPE`).
+    pub cq_slope: f64,
+    /// The CQ-wait share the latest interval must also reach before a
+    /// rising slope is flagged (`RS_CONGESTION_CQ_FLOOR`) — a worker
+    /// rising from 1% to 3% is not congested yet.
+    pub cq_floor: f64,
+    /// Minimum fraction of the window's wall-clock time spent in I/O at
+    /// all before a CQ-wait verdict is attempted
+    /// (`RS_CONGESTION_CQ_BUSY`). A mostly-idle worker's share is
+    /// computed over microscopic denominators and carries no signal.
+    pub cq_busy: f64,
+    /// A worker is a `straggler` when its windowed batch rate falls
+    /// below this fraction of the fleet median
+    /// (`RS_CONGESTION_STRAGGLER`).
+    pub straggler_ratio: f64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        Self {
+            window: 12,
+            min_points: 5,
+            queue_depth: 448.0,
+            cq_slope: 0.15,
+            cq_floor: 0.6,
+            cq_busy: 0.25,
+            straggler_ratio: 0.35,
+        }
+    }
+}
+
+impl CongestionConfig {
+    /// The defaults with any `RS_CONGESTION_*` environment overrides
+    /// applied. Unparsable values are ignored (the default stands).
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        let d = Self::default();
+        Self {
+            window: env("RS_CONGESTION_WINDOW", d.window),
+            min_points: env("RS_CONGESTION_MIN_POINTS", d.min_points),
+            queue_depth: env("RS_CONGESTION_QUEUE", d.queue_depth),
+            cq_slope: env("RS_CONGESTION_CQ_SLOPE", d.cq_slope),
+            cq_floor: env("RS_CONGESTION_CQ_FLOOR", d.cq_floor),
+            cq_busy: env("RS_CONGESTION_CQ_BUSY", d.cq_busy),
+            straggler_ratio: env("RS_CONGESTION_STRAGGLER", d.straggler_ratio),
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Errors
+    /// [`SamplerError::InvalidConfig`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.window < 2 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion window must be at least 2 points".into(),
+            ));
+        }
+        if self.min_points < 2 || self.min_points > self.window {
+            return Err(SamplerError::InvalidConfig(
+                "congestion min_points must be in [2, window]".into(),
+            ));
+        }
+        if !self.queue_depth.is_finite() || self.queue_depth <= 0.0 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion queue_depth threshold must be positive".into(),
+            ));
+        }
+        if !self.cq_slope.is_finite() || self.cq_slope <= 0.0 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion cq_slope threshold must be positive".into(),
+            ));
+        }
+        if !self.cq_floor.is_finite() || self.cq_floor <= 0.0 || self.cq_floor > 1.0 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion cq_floor must be in (0, 1]".into(),
+            ));
+        }
+        if !self.cq_busy.is_finite() || self.cq_busy <= 0.0 || self.cq_busy > 1.0 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion cq_busy must be in (0, 1]".into(),
+            ));
+        }
+        if !self.straggler_ratio.is_finite()
+            || self.straggler_ratio <= 0.0
+            || self.straggler_ratio >= 1.0
+        {
+            return Err(SamplerError::InvalidConfig(
+                "congestion straggler_ratio must be in (0, 1)".into(),
             ));
         }
         Ok(())
@@ -120,6 +277,16 @@ pub struct SnapshotRegistry {
     /// telemetry thread reads them with the best-effort, torn-slot-
     /// skipping [`EventRing::recent`] — never the destructive drain.
     rings: Mutex<Vec<(usize, Arc<EventRing>)>>,
+    /// Per-worker history rings, indexed by slot index. Grown lazily by
+    /// [`append_history`](Self::append_history) (the telemetry thread is
+    /// the only pusher, honoring the rings' single-writer contract);
+    /// read lock-free by the `/history` and `/congestion` handlers.
+    histories: Mutex<Vec<Arc<HistoryRing>>>,
+    /// Capacity for newly created history rings; `0` disables history.
+    history_capacity: Mutex<usize>,
+    /// Congestion episode tracking (verdict transitions with their time
+    /// bounds), updated by the telemetry thread, drained at epoch join.
+    congestion: Mutex<CongestionLog>,
 }
 
 impl SnapshotRegistry {
@@ -141,8 +308,10 @@ impl SnapshotRegistry {
 
     /// Replaces all slots with `n` fresh ones for a new epoch and
     /// returns them (one per worker thread, in index order). Flight-
-    /// recorder rings from the previous epoch are dropped too — the new
-    /// epoch's workers re-register theirs.
+    /// recorder rings, history rings, and open congestion episodes from
+    /// the previous epoch are dropped too — the new epoch's workers
+    /// re-register theirs and history restarts clean (cumulative episode
+    /// counters survive, so `/metrics` counters stay monotonic).
     pub fn reset_epoch(&self, n: usize) -> Vec<Arc<SnapshotCell<WorkerSnapshot>>> {
         let cells: Vec<_> = (0..n)
             .map(|_| Arc::new(SnapshotCell::new(WorkerSnapshot::new())))
@@ -153,7 +322,97 @@ impl SnapshotRegistry {
         if let Ok(mut rings) = self.rings.lock() {
             rings.clear();
         }
+        if let Ok(mut histories) = self.histories.lock() {
+            histories.clear();
+        }
+        if let Ok(mut log) = self.congestion.lock() {
+            log.reset();
+        }
         cells
+    }
+
+    /// Sets the capacity used for newly created history rings (`0`
+    /// disables history). Called once at server spawn, before any
+    /// [`append_history`](Self::append_history).
+    pub fn set_history_capacity(&self, capacity: usize) {
+        if let Ok(mut cap) = self.history_capacity.lock() {
+            *cap = capacity;
+        }
+    }
+
+    /// Appends one history point per observed worker at timeline instant
+    /// `t_ms` (milliseconds since server start). **Telemetry thread
+    /// only** — each [`HistoryRing`] is single-writer. Rings are created
+    /// lazily so standalone workers registered mid-run get one too.
+    /// No-op while the configured capacity is 0 (history disabled).
+    pub fn append_history(&self, obs: &[WorkerObservation], t_ms: u64) {
+        let capacity = self.history_capacity.lock().map(|c| *c).unwrap_or(0);
+        if capacity == 0 {
+            return;
+        }
+        let Ok(mut histories) = self.histories.lock() else {
+            return;
+        };
+        while histories.len() < obs.len() {
+            histories.push(Arc::new(HistoryRing::new(capacity)));
+        }
+        for o in obs {
+            let (Some(snap), Some(ring)) = (o.snapshot, histories.get(o.index)) else {
+                continue;
+            };
+            ring.push(HistoryPoint { t_ms, snap });
+        }
+    }
+
+    /// The most recent `k` history points of every worker, in slot-index
+    /// order. Lock-free per-ring reads; any thread.
+    pub fn history_windows(&self, k: usize) -> Vec<(usize, Vec<HistoryPoint>)> {
+        let rings: Vec<Arc<HistoryRing>> = match self.histories.lock() {
+            Ok(h) => h.clone(),
+            Err(_) => return Vec::new(),
+        };
+        rings
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| (i, ring.window(k)))
+            .collect()
+    }
+
+    /// Feeds one tick's verdicts into the episode tracker: a worker
+    /// whose state changed closes its open episode (if any) at `now_ms`
+    /// and opens a new one when the new state is not `ok`. Telemetry
+    /// thread only.
+    pub fn update_congestion(&self, verdicts: &[CongestionVerdict], now_ms: u64) {
+        if let Ok(mut log) = self.congestion.lock() {
+            log.update(verdicts, now_ms);
+        }
+    }
+
+    /// Every worker's current congestion state, in slot-index order.
+    pub fn congestion_states(&self) -> Vec<(usize, CongestionState)> {
+        match self.congestion.lock() {
+            Ok(log) => log.states(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Cumulative count of congestion episodes *started* per worker
+    /// (monotonic across epochs — the `/metrics` counter).
+    pub fn episode_counts(&self) -> Vec<(usize, u64)> {
+        match self.congestion.lock() {
+            Ok(log) => log.counts(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Closes every open episode at the last observed instant and
+    /// returns all episodes recorded since the previous drain (epoch
+    /// join path — the result lands in `EpochReport::congestion`).
+    pub fn drain_episodes(&self) -> Vec<CongestionEpisode> {
+        match self.congestion.lock() {
+            Ok(mut log) => log.drain(),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// Registers worker `worker`'s flight-recorder ring for the live
@@ -328,26 +587,357 @@ impl StallDetector {
     }
 }
 
+/// A worker's congestion verdict (DESIGN.md §14). Exactly one state per
+/// worker per tick; the detectors are checked in severity order
+/// (`stalled` > `queue_saturated` > `cq_wait_rising` > `straggler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionState {
+    /// No detector fired (also the verdict for inactive workers and
+    /// windows too thin to judge).
+    Ok,
+    /// Mean in-flight read depth pinned at/above the queue threshold:
+    /// the ring can no longer absorb bursts.
+    QueueSaturated,
+    /// The share of I/O time spent blocked on the completion queue is
+    /// both high and rising — the paper's congestion-collapse signature.
+    CqWaitRising,
+    /// The stall watchdog fired: the worker's snapshot stopped advancing
+    /// entirely.
+    Stalled,
+    /// The worker's windowed batch rate fell far below the fleet median.
+    Straggler,
+}
+
+impl CongestionState {
+    /// Stable wire name used in `/congestion`, `/metrics` labels, and
+    /// `EpochReport` JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongestionState::Ok => "ok",
+            CongestionState::QueueSaturated => "queue_saturated",
+            CongestionState::CqWaitRising => "cq_wait_rising",
+            CongestionState::Stalled => "stalled",
+            CongestionState::Straggler => "straggler",
+        }
+    }
+
+    /// Every non-`ok` state, in severity order — the stable label set
+    /// for zero-initialized counters.
+    pub const NON_OK: [CongestionState; 4] = [
+        CongestionState::Stalled,
+        CongestionState::QueueSaturated,
+        CongestionState::CqWaitRising,
+        CongestionState::Straggler,
+    ];
+}
+
+/// The evidence window behind one congestion verdict: every quantity a
+/// detector compared against its threshold, so a verdict is auditable
+/// from the `/congestion` document alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionEvidence {
+    /// Timeline instant of the oldest point in the window (ms).
+    pub window_start_ms: u64,
+    /// Timeline instant of the newest point in the window (ms).
+    pub window_end_ms: u64,
+    /// Points in the window.
+    pub points: u64,
+    /// Mean in-flight read depth across the window.
+    pub mean_inflight: f64,
+    /// CQ-wait share of the most recent interval (0 when no I/O ran).
+    pub cq_wait_share: f64,
+    /// Least-squares slope of the CQ-wait share, per second.
+    pub cq_wait_share_slope: f64,
+    /// Fraction of the window's wall time the worker spent in I/O —
+    /// the significance gate for the CQ-wait figures.
+    pub io_busy_share: f64,
+    /// This worker's windowed batch completion rate.
+    pub batches_per_sec: f64,
+    /// The fleet median windowed batch rate (active workers with enough
+    /// points; 0 when fewer than two participate).
+    pub fleet_median_batches_per_sec: f64,
+    /// Least-squares slope of the per-interval batch p99, ns per second.
+    pub batch_p99_slope_ns_per_sec: f64,
+}
+
+/// One worker's verdict for one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionVerdict {
+    /// Slot index.
+    pub worker: usize,
+    /// The verdict.
+    pub state: CongestionState,
+    /// The window that produced it.
+    pub evidence: CongestionEvidence,
+}
+
+/// A contiguous run of one non-`ok` verdict on one worker, with its
+/// time bounds on the telemetry timeline (ms since server start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CongestionEpisode {
+    /// Slot index.
+    pub worker: usize,
+    /// The non-`ok` state held throughout the episode.
+    pub state: CongestionState,
+    /// Timeline instant the verdict first appeared.
+    pub start_ms: u64,
+    /// Timeline instant the verdict ended (last tick it was observed,
+    /// for episodes still open at drain time).
+    pub end_ms: u64,
+}
+
+/// Episode bookkeeping behind [`SnapshotRegistry`]: current state, open
+/// episode, and cumulative started-count per worker.
+#[derive(Debug, Default)]
+struct CongestionLog {
+    /// Per-worker current state (grown on demand).
+    states: Vec<CongestionState>,
+    /// Per-worker open episode: `(state, start_ms)`.
+    open: Vec<Option<(CongestionState, u64)>>,
+    /// Per-worker cumulative episodes started (survives epoch resets).
+    counts: Vec<u64>,
+    /// Episodes closed since the last drain.
+    closed: Vec<CongestionEpisode>,
+    /// The newest instant fed to `update` — where still-open episodes
+    /// are closed at drain time.
+    last_ms: u64,
+}
+
+impl CongestionLog {
+    fn grow(&mut self, n: usize) {
+        while self.states.len() < n {
+            self.states.push(CongestionState::Ok);
+            self.open.push(None);
+        }
+        while self.counts.len() < n {
+            self.counts.push(0);
+        }
+    }
+
+    fn update(&mut self, verdicts: &[CongestionVerdict], now_ms: u64) {
+        self.last_ms = self.last_ms.max(now_ms);
+        for v in verdicts {
+            self.grow(v.worker + 1);
+            let open = match self.open.get_mut(v.worker) {
+                Some(o) => o,
+                None => continue,
+            };
+            match *open {
+                Some((state, start_ms)) if state != v.state => {
+                    self.closed.push(CongestionEpisode {
+                        worker: v.worker,
+                        state,
+                        start_ms,
+                        end_ms: now_ms,
+                    });
+                    *open = None;
+                }
+                _ => {}
+            }
+            if open.is_none() && v.state != CongestionState::Ok {
+                *open = Some((v.state, now_ms));
+                if let Some(c) = self.counts.get_mut(v.worker) {
+                    *c += 1;
+                }
+            }
+            if let Some(s) = self.states.get_mut(v.worker) {
+                *s = v.state;
+            }
+        }
+    }
+
+    fn states(&self) -> Vec<(usize, CongestionState)> {
+        self.states.iter().copied().enumerate().collect()
+    }
+
+    fn counts(&self) -> Vec<(usize, u64)> {
+        self.counts.iter().copied().enumerate().collect()
+    }
+
+    fn drain(&mut self) -> Vec<CongestionEpisode> {
+        let last_ms = self.last_ms;
+        for (worker, open) in self.open.iter_mut().enumerate() {
+            if let Some((state, start_ms)) = open.take() {
+                self.closed.push(CongestionEpisode {
+                    worker,
+                    state,
+                    start_ms,
+                    end_ms: last_ms,
+                });
+            }
+        }
+        let mut episodes = std::mem::take(&mut self.closed);
+        episodes.sort_by_key(|e| (e.start_ms, e.worker));
+        for s in &mut self.states {
+            *s = CongestionState::Ok;
+        }
+        episodes
+    }
+
+    /// Epoch reset: forget per-epoch state but keep the cumulative
+    /// episode counts so `/metrics` counters stay monotonic.
+    fn reset(&mut self) {
+        self.states.clear();
+        self.open.clear();
+        self.closed.clear();
+        self.last_ms = 0;
+    }
+}
+
+/// The online congestion detectors: pure threshold checks over history
+/// windows, deterministic and clock-free so each verdict state has a
+/// synthetic-sequence unit test. Severity order decides ties; the full
+/// evidence is attached to every verdict, `ok` included.
+#[derive(Debug)]
+pub struct CongestionDetector {
+    cfg: CongestionConfig,
+}
+
+impl CongestionDetector {
+    /// A detector with the given thresholds.
+    pub fn new(cfg: CongestionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Judges every worker from its history window. `stalled` comes from
+    /// the [`StallDetector`] (version heartbeats see a wedge before any
+    /// rate-based window can).
+    pub fn assess(
+        &self,
+        windows: &[(usize, Vec<HistoryPoint>)],
+        stalled: &[usize],
+    ) -> Vec<CongestionVerdict> {
+        // Fleet median over active workers with judgeable windows — the
+        // straggler baseline. Upper median; a sole participant is never
+        // judged against itself (the median then stays 0).
+        let mut rates: Vec<f64> = windows
+            .iter()
+            .filter(|(_, pts)| self.judgeable(pts))
+            .map(|(_, pts)| windowed_rates(pts).batches_per_sec)
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        let median = if rates.len() >= 2 {
+            rates.get(rates.len() / 2).copied().unwrap_or(0.0)
+        } else {
+            0.0
+        };
+        windows
+            .iter()
+            .map(|(worker, pts)| self.judge(*worker, pts, stalled, median))
+            .collect()
+    }
+
+    /// True when a window is thick and fresh enough for rate verdicts.
+    fn judgeable(&self, pts: &[HistoryPoint]) -> bool {
+        pts.len() >= self.cfg.min_points && pts.last().map(|p| p.snap.active).unwrap_or(false)
+    }
+
+    fn judge(
+        &self,
+        worker: usize,
+        pts: &[HistoryPoint],
+        stalled: &[usize],
+        median: f64,
+    ) -> CongestionVerdict {
+        let rates = windowed_rates(pts);
+        let cq_series = cq_wait_share_series(pts);
+        let evidence = CongestionEvidence {
+            window_start_ms: pts.first().map(|p| p.t_ms).unwrap_or(0),
+            window_end_ms: pts.last().map(|p| p.t_ms).unwrap_or(0),
+            points: pts.len() as u64,
+            mean_inflight: mean_inflight(pts),
+            cq_wait_share: cq_series.last().map(|&(_, s)| s).unwrap_or(0.0),
+            cq_wait_share_slope: cq_wait_share_slope(pts),
+            io_busy_share: io_busy_share(pts),
+            batches_per_sec: rates.batches_per_sec,
+            fleet_median_batches_per_sec: median,
+            batch_p99_slope_ns_per_sec: batch_p99_slope(pts),
+        };
+        let state = if stalled.contains(&worker) {
+            CongestionState::Stalled
+        } else if !self.judgeable(pts) {
+            CongestionState::Ok
+        } else if evidence.mean_inflight >= self.cfg.queue_depth {
+            CongestionState::QueueSaturated
+        } else if evidence.io_busy_share >= self.cfg.cq_busy
+            && evidence.cq_wait_share >= self.cfg.cq_floor
+            && evidence.cq_wait_share_slope >= self.cfg.cq_slope
+        {
+            CongestionState::CqWaitRising
+        } else if median > 0.0 && evidence.batches_per_sec < self.cfg.straggler_ratio * median {
+            CongestionState::Straggler
+        } else {
+            CongestionState::Ok
+        };
+        CongestionVerdict {
+            worker,
+            state,
+            evidence,
+        }
+    }
+}
+
 /// Fleet-wide rates the server derives from successive polls; split out
 /// so document rendering stays pure (golden-testable without clocks).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FleetRates {
-    /// Sampled edges per second since the first observation.
+    /// Sampled edges per second over the recent rate window — the
+    /// current-throughput figure `/progress` leads with.
     pub edges_per_sec: f64,
-    /// Completed batches per second since the first observation.
+    /// Completed batches per second over the recent rate window.
     pub batches_per_sec: f64,
-    /// Estimated seconds until all assigned batches complete (`None`
-    /// when unknown: no assigned totals or no progress yet).
+    /// Estimated seconds until all assigned batches complete, from the
+    /// *windowed* batch rate (`None` when unknown: no assigned totals or
+    /// no recent progress).
     pub eta_seconds: Option<f64>,
+    /// Sampled edges per second since the first observation (the
+    /// lifetime average the windowed figure used to be conflated with).
+    pub lifetime_edges_per_sec: f64,
+    /// Completed batches per second since the first observation.
+    pub lifetime_batches_per_sec: f64,
+}
+
+/// Server-level facts `/metrics` exports beyond the per-worker slots:
+/// uptime, build identity, and the congestion tracker's current output.
+/// Split out (with a [`Default`]) so `metrics_document` stays pure and
+/// golden-testable — the live server fills it from its clock and the
+/// registry each tick.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsExtras {
+    /// Seconds since the telemetry server started.
+    pub uptime_seconds: f64,
+    /// Crate version for the `ringsampler_build_info` info family.
+    pub version: String,
+    /// Every worker's current congestion state.
+    pub congestion_states: Vec<(usize, CongestionState)>,
+    /// Cumulative congestion episodes started, per worker.
+    pub congestion_episodes: Vec<(usize, u64)>,
 }
 
 /// Renders the `GET /metrics` Prometheus document for one poll's
-/// observations plus the flight-recorder cursor counters. Pure: same
-/// inputs ⇒ same text. `traces` may come from `observe_traces(0)` —
-/// only the recorded/dropped counters are used here, never the events.
-pub fn metrics_document(obs: &[WorkerObservation], traces: &[TraceTail]) -> String {
+/// observations plus the flight-recorder cursor counters and the
+/// server-level extras. Pure: same inputs ⇒ same text. `traces` may
+/// come from `observe_traces(0)` — only the recorded/dropped counters
+/// are used here, never the events.
+pub fn metrics_document(
+    obs: &[WorkerObservation],
+    traces: &[TraceTail],
+    extras: &MetricsExtras,
+) -> String {
     let mut w = PromWriter::new();
     w.gauge("ringsampler_up", "Telemetry endpoint liveness", &[], 1.0);
+    w.gauge(
+        "ringsampler_uptime_seconds",
+        "Seconds since the telemetry server started",
+        &[],
+        extras.uptime_seconds,
+    );
+    w.gauge(
+        "ringsampler_build_info",
+        "Build identity (constant 1; the info lives in the labels)",
+        &[("version", extras.version.as_str())],
+        1.0,
+    );
     w.gauge(
         "ringsampler_workers",
         "Worker slots currently registered",
@@ -465,6 +1055,26 @@ pub fn metrics_document(obs: &[WorkerObservation], traces: &[TraceTail]) -> Stri
             t.dropped,
         );
     }
+    for &(worker, state) in &extras.congestion_states {
+        let idx = worker.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &idx), ("state", state.name())];
+        w.gauge(
+            "ringsampler_worker_congestion_state",
+            "Current congestion verdict (constant 1; the state lives in the labels)",
+            labels,
+            1.0,
+        );
+    }
+    for &(worker, count) in &extras.congestion_episodes {
+        let idx = worker.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &idx)];
+        w.counter(
+            "ringsampler_congestion_episodes_total",
+            "Congestion episodes (contiguous non-ok verdicts) started",
+            labels,
+            count,
+        );
+    }
     w.finish()
 }
 
@@ -562,11 +1172,153 @@ pub fn progress_document(obs: &[WorkerObservation], stalled: &[usize], rates: &F
         .with(
             "eta_seconds",
             rates.eta_seconds.map(Json::F64).unwrap_or(Json::Null),
+        )
+        .with(
+            "lifetime_edges_per_sec",
+            Json::F64(rates.lifetime_edges_per_sec),
+        )
+        .with(
+            "lifetime_batches_per_sec",
+            Json::F64(rates.lifetime_batches_per_sec),
         );
     Json::object()
         .with("workers", Json::Array(workers))
         .with("fleet", fleet)
         .to_string_pretty()
+}
+
+/// Renders the `GET /history` JSON document: per-worker windowed rates,
+/// EWMA/slope trends, and the raw point series. Pure: same windows ⇒
+/// same text. `window` echoes the requested window size.
+pub fn history_document(windows: &[(usize, Vec<HistoryPoint>)], window: usize) -> String {
+    let workers: Vec<Json> = windows
+        .iter()
+        .map(|(worker, pts)| {
+            let rates = windowed_rates(pts);
+            let edge_rates: Vec<f64> = interval_series(pts, |s| s.sampled_edges)
+                .iter()
+                .map(|&(_, r)| r)
+                .collect();
+            let trends = Json::object()
+                .with("edges_per_sec_ewma", Json::F64(ewma(&edge_rates, 0.4)))
+                .with(
+                    "batch_p99_slope_ns_per_sec",
+                    Json::F64(batch_p99_slope(pts)),
+                )
+                .with(
+                    "cq_wait_share_slope_per_sec",
+                    Json::F64(cq_wait_share_slope(pts)),
+                );
+            // Per-point derived columns are aligned with the raw series:
+            // interval quantities (p99, cq share) describe the interval
+            // *ending* at each point, so the first point reports zeros.
+            let p99s = batch_p99_series(pts);
+            let cq = cq_wait_share_series(pts);
+            let at = |series: &[(u64, f64)], t_ms: u64| {
+                series
+                    .iter()
+                    .find(|&&(t, _)| t == t_ms)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0)
+            };
+            let points: Vec<Json> = pts
+                .iter()
+                .map(|p| {
+                    Json::object()
+                        .with("t_ms", Json::U64(p.t_ms))
+                        .with("batches", Json::U64(p.snap.batches))
+                        .with("targets", Json::U64(p.snap.targets))
+                        .with("sampled_edges", Json::U64(p.snap.sampled_edges))
+                        .with("bytes_read", Json::U64(p.snap.bytes_read))
+                        .with("inflight", Json::U64(p.snap.inflight))
+                        .with("io_groups", Json::U64(p.snap.io_groups))
+                        .with("batch_p99_ns", Json::F64(at(&p99s, p.t_ms)))
+                        .with("cq_wait_share", Json::F64(at(&cq, p.t_ms)))
+                })
+                .collect();
+            Json::object()
+                .with("worker", Json::U64(*worker as u64))
+                .with("points", Json::U64(pts.len() as u64))
+                .with("span_secs", Json::F64(rates.span_secs))
+                .with(
+                    "rates",
+                    Json::object()
+                        .with("edges_per_sec", Json::F64(rates.edges_per_sec))
+                        .with("batches_per_sec", Json::F64(rates.batches_per_sec))
+                        .with("enters_per_sec", Json::F64(rates.enters_per_sec))
+                        .with("bytes_per_sec", Json::F64(rates.bytes_per_sec)),
+                )
+                .with("trends", trends)
+                .with("series", Json::Array(points))
+        })
+        .collect();
+    Json::object()
+        .with("window", Json::U64(window as u64))
+        .with("workers", Json::Array(workers))
+        .to_string_pretty()
+}
+
+/// Renders the `GET /congestion` JSON document: the fleet rollup plus
+/// every worker's verdict with its full evidence window. Pure.
+pub fn congestion_document(verdicts: &[CongestionVerdict]) -> String {
+    let ok = verdicts
+        .iter()
+        .filter(|v| v.state == CongestionState::Ok)
+        .count();
+    let mut states = Json::object();
+    for state in CongestionState::NON_OK {
+        let n = verdicts.iter().filter(|v| v.state == state).count();
+        states = states.with(state.name(), Json::U64(n as u64));
+    }
+    let fleet = Json::object()
+        .with("workers", Json::U64(verdicts.len() as u64))
+        .with("ok", Json::U64(ok as u64))
+        .with("congested", Json::U64((verdicts.len() - ok) as u64))
+        .with("states", states);
+    let workers: Vec<Json> = verdicts
+        .iter()
+        .map(|v| {
+            let e = &v.evidence;
+            Json::object()
+                .with("worker", Json::U64(v.worker as u64))
+                .with("state", Json::str(v.state.name()))
+                .with(
+                    "evidence",
+                    Json::object()
+                        .with("window_start_ms", Json::U64(e.window_start_ms))
+                        .with("window_end_ms", Json::U64(e.window_end_ms))
+                        .with("points", Json::U64(e.points))
+                        .with("mean_inflight", Json::F64(e.mean_inflight))
+                        .with("cq_wait_share", Json::F64(e.cq_wait_share))
+                        .with("cq_wait_share_slope", Json::F64(e.cq_wait_share_slope))
+                        .with("io_busy_share", Json::F64(e.io_busy_share))
+                        .with("batches_per_sec", Json::F64(e.batches_per_sec))
+                        .with(
+                            "fleet_median_batches_per_sec",
+                            Json::F64(e.fleet_median_batches_per_sec),
+                        )
+                        .with(
+                            "batch_p99_slope_ns_per_sec",
+                            Json::F64(e.batch_p99_slope_ns_per_sec),
+                        ),
+                )
+        })
+        .collect();
+    Json::object()
+        .with("fleet", fleet)
+        .with("workers", Json::Array(workers))
+        .to_string_pretty()
+}
+
+/// Parses one `u64` query parameter from a raw request path
+/// (`/history?worker=1&window=32`). Absent or unparsable ⇒ `None`.
+fn query_param(path: &str, key: &str) -> Option<u64> {
+    let (_, query) = path.split_once('?')?;
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|&(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
 }
 
 /// A handle to the running telemetry server.
@@ -622,11 +1374,20 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
     let healthy = Arc::clone(&handle.healthy);
     let shutdown = Arc::clone(&handle.shutdown);
     let poll_interval = cfg.poll_interval;
+    let history_on = cfg.history_capacity > 0;
+    let congestion_cfg = cfg.congestion;
+    registry.set_history_capacity(cfg.history_capacity);
     let mut detector = StallDetector::new(cfg.stall_threshold);
+    let congestion_detector = CongestionDetector::new(congestion_cfg);
     let builder = std::thread::Builder::new().name("ringscope".into());
     let spawned = builder.spawn(move || {
-        // (first instant, edges, batches) — baseline for fleet rates.
+        // Server-start origin: the /history timeline's zero point and
+        // the uptime gauge's baseline.
+        let t0 = Instant::now();
+        // (first instant, edges, batches) — baseline for lifetime rates.
         let mut baseline: Option<(Instant, u64, u64)> = None;
+        // Trailing fleet samples for the windowed rates.
+        let mut recent: VecDeque<(Instant, u64, u64)> = VecDeque::new();
         while !shutdown.load(Ordering::Acquire) {
             let now = Instant::now();
             let obs = registry.observe();
@@ -635,14 +1396,46 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
             }
             healthy.store(detector.healthy(), Ordering::Release);
             let stalled = detector.stalled_workers();
-            let rates = compute_rates(&obs, &mut baseline, now);
+            let rates = compute_rates(&obs, &mut baseline, &mut recent, now);
+            // History tick: append every worker's snapshot, re-judge
+            // congestion, and roll the episode tracker forward.
+            let verdicts = if history_on {
+                let t_ms = now.saturating_duration_since(t0).as_millis() as u64;
+                registry.append_history(&obs, t_ms);
+                let windows = registry.history_windows(congestion_cfg.window);
+                let verdicts = congestion_detector.assess(&windows, &stalled);
+                registry.update_congestion(&verdicts, t_ms);
+                verdicts
+            } else {
+                Vec::new()
+            };
             server.poll(8, |req| match req.path.as_str() {
-                "/metrics" => Response::prometheus(metrics_document(
-                    &obs,
-                    &registry.observe_traces(0),
-                )),
+                "/metrics" => {
+                    let extras = MetricsExtras {
+                        uptime_seconds: t0.elapsed().as_secs_f64(),
+                        version: env!("CARGO_PKG_VERSION").to_string(),
+                        congestion_states: registry.congestion_states(),
+                        congestion_episodes: registry.episode_counts(),
+                    };
+                    Response::prometheus(metrics_document(
+                        &obs,
+                        &registry.observe_traces(0),
+                        &extras,
+                    ))
+                }
                 "/progress" => Response::json(progress_document(&obs, &stalled, &rates)),
                 "/trace" => Response::json(trace_document(&registry.observe_traces(256))),
+                "/congestion" => Response::json(congestion_document(&verdicts)),
+                path if path == "/history" || path.starts_with("/history?") => {
+                    let window = query_param(path, "window")
+                        .map(|w| (w as usize).clamp(2, 4096))
+                        .unwrap_or(64);
+                    let mut windows = registry.history_windows(window);
+                    if let Some(worker) = query_param(path, "worker") {
+                        windows.retain(|(w, _)| *w as u64 == worker);
+                    }
+                    Response::json(history_document(&windows, window))
+                }
                 "/healthz" => {
                     if stalled.is_empty() {
                         Response::text("ok\n")
@@ -661,10 +1454,23 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
     Ok(handle)
 }
 
-/// Derives fleet rates from the first observation that showed progress.
+/// How far back the windowed fleet rates look. Long enough to smooth
+/// per-batch jitter, short enough that `/progress` tracks *current*
+/// throughput instead of the lifetime average.
+const RATE_WINDOW: Duration = Duration::from_secs(10);
+
+/// Derives fleet rates from successive polls: windowed rates (and the
+/// ETA) from the trailing [`RATE_WINDOW`] of fleet samples in `recent`,
+/// lifetime rates from the immutable first-observation `baseline`.
+///
+/// The old implementation derived *everything* from the baseline, so
+/// after warmup the ETA reflected the lifetime average — a run that
+/// slowed down kept reporting its glory-days throughput. The windowed
+/// figures converge to the current rate within one window instead.
 fn compute_rates(
     obs: &[WorkerObservation],
     baseline: &mut Option<(Instant, u64, u64)>,
+    recent: &mut VecDeque<(Instant, u64, u64)>,
     now: Instant,
 ) -> FleetRates {
     let mut edges = 0u64;
@@ -678,12 +1484,42 @@ fn compute_rates(
         }
     }
     let (t0, e0, b0) = *baseline.get_or_insert((now, edges, batches));
-    let dt = now.saturating_duration_since(t0).as_secs_f64();
-    if dt <= 0.0 {
-        return FleetRates::default();
+    let lifetime_dt = now.saturating_duration_since(t0).as_secs_f64();
+    let (lifetime_edges_per_sec, lifetime_batches_per_sec) = if lifetime_dt > 0.0 {
+        (
+            edges.saturating_sub(e0) as f64 / lifetime_dt,
+            batches.saturating_sub(b0) as f64 / lifetime_dt,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+
+    // Trailing window: drop samples older than RATE_WINDOW but always
+    // keep at least one so a rate exists as soon as two polls happened.
+    while recent.len() > 1 {
+        match recent.front() {
+            Some(&(t, _, _)) if now.saturating_duration_since(t) > RATE_WINDOW => {
+                recent.pop_front();
+            }
+            _ => break,
+        }
     }
-    let edges_per_sec = edges.saturating_sub(e0) as f64 / dt;
-    let batches_per_sec = batches.saturating_sub(b0) as f64 / dt;
+    let (edges_per_sec, batches_per_sec) = match recent.front() {
+        Some(&(tw, ew, bw)) => {
+            let dt = now.saturating_duration_since(tw).as_secs_f64();
+            if dt > 0.0 {
+                (
+                    edges.saturating_sub(ew) as f64 / dt,
+                    batches.saturating_sub(bw) as f64 / dt,
+                )
+            } else {
+                (0.0, 0.0)
+            }
+        }
+        None => (0.0, 0.0),
+    };
+    recent.push_back((now, edges, batches));
+
     let eta_seconds = if total_batches > batches && batches_per_sec > 0.0 {
         Some((total_batches - batches) as f64 / batches_per_sec)
     } else {
@@ -693,6 +1529,8 @@ fn compute_rates(
         edges_per_sec,
         batches_per_sec,
         eta_seconds,
+        lifetime_edges_per_sec,
+        lifetime_batches_per_sec,
     }
 }
 
@@ -752,7 +1590,7 @@ mod tests {
         s.sampled_edges = batches * 100;
         s.bytes_read = batches * 4096;
         s.reads_submitted = batches * 64;
-        s.reads_completed = batches * 64 - 2;
+        s.reads_completed = (batches * 64).saturating_sub(2);
         s.inflight = 2;
         s.io_groups = batches * 2;
         s.active = active;
@@ -837,9 +1675,324 @@ mod tests {
         assert!(det.healthy());
     }
 
+    /// A synthetic history window: `n` points 100 ms apart, shaped by a
+    /// per-point closure over the point's index.
+    fn hist_pts(n: u64, shape: impl Fn(u64, &mut WorkerSnapshot)) -> Vec<HistoryPoint> {
+        (0..n)
+            .map(|i| {
+                let mut s = WorkerSnapshot::new();
+                s.active = true;
+                shape(i, &mut s);
+                HistoryPoint { t_ms: i * 100, snap: s }
+            })
+            .collect()
+    }
+
+    /// A healthy window: steady 10 batches/s, modest queue, flat low CQ
+    /// wait.
+    fn healthy_window(n: u64) -> Vec<HistoryPoint> {
+        hist_pts(n, |i, s| {
+            s.batches = i;
+            s.sampled_edges = i * 1000;
+            s.inflight = 32;
+            s.prepare_nanos = i * 900_000;
+            s.complete_nanos = i * 100_000;
+        })
+    }
+
+    #[test]
+    fn congestion_verdict_ok_for_healthy_fleet() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        let windows = vec![(0, healthy_window(12)), (1, healthy_window(12))];
+        let verdicts = det.assess(&windows, &[]);
+        assert_eq!(verdicts.len(), 2);
+        for v in &verdicts {
+            assert_eq!(v.state, CongestionState::Ok, "worker {}", v.worker);
+            assert!(v.evidence.points == 12);
+            assert!((v.evidence.batches_per_sec - 10.0).abs() < 1e-6);
+        }
+        // Thin windows and inactive workers also judge ok.
+        let thin = vec![(0, healthy_window(3))];
+        assert_eq!(det.assess(&thin, &[])[0].state, CongestionState::Ok);
+        let mut finished = healthy_window(12);
+        for p in &mut finished {
+            p.snap.active = false;
+        }
+        assert_eq!(det.assess(&[(0, finished)], &[])[0].state, CongestionState::Ok);
+    }
+
+    #[test]
+    fn congestion_verdict_queue_saturated() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        let windows = vec![(0, hist_pts(12, |i, s| {
+            s.batches = i;
+            s.inflight = 500; // pinned above the 448 threshold
+        }))];
+        let v = &det.assess(&windows, &[])[0];
+        assert_eq!(v.state, CongestionState::QueueSaturated);
+        assert!((v.evidence.mean_inflight - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_verdict_cq_wait_rising() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        // Interval CQ share climbs 0.04·i with 60 ms of I/O per 100 ms
+        // interval: past the 0.6 floor, slope ≫ 0.15/s, and well above
+        // the 0.25 busy gate — the collapse signature.
+        let shape = |total: u64| {
+            move |i: u64, s: &mut WorkerSnapshot| {
+                s.batches = i;
+                let share = (i as f64 * 0.04).min(0.95);
+                s.complete_nanos = i * (share * total as f64) as u64;
+                s.prepare_nanos = i * total - s.complete_nanos;
+            }
+        };
+        let windows = vec![(0, hist_pts(24, shape(60_000_000)))];
+        let v = &det.assess(&windows, &[])[0];
+        assert_eq!(v.state, CongestionState::CqWaitRising, "{:?}", v.evidence);
+        assert!(v.evidence.cq_wait_share >= 0.6, "{:?}", v.evidence);
+        assert!(v.evidence.cq_wait_share_slope > 0.15, "{:?}", v.evidence);
+        assert!(v.evidence.io_busy_share >= 0.25, "{:?}", v.evidence);
+        // The same share trajectory from a mostly-idle worker (1 ms of
+        // I/O per 100 ms) carries no signal: the busy gate holds it ok.
+        let idle = vec![(0, hist_pts(24, shape(1_000_000)))];
+        let v = &det.assess(&idle, &[])[0];
+        assert_eq!(v.state, CongestionState::Ok, "{:?}", v.evidence);
+    }
+
+    #[test]
+    fn congestion_verdict_stalled_overrides_everything() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        let windows = vec![(0, healthy_window(12)), (1, healthy_window(12))];
+        let verdicts = det.assess(&windows, &[1]);
+        assert_eq!(verdicts[0].state, CongestionState::Ok);
+        assert_eq!(verdicts[1].state, CongestionState::Stalled);
+    }
+
+    #[test]
+    fn congestion_verdict_straggler_vs_fleet_median() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        // Worker 1 completes batches at 1/10th the fleet rate.
+        let slow = hist_pts(12, |i, s| {
+            s.batches = i / 10;
+            s.inflight = 32;
+        });
+        let windows = vec![(0, healthy_window(12)), (1, slow)];
+        let verdicts = det.assess(&windows, &[]);
+        assert_eq!(verdicts[0].state, CongestionState::Ok);
+        assert_eq!(verdicts[1].state, CongestionState::Straggler, "{:?}", verdicts[1].evidence);
+        assert!((verdicts[1].evidence.fleet_median_batches_per_sec - 10.0).abs() < 1e-6);
+        // A lone worker is never judged against itself.
+        let solo = vec![(0, hist_pts(12, |i, s| s.batches = i / 10))];
+        assert_eq!(det.assess(&solo, &[])[0].state, CongestionState::Ok);
+    }
+
+    fn verdict(worker: usize, state: CongestionState) -> CongestionVerdict {
+        CongestionVerdict {
+            worker,
+            state,
+            evidence: CongestionEvidence {
+                window_start_ms: 0,
+                window_end_ms: 0,
+                points: 0,
+                mean_inflight: 0.0,
+                cq_wait_share: 0.0,
+                cq_wait_share_slope: 0.0,
+                io_busy_share: 0.0,
+                batches_per_sec: 0.0,
+                fleet_median_batches_per_sec: 0.0,
+                batch_p99_slope_ns_per_sec: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn episode_tracker_records_time_bounds() {
+        let reg = SnapshotRegistry::new();
+        // ok → straggler (t=100..300) → ok → queue_saturated (t=400, open).
+        reg.update_congestion(&[verdict(0, CongestionState::Ok)], 0);
+        reg.update_congestion(&[verdict(0, CongestionState::Straggler)], 100);
+        reg.update_congestion(&[verdict(0, CongestionState::Straggler)], 200);
+        reg.update_congestion(&[verdict(0, CongestionState::Ok)], 300);
+        reg.update_congestion(&[verdict(0, CongestionState::QueueSaturated)], 400);
+        assert_eq!(
+            reg.congestion_states(),
+            vec![(0, CongestionState::QueueSaturated)]
+        );
+        assert_eq!(reg.episode_counts(), vec![(0, 2)]);
+        let episodes = reg.drain_episodes();
+        assert_eq!(episodes.len(), 2);
+        assert_eq!(
+            episodes[0],
+            CongestionEpisode {
+                worker: 0,
+                state: CongestionState::Straggler,
+                start_ms: 100,
+                end_ms: 300,
+            }
+        );
+        // The open episode is closed at the last observed instant.
+        assert_eq!(
+            episodes[1],
+            CongestionEpisode {
+                worker: 0,
+                state: CongestionState::QueueSaturated,
+                start_ms: 400,
+                end_ms: 400,
+            }
+        );
+        // Drain is destructive; counts survive (monotonic /metrics).
+        assert!(reg.drain_episodes().is_empty());
+        assert_eq!(reg.episode_counts(), vec![(0, 2)]);
+        // A state *switch* without an ok gap closes and reopens.
+        reg.update_congestion(&[verdict(1, CongestionState::Straggler)], 500);
+        reg.update_congestion(&[verdict(1, CongestionState::Stalled)], 600);
+        let episodes = reg.drain_episodes();
+        assert_eq!(episodes.len(), 2);
+        assert_eq!(episodes[0].state, CongestionState::Straggler);
+        assert_eq!(episodes[0].end_ms, 600);
+        assert_eq!(episodes[1].state, CongestionState::Stalled);
+    }
+
+    #[test]
+    fn registry_history_appends_and_windows() {
+        let reg = SnapshotRegistry::new();
+        // Capacity 0 (the default): history is off, nothing is stored.
+        reg.append_history(&obs_of(&[snap(1, 4, true)]), 100);
+        assert!(reg.history_windows(8).is_empty());
+        reg.set_history_capacity(4);
+        for i in 0..6u64 {
+            reg.append_history(&obs_of(&[snap(i, 8, true), snap(i * 2, 8, true)]), i * 100);
+        }
+        let windows = reg.history_windows(8);
+        assert_eq!(windows.len(), 2);
+        // Drop-oldest: the last 4 of 6 points survive.
+        assert_eq!(windows[0].1.len(), 4);
+        assert_eq!(windows[0].1[0].t_ms, 200);
+        assert_eq!(windows[0].1[3].t_ms, 500);
+        assert_eq!(windows[1].1[3].snap.batches, 10);
+        // Epoch reset drops history rings.
+        reg.reset_epoch(2);
+        assert!(reg.history_windows(8).is_empty());
+    }
+
+    #[test]
+    fn compute_rates_windowed_vs_lifetime() {
+        let t0 = Instant::now();
+        let mut baseline = None;
+        let mut recent = VecDeque::new();
+        // 5 fast seconds (1000 edges/s), then 10 slow seconds (10/s).
+        let mut edges = 0u64;
+        let mut batches = 0u64;
+        let mut last = FleetRates::default();
+        for tick in 0..=15u64 {
+            if tick > 0 {
+                let fast = tick <= 5;
+                edges += if fast { 1000 } else { 10 };
+                batches += if fast { 10 } else { 1 };
+            }
+            let mut s = WorkerSnapshot::new();
+            s.batches = batches;
+            s.total_batches = 1000;
+            s.sampled_edges = edges;
+            s.active = true;
+            let obs = obs_of(&[s]);
+            last = compute_rates(
+                &obs,
+                &mut baseline,
+                &mut recent,
+                t0 + Duration::from_secs(tick),
+            );
+        }
+        // Lifetime average is dominated by the fast warmup…
+        assert!((last.lifetime_edges_per_sec - 340.0).abs() < 1e-6, "{last:?}");
+        // …while the windowed rate reflects the current (slow) phase.
+        assert!((last.edges_per_sec - 10.0).abs() < 1e-6, "{last:?}");
+        assert!((last.batches_per_sec - 1.0).abs() < 1e-6, "{last:?}");
+        // The ETA uses the windowed rate: honest about the slowdown.
+        let eta = last.eta_seconds.expect("eta");
+        assert!((eta - (1000.0 - 60.0) / 1.0).abs() < 1e-6, "{eta}");
+    }
+
+    #[test]
+    fn history_document_renders_rates_trends_and_series() {
+        let pts = hist_pts(4, |i, s| {
+            s.batches = i;
+            s.sampled_edges = i * 500;
+            s.bytes_read = i * 4096;
+            s.io_groups = i * 2;
+            s.inflight = 16;
+        });
+        let doc = history_document(&[(0, pts)], 64);
+        assert!(doc.contains("\"window\": 64"), "{doc}");
+        assert!(doc.contains("\"edges_per_sec\": 5000.0"), "{doc}");
+        assert!(doc.contains("\"enters_per_sec\": 20.0"), "{doc}");
+        assert!(doc.contains("\"edges_per_sec_ewma\": 5000.0"), "{doc}");
+        assert!(doc.contains("\"cq_wait_share_slope_per_sec\""), "{doc}");
+        let parsed = Json::parse(&doc).expect("history document parses");
+        let workers = parsed.get("workers").and_then(Json::as_array).unwrap();
+        let series = workers[0].get("series").and_then(Json::as_array).unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[3].get("t_ms").and_then(Json::as_u64), Some(300));
+        // An empty fleet still renders a valid document.
+        assert!(Json::parse(&history_document(&[], 8)).is_ok());
+    }
+
+    #[test]
+    fn congestion_document_renders_verdicts_and_rollup() {
+        let verdicts = [
+            verdict(0, CongestionState::Ok),
+            verdict(1, CongestionState::Straggler),
+        ];
+        let doc = congestion_document(&verdicts);
+        assert!(doc.contains("\"workers\": 2"), "{doc}");
+        assert!(doc.contains("\"ok\": 1"), "{doc}");
+        assert!(doc.contains("\"congested\": 1"), "{doc}");
+        assert!(doc.contains("\"straggler\": 1"), "{doc}");
+        assert!(doc.contains("\"state\": \"straggler\""), "{doc}");
+        assert!(doc.contains("\"fleet_median_batches_per_sec\""), "{doc}");
+        assert!(Json::parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn query_param_parses_history_requests() {
+        assert_eq!(query_param("/history?window=32", "window"), Some(32));
+        assert_eq!(query_param("/history?worker=1&window=8", "worker"), Some(1));
+        assert_eq!(query_param("/history?worker=1&window=8", "window"), Some(8));
+        assert_eq!(query_param("/history", "window"), None);
+        assert_eq!(query_param("/history?window=abc", "window"), None);
+        assert_eq!(query_param("/history?window", "window"), None);
+    }
+
+    #[test]
+    fn congestion_config_validates_thresholds() {
+        let ok = CongestionConfig::default();
+        assert!(ok.validate().is_ok());
+        let cases = [
+            CongestionConfig { window: 1, ..ok },
+            CongestionConfig { min_points: ok.window + 1, ..ok },
+            CongestionConfig { queue_depth: 0.0, ..ok },
+            CongestionConfig { cq_floor: 1.5, ..ok },
+            CongestionConfig { cq_busy: 0.0, ..ok },
+            CongestionConfig { straggler_ratio: 1.0, ..ok },
+        ];
+        for bad in cases {
+            assert!(bad.validate().is_err(), "{bad:?} should fail validation");
+        }
+    }
+
+    fn extras() -> MetricsExtras {
+        MetricsExtras {
+            uptime_seconds: 12.5,
+            version: "0.1.0".into(),
+            congestion_states: vec![(0, CongestionState::Ok), (1, CongestionState::Straggler)],
+            congestion_episodes: vec![(0, 0), (1, 2)],
+        }
+    }
+
     #[test]
     fn metrics_document_has_acceptance_families() {
-        let doc = metrics_document(&obs_of(&[snap(3, 8, true), snap(2, 8, true)]), &[]);
+        let doc = metrics_document(&obs_of(&[snap(3, 8, true), snap(2, 8, true)]), &[], &extras());
         assert!(doc.contains("# TYPE ringsampler_worker_sampled_edges_total counter"));
         assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 300"#));
         assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="1"} 200"#));
@@ -877,9 +2030,31 @@ mod tests {
                 events: Vec::new(),
             },
         ];
-        let doc = metrics_document(&obs_of(&[snap(1, 4, true)]), &tails);
+        let doc = metrics_document(&obs_of(&[snap(1, 4, true)]), &tails, &extras());
         assert!(doc.contains(r#"ringsampler_trace_recorded_total{worker="0"} 42"#), "{doc}");
         assert!(doc.contains(r#"ringsampler_trace_dropped_total{worker="1"} 3"#), "{doc}");
+    }
+
+    #[test]
+    fn metrics_document_carries_uptime_build_info_and_congestion() {
+        let doc = metrics_document(&obs_of(&[snap(1, 4, true)]), &[], &extras());
+        assert!(doc.contains("ringsampler_uptime_seconds 12.5"), "{doc}");
+        assert!(
+            doc.contains(r#"ringsampler_build_info{version="0.1.0"} 1"#),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(r#"ringsampler_worker_congestion_state{worker="0",state="ok"} 1"#),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(r#"ringsampler_worker_congestion_state{worker="1",state="straggler"} 1"#),
+            "{doc}"
+        );
+        assert!(
+            doc.contains(r#"ringsampler_congestion_episodes_total{worker="1"} 2"#),
+            "{doc}"
+        );
     }
 
     #[test]
@@ -940,6 +2115,8 @@ mod tests {
             edges_per_sec: 500.0,
             batches_per_sec: 5.0,
             eta_seconds: Some(2.2),
+            lifetime_edges_per_sec: 750.0,
+            lifetime_batches_per_sec: 7.5,
         };
         let doc = progress_document(&obs_of(&[snap(3, 8, true), snap(5, 8, true)]), &[1], &rates);
         assert!(doc.contains("\"batches\": 8"), "{doc}");
@@ -947,6 +2124,8 @@ mod tests {
         assert!(doc.contains("\"fraction\": 0.5"));
         assert!(doc.contains("\"edges_per_sec\": 500.0"));
         assert!(doc.contains("\"eta_seconds\": 2.2"));
+        assert!(doc.contains("\"lifetime_edges_per_sec\": 750.0"));
+        assert!(doc.contains("\"lifetime_batches_per_sec\": 7.5"));
         assert!(doc.contains("\"stalled\": true"));
         assert!(doc.contains("\"stalled\": 1"));
     }

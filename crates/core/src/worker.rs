@@ -366,6 +366,8 @@ impl SamplerWorker {
                 active,
                 ring_requested_flags: ring_setup.requested_flags,
                 ring_granted_flags: ring_setup.granted_flags,
+                prepare_nanos: m.prepare_nanos,
+                complete_nanos: m.complete_nanos,
                 batch_latency,
             });
         }

@@ -1,18 +1,26 @@
 //! Golden-file tests pinning the exact bytes of the `ringscope` live
-//! endpoints (`GET /metrics`, `GET /progress`, `GET /trace`) against a
-//! fixed two-worker snapshot registry. The documents are rendered by the
-//! same pure functions the telemetry thread calls, with all
-//! time-dependent inputs (rates, ETA) fixed — so the goldens are
-//! byte-stable.
+//! endpoints (`GET /metrics`, `GET /progress`, `GET /trace`,
+//! `GET /history`, `GET /congestion`) against a fixed two-worker
+//! snapshot registry. The documents are rendered by the same pure
+//! functions the telemetry thread calls, with all time-dependent inputs
+//! (rates, ETA, uptime, history timestamps) fixed — so the goldens are
+//! byte-stable. The history/congestion goldens additionally travel the
+//! real registry → HTTP route: the bytes asserted are the body a live
+//! `ringtop` would receive.
 //!
 //! To regenerate after an intentional format change:
 //! `UPDATE_GOLDEN=1 cargo test -p ringsampler --test golden_telemetry`
 
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use ringsampler::telemetry::{
-    metrics_document, progress_document, trace_document, FleetRates, SnapshotRegistry,
+    congestion_document, metrics_document, progress_document, spawn_server, trace_document,
+    CongestionConfig, CongestionDetector, FleetRates, MetricsExtras, SnapshotRegistry,
+    TelemetryConfig, WorkerObservation,
 };
 use ringstat::{EventKind, EventRing, TraceEvent, WorkerSnapshot};
 
@@ -109,10 +117,31 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
+/// Fixed non-registry inputs of the `/metrics` document (uptime, build
+/// version, congestion roll-up) — the live server reads these from
+/// clocks and the episode tracker; the golden pins a representative set.
+fn golden_extras() -> MetricsExtras {
+    MetricsExtras {
+        uptime_seconds: 12.5,
+        version: "0.1.0".to_string(),
+        congestion_states: vec![
+            (0, ringsampler::telemetry::CongestionState::Ok),
+            (1, ringsampler::telemetry::CongestionState::Straggler),
+        ],
+        congestion_episodes: vec![(0, 0), (1, 2)],
+    }
+}
+
 #[test]
 fn metrics_endpoint_body_is_pinned() {
     let registry = golden_registry();
-    let doc = metrics_document(&registry.observe(), &registry.observe_traces(0));
+    let doc = metrics_document(&registry.observe(), &registry.observe_traces(0), &golden_extras());
+    // Satellite acceptance: uptime gauge and build-info family are part
+    // of the pinned bytes.
+    assert!(doc.contains("ringsampler_uptime_seconds 12.5"));
+    assert!(doc.contains(r#"ringsampler_build_info{version="0.1.0"} 1"#));
+    assert!(doc.contains(r#"ringsampler_worker_congestion_state{worker="1",state="straggler"} 1"#));
+    assert!(doc.contains(r#"ringsampler_congestion_episodes_total{worker="1"} 2"#));
     // Acceptance criteria: per-worker sampled-edge counters and in-flight
     // SQE gauges are present before byte-pinning the whole document.
     assert!(doc.contains(r#"ringsampler_worker_sampled_edges_total{worker="0"} 1536"#));
@@ -137,14 +166,130 @@ fn trace_endpoint_body_is_pinned() {
 
 #[test]
 fn progress_endpoint_body_is_pinned() {
-    // Rates are inputs, not clock readings — fixed for the golden.
+    // Rates are inputs, not clock readings — fixed for the golden. The
+    // windowed and lifetime figures intentionally differ: the fleet
+    // slowed down, and `/progress` must show both.
     let rates = FleetRates {
         edges_per_sec: 4_096.0,
         batches_per_sec: 8.0,
         eta_seconds: Some(1.0),
+        lifetime_edges_per_sec: 6_144.0,
+        lifetime_batches_per_sec: 12.0,
     };
     let doc = progress_document(&golden_registry().observe(), &[], &rates);
     assert!(doc.contains("\"batches\": 8"));
     assert!(doc.contains("\"total_batches\": 16"));
+    assert!(doc.contains("\"edges_per_sec\": 4096.0"));
+    assert!(doc.contains("\"lifetime_edges_per_sec\": 6144.0"));
     check_golden("telemetry_progress.json", &doc);
+}
+
+/// Builds the fixed history timeline: six 250 ms-spaced points per
+/// worker, worker 0 progressing at full rate, worker 1 at a tenth of it
+/// (the straggler the congestion golden convicts). Timestamps are
+/// synthetic, so the appended points — and everything derived from
+/// them — are byte-stable.
+fn push_golden_history(registry: &SnapshotRegistry) {
+    registry.set_history_capacity(16);
+    for i in 0..6u64 {
+        let obs: Vec<WorkerObservation> = [(0usize, 1u64), (1usize, 10u64)]
+            .iter()
+            .map(|&(index, div)| {
+                let mut s = WorkerSnapshot::new();
+                s.epoch = 1;
+                s.batches = 4 * i / div;
+                s.total_batches = 64;
+                s.targets = 512 * i / div;
+                s.sampled_edges = 2_048 * i / div;
+                s.bytes_read = 8_192 * i / div;
+                s.inflight = 16 + 4 * i;
+                s.io_groups = 8 * i / div;
+                s.reads_submitted = 256 * i / div;
+                s.reads_completed = 256 * i / div;
+                s.prepare_nanos = 40_000_000 * i / div;
+                s.complete_nanos = 10_000_000 * i / div;
+                s.active = true;
+                s.batch_latency.record(700_000 + 50_000 * i);
+                WorkerObservation {
+                    index,
+                    version: 2 * (i + 1),
+                    snapshot: Some(s),
+                }
+            })
+            .collect();
+        registry.append_history(&obs, 250 * i);
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    for _ in 0..50 {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            if let Some(code) = out.split_whitespace().nth(1).and_then(|s| s.parse().ok()) {
+                let body = out.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+                return (code, body.to_string());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("server never answered {path}");
+}
+
+#[test]
+fn history_endpoint_body_is_pinned_through_http() {
+    let registry = Arc::new(SnapshotRegistry::new());
+    // History capacity 0 in the config keeps the server's own sampler
+    // off (its points would carry wall-clock timestamps); the fixture
+    // pushes a synthetic timeline instead, and the `/history` route
+    // serves whatever the registry holds.
+    let cfg = TelemetryConfig::new("127.0.0.1:0")
+        .poll_interval(Duration::from_millis(10))
+        .history_capacity(0);
+    let handle = spawn_server(&cfg, Arc::clone(&registry)).expect("spawn server");
+    push_golden_history(&registry);
+
+    let (code, body) = http_get(handle.addr(), "/history?window=8");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"t_ms\": 1250"));
+    assert!(body.contains("\"edges_per_sec\": 8192.0"), "{body}");
+    check_golden("telemetry_history.json", &body);
+
+    // The worker filter narrows the document to the requested series.
+    let (code, filtered) = http_get(handle.addr(), "/history?worker=1&window=8");
+    assert_eq!(code, 200);
+    assert!(filtered.contains("\"worker\": 1"));
+    assert!(!filtered.contains("\"worker\": 0"));
+    handle.shutdown();
+}
+
+#[test]
+fn congestion_endpoint_body_is_pinned() {
+    let registry = Arc::new(SnapshotRegistry::new());
+    push_golden_history(&registry);
+    // The same detector the telemetry thread runs, over the registry's
+    // real windows: worker 1 completes batches at a tenth of the fleet
+    // median and must be convicted as the straggler.
+    let detector = CongestionDetector::new(CongestionConfig::default());
+    let verdicts = detector.assess(&registry.history_windows(12), &[]);
+    let doc = congestion_document(&verdicts);
+    assert!(doc.contains("\"state\": \"ok\""), "{doc}");
+    assert!(doc.contains("\"state\": \"straggler\""), "{doc}");
+    assert!(doc.contains("\"congested\": 1"), "{doc}");
+    check_golden("telemetry_congestion.json", &doc);
+
+    // The live route serves the same document shape (empty verdicts
+    // until the server's own sampler has run — the fixture server has
+    // history off, so the fleet shows zero workers).
+    let cfg = TelemetryConfig::new("127.0.0.1:0")
+        .poll_interval(Duration::from_millis(10))
+        .history_capacity(0);
+    let handle = spawn_server(&cfg, Arc::new(SnapshotRegistry::new())).expect("spawn server");
+    let (code, body) = http_get(handle.addr(), "/congestion");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"workers\": 0"), "{body}");
+    handle.shutdown();
 }

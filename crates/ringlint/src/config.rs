@@ -35,6 +35,10 @@ pub const HOT_PATH: &[&str] = &[
     // The flight recorder records an event per pipeline stage on every
     // worker; its store-only cursors must never grow a lock or RMW.
     "crates/ringstat/src/events.rs",
+    // The history ring's writer side runs on the telemetry poll tick but
+    // shares slots with concurrent dashboard readers; like the flight
+    // recorder it must stay lock-free and panic-free.
+    "crates/ringstat/src/history.rs",
 ];
 
 /// Modules on the io_uring submission/completion path. Blocking reads here
@@ -62,6 +66,9 @@ pub const ATOMIC_PATH: &[&str] = &[
     // The event ring's cursors follow the same single-writer discipline
     // (load-Acquire / store-Release only, no RMW, no relaxed accesses).
     "crates/ringstat/src/events.rs",
+    // The history ring's head cursor copies the event ring's store-only
+    // idiom; its seqlock slots are audited through `snapshot.rs`.
+    "crates/ringstat/src/history.rs",
 ];
 
 /// Returns true if `rel` (forward-slash, workspace-relative) ends with any
@@ -197,6 +204,15 @@ mod tests {
     #[test]
     fn event_ring_is_hot_and_atomic_but_not_io() {
         let rules = rules_for("crates/ringstat/src/events.rs");
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_ATOMIC));
+        assert!(!rules.contains(&RULE_BLOCKING));
+    }
+
+    #[test]
+    fn history_ring_is_hot_and_atomic_but_not_io() {
+        let rules = rules_for("crates/ringstat/src/history.rs");
         assert!(rules.contains(&RULE_SYNC));
         assert!(rules.contains(&RULE_PANIC));
         assert!(rules.contains(&RULE_ATOMIC));

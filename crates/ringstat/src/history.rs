@@ -1,0 +1,588 @@
+//! Per-worker telemetry time series — the `ringtop` history ring.
+//!
+//! [`HistoryRing`] is a fixed-capacity ring of timestamped
+//! [`WorkerSnapshot`] points, one ring per worker, appended by the single
+//! telemetry (ringscope) thread every poll tick and read lock-free by
+//! HTTP handlers and the `ringtop` dashboard. Each slot is a seqlock
+//! [`SnapshotCell`] (the audited memory-ordering discipline of
+//! [`crate::snapshot`]), and the head cursor uses store-only updates
+//! (load-Acquire / store-Release, no `fetch_add`/CAS) — sound because
+//! only the single writer ever stores it. Unlike the flight recorder
+//! ([`crate::events`]), which drops *new* events to preserve a faithful
+//! prefix, a history ring **drops oldest**: the newest point always
+//! lands, because trend detection needs the most recent window, not the
+//! oldest. Ringlint's `sync-free-hot-path` and `atomic-ordering` rules
+//! are enforced over this module with zero allows.
+//!
+//! ## Single-writer contract
+//!
+//! Exactly one thread — the ringscope poll loop — may call
+//! [`push`](HistoryRing::push). Any number of observer threads may
+//! concurrently call the read side ([`window`](HistoryRing::window),
+//! [`head`](HistoryRing::head), [`len`](HistoryRing::len)); they never
+//! block the writer. Because the writer overwrites the oldest slot, a
+//! reader scanning the window can race a wrap-around; every slot value
+//! therefore carries its logical push index as a generation tag, and
+//! the reader discards any slot whose tag no longer matches the index
+//! it expected (in addition to the per-slot seqlock torn-read
+//! rejection). The tag lives *inside* the seqlock'd value — checking
+//! the head cursor instead would race, since the writer bumps the head
+//! only after the slot store.
+//!
+//! ## Derivation helpers
+//!
+//! The free functions below are *pure* — they take a window of points
+//! and return rates, EWMA trends, and least-squares slopes. All the
+//! congestion policy (thresholds, verdicts) lives in the consumer
+//! (`ringscope`'s detector); this module only does arithmetic, so the
+//! estimators are unit-testable with synthetic series.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::{SnapshotCell, WorkerSnapshot};
+
+/// One timestamped history point: a full [`WorkerSnapshot`] as observed
+/// at `t_ms`. Cumulative counters are kept as-is (not pre-differenced)
+/// so every derivation below can pick its own window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryPoint {
+    /// Milliseconds since the telemetry server started (a monotonic,
+    /// server-local timeline shared by all workers' rings).
+    pub t_ms: u64,
+    /// The worker's snapshot at that instant.
+    pub snap: WorkerSnapshot,
+}
+
+impl HistoryPoint {
+    /// The all-zero placeholder used to initialize ring slots; never
+    /// returned by [`HistoryRing::window`].
+    const fn empty() -> Self {
+        Self {
+            t_ms: 0,
+            snap: WorkerSnapshot::new(),
+        }
+    }
+}
+
+/// A fixed-capacity, drop-oldest, single-writer ring of
+/// [`HistoryPoint`]s. See the module docs for the writer contract and
+/// the wrap-around generation check.
+pub struct HistoryRing {
+    /// One seqlock cell per slot; slot `i % capacity` holds point `i`,
+    /// tagged with its logical push index `i` so a reader that races a
+    /// wrap-around detects the lap exactly (a tag mismatch) instead of
+    /// inferring it from the head cursor, which the writer bumps only
+    /// *after* the slot store and may therefore lag the overwrite.
+    slots: Box<[SnapshotCell<(u64, HistoryPoint)>]>,
+    /// Monotonic count of points ever pushed (single-writer cursor).
+    head: AtomicU64,
+}
+
+impl HistoryRing {
+    /// Creates a ring holding the most recent `capacity` points
+    /// (clamped to at least 2, since every derivation needs a pair;
+    /// callers model "history off" by not constructing a ring at all).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        // `u64::MAX` never equals a real push index, so unwritten slots
+        // can never satisfy a reader's tag check.
+        let slots: Vec<SnapshotCell<(u64, HistoryPoint)>> = (0..capacity)
+            .map(|_| SnapshotCell::new((u64::MAX, HistoryPoint::empty())))
+            .collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum points retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends one point (writer side; telemetry thread only).
+    /// Wait-free: when the ring is full the *oldest* point's slot is
+    /// overwritten — the newest observation always lands.
+    pub fn push(&self, point: HistoryPoint) {
+        let h = self.head.load(Ordering::Acquire);
+        let idx = (h % self.slots.len() as u64) as usize;
+        if let Some(slot) = self.slots.get(idx) {
+            slot.publish((h, point));
+        }
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Best-effort snapshot of the most recent `k` points in push order
+    /// (reader side; any thread). Points whose slot was overwritten or
+    /// torn by a concurrent push during the scan are discarded, so the
+    /// result can be shorter than `k` but never contains a mixed-
+    /// generation or torn value.
+    pub fn window(&self, k: usize) -> Vec<HistoryPoint> {
+        let h1 = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let n = (k as u64).min(h1).min(cap);
+        let mut out: Vec<HistoryPoint> = Vec::with_capacity(n as usize);
+        let mut i = h1.wrapping_sub(n);
+        while i < h1 {
+            // Generation check: the tag stored alongside the point is
+            // its logical push index, so a slot lapped by the writer
+            // mid-scan (already holding point `i + capacity`) simply
+            // fails the equality and is dropped — no inference from the
+            // head cursor needed, which can lag the slot overwrite.
+            if let Some((tag, p)) = self.slots.get((i % cap) as usize).and_then(SnapshotCell::try_read) {
+                if tag == i {
+                    out.push(p);
+                }
+            }
+            i = i.wrapping_add(1);
+        }
+        out
+    }
+
+    /// Total points ever pushed (monotonic; readable from any thread).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Points currently retained.
+    pub fn len(&self) -> usize {
+        let h = self.head.load(Ordering::Acquire);
+        h.min(self.slots.len() as u64) as usize
+    }
+
+    /// True if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == 0
+    }
+}
+
+impl std::fmt::Debug for HistoryRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryRing")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head())
+            .finish()
+    }
+}
+
+/// Windowed throughput rates derived from the first and last point of a
+/// history window (all cumulative-counter deltas over the wall span).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowRates {
+    /// Wall-clock span of the window in seconds.
+    pub span_secs: f64,
+    /// Sampled edges per second.
+    pub edges_per_sec: f64,
+    /// Mini-batches per second.
+    pub batches_per_sec: f64,
+    /// `io_uring_enter` submit batches (I/O groups) per second.
+    pub enters_per_sec: f64,
+    /// Payload bytes read per second.
+    pub bytes_per_sec: f64,
+}
+
+/// Rates over a window: cumulative-counter deltas between the first and
+/// last point, divided by the wall span. Returns zeros when the window
+/// has fewer than two points or spans no time.
+pub fn windowed_rates(points: &[HistoryPoint]) -> WindowRates {
+    let (first, last) = match (points.first(), points.last()) {
+        (Some(f), Some(l)) if l.t_ms > f.t_ms => (f, l),
+        _ => return WindowRates::default(),
+    };
+    let span = last.t_ms.saturating_sub(first.t_ms) as f64 / 1000.0;
+    let rate = |l: u64, f: u64| l.saturating_sub(f) as f64 / span;
+    WindowRates {
+        span_secs: span,
+        edges_per_sec: rate(last.snap.sampled_edges, first.snap.sampled_edges),
+        batches_per_sec: rate(last.snap.batches, first.snap.batches),
+        enters_per_sec: rate(last.snap.io_groups, first.snap.io_groups),
+        bytes_per_sec: rate(last.snap.bytes_read, first.snap.bytes_read),
+    }
+}
+
+/// Exponentially-weighted moving average of a series: the final EWMA
+/// value after folding every sample with smoothing factor `alpha` in
+/// `(0, 1]` (higher = more weight on recent samples). Returns 0.0 for
+/// an empty series.
+pub fn ewma(values: &[f64], alpha: f64) -> f64 {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mut it = values.iter();
+    let mut acc = match it.next() {
+        Some(&v) => v,
+        None => return 0.0,
+    };
+    for &v in it {
+        acc += alpha * (v - acc);
+    }
+    acc
+}
+
+/// Least-squares slope of `(t_ms, value)` samples, in value-units per
+/// *second*. Returns 0.0 when fewer than two distinct timestamps exist
+/// (no trend is derivable).
+pub fn slope_per_sec(series: &[(u64, f64)]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let n = series.len() as f64;
+    let mean_t = series.iter().map(|&(t, _)| t as f64 / 1000.0).sum::<f64>() / n;
+    let mean_y = series.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(t, y) in series {
+        let dt = t as f64 / 1000.0 - mean_t;
+        num += dt * (y - mean_y);
+        den += dt * dt;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Per-interval rate series for one cumulative counter: for each
+/// consecutive pair of points, `(t_ms of the later point, Δcounter/Δt)`.
+/// Pairs spanning no time are skipped.
+pub fn interval_series(
+    points: &[HistoryPoint],
+    counter: impl Fn(&WorkerSnapshot) -> u64,
+) -> Vec<(u64, f64)> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let (a, b) = (w.first()?, w.last()?);
+            let dt = b.t_ms.saturating_sub(a.t_ms) as f64 / 1000.0;
+            if dt <= 0.0 {
+                return None;
+            }
+            let dv = counter(&b.snap).saturating_sub(counter(&a.snap)) as f64;
+            Some((b.t_ms, dv / dt))
+        })
+        .collect()
+}
+
+/// Per-interval batch-latency p99 series: for each consecutive pair of
+/// points, the p99 (in nanoseconds) of the batch-latency samples recorded
+/// *between* them ([`crate::hist::LatencyHistogram::saturating_diff`]).
+/// Intervals in which no batch completed are skipped.
+pub fn batch_p99_series(points: &[HistoryPoint]) -> Vec<(u64, f64)> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let (a, b) = (w.first()?, w.last()?);
+            let diff = b.snap.batch_latency.saturating_diff(&a.snap.batch_latency);
+            if diff.is_empty() {
+                return None;
+            }
+            Some((b.t_ms, diff.p99() as f64))
+        })
+        .collect()
+}
+
+/// Least-squares slope of the per-interval batch p99, in ns per second.
+/// Positive and large ⇒ batch latency is *getting worse*.
+pub fn batch_p99_slope(points: &[HistoryPoint]) -> f64 {
+    slope_per_sec(&batch_p99_series(points))
+}
+
+/// The cumulative CQ-wait share of one snapshot: the fraction of the
+/// worker's I/O wall time spent blocked on completions,
+/// `complete / (prepare + complete)`. 0.0 before any I/O happened.
+pub fn cq_wait_share(snap: &WorkerSnapshot) -> f64 {
+    let total = snap.prepare_nanos.saturating_add(snap.complete_nanos);
+    if total == 0 {
+        0.0
+    } else {
+        snap.complete_nanos as f64 / total as f64
+    }
+}
+
+/// Per-interval CQ-wait-share series: for each consecutive pair of
+/// points, the share of I/O time spent blocked on completions *within
+/// that interval*. Intervals with no I/O time are skipped.
+pub fn cq_wait_share_series(points: &[HistoryPoint]) -> Vec<(u64, f64)> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let (a, b) = (w.first()?, w.last()?);
+            let dc = b.snap.complete_nanos.saturating_sub(a.snap.complete_nanos);
+            let dp = b.snap.prepare_nanos.saturating_sub(a.snap.prepare_nanos);
+            let total = dc.saturating_add(dp);
+            if total == 0 {
+                return None;
+            }
+            Some((b.t_ms, dc as f64 / total as f64))
+        })
+        .collect()
+}
+
+/// Least-squares slope of the per-interval CQ-wait share, per second.
+/// Positive ⇒ the worker is spending a growing fraction of its I/O time
+/// blocked on the completion queue — the paper's congestion signature.
+pub fn cq_wait_share_slope(points: &[HistoryPoint]) -> f64 {
+    slope_per_sec(&cq_wait_share_series(points))
+}
+
+/// The fraction of the window's wall-clock time the worker spent in I/O
+/// at all (preparing/submitting or waiting on completions). A CQ-wait
+/// share only carries congestion signal when this is substantial: a
+/// worker that touches the ring for 1 ms out of every 100 ms has a
+/// noisy, meaningless share. 0.0 for windows of fewer than two points
+/// or with no time span.
+pub fn io_busy_share(points: &[HistoryPoint]) -> f64 {
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return 0.0;
+    };
+    let span_ns = last.t_ms.saturating_sub(first.t_ms).saturating_mul(1_000_000);
+    if span_ns == 0 {
+        return 0.0;
+    }
+    let busy = last
+        .snap
+        .prepare_nanos
+        .saturating_sub(first.snap.prepare_nanos)
+        .saturating_add(
+            last.snap
+                .complete_nanos
+                .saturating_sub(first.snap.complete_nanos),
+        );
+    (busy as f64 / span_ns as f64).min(1.0)
+}
+
+/// Mean in-flight read count (live queue depth) across a window.
+/// 0.0 for an empty window.
+pub fn mean_inflight(points: &[HistoryPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|p| p.snap.inflight as f64).sum::<f64>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(t_ms: u64, edges: u64, batches: u64) -> HistoryPoint {
+        let mut snap = WorkerSnapshot::new();
+        snap.sampled_edges = edges;
+        snap.batches = batches;
+        snap.active = true;
+        HistoryPoint { t_ms, snap }
+    }
+
+    #[test]
+    fn push_and_window_in_order() {
+        let ring = HistoryRing::new(8);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            ring.push(pt(i * 100, i * 10, i));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.head(), 5);
+        let w = ring.window(3);
+        let ts: Vec<u64> = w.iter().map(|p| p.t_ms).collect();
+        assert_eq!(ts, vec![200, 300, 400]);
+        assert_eq!(ring.window(100).len(), 5);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_not_newest() {
+        let ring = HistoryRing::new(4);
+        for i in 0..10u64 {
+            ring.push(pt(i, i, i));
+        }
+        assert_eq!(ring.len(), 4);
+        let ts: Vec<u64> = ring.window(10).iter().map(|p| p.t_ms).collect();
+        // The *newest* four survive — opposite of EventRing's drop-new.
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_clamps_to_two() {
+        let ring = HistoryRing::new(0);
+        assert_eq!(ring.capacity(), 2);
+        ring.push(pt(1, 1, 1));
+        ring.push(pt(2, 2, 2));
+        ring.push(pt(3, 3, 3));
+        let ts: Vec<u64> = ring.window(10).iter().map(|p| p.t_ms).collect();
+        assert_eq!(ts, vec![2, 3]);
+    }
+
+    #[test]
+    fn windowed_rates_from_endpoint_deltas() {
+        // 2 seconds, 2000 edges, 4 batches ⇒ 1000 edges/s, 2 batches/s.
+        let mut a = pt(1000, 500, 2);
+        a.snap.io_groups = 10;
+        a.snap.bytes_read = 4096;
+        let mut b = pt(3000, 2500, 6);
+        b.snap.io_groups = 30;
+        b.snap.bytes_read = 12288;
+        let r = windowed_rates(&[a, b]);
+        assert_eq!(r.span_secs, 2.0);
+        assert_eq!(r.edges_per_sec, 1000.0);
+        assert_eq!(r.batches_per_sec, 2.0);
+        assert_eq!(r.enters_per_sec, 10.0);
+        assert_eq!(r.bytes_per_sec, 4096.0);
+    }
+
+    #[test]
+    fn degenerate_windows_rate_zero() {
+        assert_eq!(windowed_rates(&[]), WindowRates::default());
+        assert_eq!(windowed_rates(&[pt(5, 5, 5)]), WindowRates::default());
+        // Same timestamp twice: no span, no rate (not a NaN).
+        assert_eq!(windowed_rates(&[pt(5, 5, 5), pt(5, 9, 9)]), WindowRates::default());
+    }
+
+    #[test]
+    fn ewma_tracks_recent_values() {
+        assert_eq!(ewma(&[], 0.5), 0.0);
+        assert_eq!(ewma(&[4.0], 0.5), 4.0);
+        // alpha=1.0 degenerates to "last value".
+        assert_eq!(ewma(&[1.0, 2.0, 9.0], 1.0), 9.0);
+        // alpha=0.5 over [0, 10]: 0 + 0.5*(10-0) = 5.
+        assert_eq!(ewma(&[0.0, 10.0], 0.5), 5.0);
+        // Constant series is a fixed point.
+        assert_eq!(ewma(&[3.0, 3.0, 3.0, 3.0], 0.25), 3.0);
+    }
+
+    #[test]
+    fn slope_of_linear_series_is_exact() {
+        // y = 2·t_secs + 1 sampled at 0, 500, 1000, 1500 ms.
+        let series: Vec<(u64, f64)> = (0..4)
+            .map(|i| (i * 500, 2.0 * (i as f64 * 0.5) + 1.0))
+            .collect();
+        let s = slope_per_sec(&series);
+        assert!((s - 2.0).abs() < 1e-9, "slope {s}");
+        // Flat series has zero slope; degenerate series too.
+        assert_eq!(slope_per_sec(&[(0, 5.0), (1000, 5.0)]), 0.0);
+        assert_eq!(slope_per_sec(&[(7, 1.0)]), 0.0);
+        assert_eq!(slope_per_sec(&[(7, 1.0), (7, 3.0)]), 0.0);
+    }
+
+    #[test]
+    fn interval_series_rates_per_pair() {
+        let pts = [pt(0, 0, 0), pt(1000, 100, 1), pt(3000, 500, 5)];
+        let s = interval_series(&pts, |s| s.sampled_edges);
+        assert_eq!(s, vec![(1000, 100.0), (3000, 200.0)]);
+        // Zero-dt pairs are skipped, not divided by zero.
+        let dup = [pt(0, 0, 0), pt(0, 50, 1)];
+        assert!(interval_series(&dup, |s| s.sampled_edges).is_empty());
+    }
+
+    #[test]
+    fn batch_p99_series_diffs_histograms() {
+        let mut a = pt(0, 0, 0);
+        a.snap.batch_latency.record(1000);
+        let mut b = pt(1000, 0, 1);
+        b.snap.batch_latency = a.snap.batch_latency;
+        b.snap.batch_latency.record(8000); // the new sample in (a, b]
+        let mut c = pt(2000, 0, 1);
+        c.snap.batch_latency = b.snap.batch_latency; // idle interval
+        let series = batch_p99_series(&[a, b, c]);
+        assert_eq!(series.len(), 1, "idle interval must be skipped");
+        let (t, p99) = series[0];
+        assert_eq!(t, 1000);
+        // The diffed histogram holds exactly the 8000ns sample's bucket.
+        assert!((8000.0..=16383.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn cq_wait_share_and_slope() {
+        let mut a = pt(0, 0, 0);
+        a.snap.prepare_nanos = 900;
+        a.snap.complete_nanos = 100;
+        assert!((cq_wait_share(&a.snap) - 0.1).abs() < 1e-12);
+        assert_eq!(cq_wait_share(&WorkerSnapshot::new()), 0.0);
+
+        // Interval shares rise 0.1 → 0.5 → 0.9 over 2 seconds.
+        let mut b = a;
+        b.t_ms = 1000;
+        b.snap.prepare_nanos += 500;
+        b.snap.complete_nanos += 500;
+        let mut c = b;
+        c.t_ms = 2000;
+        c.snap.prepare_nanos += 100;
+        c.snap.complete_nanos += 900;
+        let series = cq_wait_share_series(&[a, b, c]);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 0.5).abs() < 1e-12);
+        assert!((series[1].1 - 0.9).abs() < 1e-12);
+        let slope = cq_wait_share_slope(&[a, b, c]);
+        assert!((slope - 0.4).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn io_busy_share_is_wall_clock_fraction() {
+        assert_eq!(io_busy_share(&[]), 0.0);
+        assert_eq!(io_busy_share(&[pt(5, 0, 0)]), 0.0);
+        // 100 ms window, 40 ms preparing + 20 ms waiting ⇒ 0.6 busy.
+        let a = pt(0, 0, 0);
+        let mut b = pt(100, 0, 0);
+        b.snap.prepare_nanos = 40_000_000;
+        b.snap.complete_nanos = 20_000_000;
+        assert!((io_busy_share(&[a, b]) - 0.6).abs() < 1e-12);
+        // Clock skew can push busy past the span; the share is clamped.
+        b.snap.prepare_nanos = 500_000_000;
+        assert_eq!(io_busy_share(&[a, b]), 1.0);
+        // Zero span ⇒ no signal.
+        let c = pt(0, 0, 0);
+        assert_eq!(io_busy_share(&[a, c]), 0.0);
+    }
+
+    #[test]
+    fn mean_inflight_averages_window() {
+        assert_eq!(mean_inflight(&[]), 0.0);
+        let mut a = pt(0, 0, 0);
+        a.snap.inflight = 10;
+        let mut b = pt(1, 0, 0);
+        b.snap.inflight = 30;
+        assert_eq!(mean_inflight(&[a, b]), 20.0);
+    }
+
+    #[test]
+    fn ring_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<HistoryRing>();
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_or_mixed_generation_point() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let ring = Arc::new(HistoryRing::new(8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let seen = Arc::new(AtomicU64::new(0));
+        let reader = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let w = ring.window(8);
+                    // Writer stores t_ms == sampled_edges == batches; a
+                    // torn read would break the equality, and a window
+                    // mixing generations would break monotonicity.
+                    let mut prev = None;
+                    for p in &w {
+                        assert_eq!(p.t_ms, p.snap.sampled_edges);
+                        assert_eq!(p.t_ms, p.snap.batches);
+                        if let Some(prev) = prev {
+                            assert!(p.t_ms > prev, "window must stay ordered");
+                        }
+                        prev = Some(p.t_ms);
+                        seen.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+            })
+        };
+        let mut i = 0u64;
+        while (seen.load(Ordering::Acquire) == 0 && i < 50_000_000) || i < 20_000 {
+            ring.push(pt(i, i, i));
+            i += 1;
+        }
+        stop.store(true, Ordering::Release);
+        reader.join().expect("reader thread");
+        assert!(seen.load(Ordering::Acquire) > 0, "reader should observe points");
+    }
+}

@@ -28,6 +28,11 @@
 //!   fixed-capacity, allocation-free, single-writer ring of seqlock
 //!   slots recording per-batch / per-I/O-group lifecycle events, with an
 //!   overflow-drop counter instead of blocking.
+//! * [`HistoryRing`] / [`HistoryPoint`] — the `ringtop` time-series
+//!   layer: a drop-oldest ring of timestamped [`WorkerSnapshot`]s per
+//!   worker, appended by the telemetry thread every poll tick, plus pure
+//!   derivation helpers (windowed rates, EWMA trends, p99 and
+//!   CQ-wait-share slope estimators) the congestion detectors consume.
 //! * [`HttpServer`] — a bounded, dependency-free HTTP listener for the
 //!   embedded `/metrics` · `/progress` · `/healthz` endpoints.
 //! * [`human_bytes`] / [`human_count`] — display helpers for run reports.
@@ -53,6 +58,7 @@
 pub mod events;
 pub mod fmt;
 pub mod hist;
+pub mod history;
 pub mod http;
 pub mod json;
 pub mod prometheus;
@@ -63,6 +69,7 @@ pub mod trace;
 pub use events::{EventKind, EventRing, TraceEvent};
 pub use fmt::{human_bytes, human_count, human_nanos};
 pub use hist::{LatencyHistogram, NUM_BUCKETS};
+pub use history::{HistoryPoint, HistoryRing, WindowRates};
 pub use http::{HttpServer, Request, Response};
 pub use json::Json;
 pub use prometheus::PromWriter;

@@ -83,6 +83,13 @@ pub struct WorkerSnapshot {
     /// io_uring setup flags the kernel actually *granted*. Divergence
     /// from `ring_requested_flags` means the ring-mode ladder fell back.
     pub ring_granted_flags: u32,
+    /// Cumulative nanoseconds spent preparing and submitting reads
+    /// (SQE prep + `io_uring_enter` submit path).
+    pub prepare_nanos: u64,
+    /// Cumulative nanoseconds spent blocked waiting on completions
+    /// (CQ wait + reap). The ratio `complete / (prepare + complete)`
+    /// is the CQ-wait share the congestion detectors trend.
+    pub complete_nanos: u64,
     /// Per-batch wall-latency distribution (log2 buckets, lossless
     /// merge) for the current epoch.
     pub batch_latency: LatencyHistogram,
@@ -106,6 +113,8 @@ impl WorkerSnapshot {
             active: false,
             ring_requested_flags: 0,
             ring_granted_flags: 0,
+            prepare_nanos: 0,
+            complete_nanos: 0,
             batch_latency: LatencyHistogram::new(),
         }
     }
