@@ -32,6 +32,13 @@
 #      /history serves the per-worker time series, /congestion serves
 #      verdicts, and `ringtop --once` renders a frame with every worker
 #      present and judged ok once the fleet idles (see DESIGN.md §14)
+#  11. ringprof gate — prof_compare with RS_PROF_ASSERT (read
+#      amplification >= 1.0 uncached, strictly lower cached, and
+#      byte-identical samples with profiling on vs off), then a small
+#      fig4_overall with profiling on asserting every worker's time
+#      ledger conserves (accounts for >= 90% of wall), /resources
+#      serves the attribution, and `ringtop --once` renders the CPU
+#      column and the ledger bar (see DESIGN.md §15)
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -125,9 +132,53 @@ for _ in $(seq 1 100); do
 done
 [ -n "$FRAME" ] || { echo "ringtop --once never rendered an all-ok two-worker frame"; ./target/release/ringtop --once "$ADDR" || true; kill "$TOP_PID"; exit 1; }
 echo "$FRAME" | grep -q '^fleet:' || { echo "ringtop frame missing fleet roll-up"; kill "$TOP_PID"; exit 1; }
-./target/release/ringtop --once --json "$ADDR" | grep -q '"history"' || { echo "ringtop --json missing history document"; kill "$TOP_PID"; exit 1; }
+# Capture rather than pipe: under pipefail an early-exiting grep -q
+# would otherwise turn the (large) JSON dump into a SIGPIPE failure.
+TOP_JSON="$(./target/release/ringtop --once --json "$ADDR")"
+echo "$TOP_JSON" | grep -q '"history"' || { echo "ringtop --json missing history document"; kill "$TOP_PID"; exit 1; }
+echo "$TOP_JSON" | grep -q '"resources"' || { echo "ringtop --json missing resources document"; kill "$TOP_PID"; exit 1; }
 kill "$TOP_PID" 2>/dev/null || true
 wait "$TOP_PID" 2>/dev/null || true
 echo "    ringtop gate ok (/history, /congestion, ringtop --once all-ok frame)"
+
+echo "==> ringprof gate (prof_compare RS_PROF_ASSERT + fig4_overall /resources ledger)"
+RS_PROF_NODES=2000 RS_PROF_EDGES=20000 RS_THREADS=2 \
+RS_PROF_ASSERT=1 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/prof_compare --bench-json BENCH_prof.json
+PROF_LOG="$(mktemp)"
+RS_SCALE=100000 RS_TARGETS=8192 RS_EPOCHS=1 RS_THREADS=2 \
+RS_SERVE_LINGER=20 RS_DATA_DIR="$(mktemp -d)" \
+    ./target/release/fig4_overall --serve 127.0.0.1:0 >/dev/null 2>"$PROF_LOG" &
+PROF_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's#^ringscope listening on http://##p' "$PROF_LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$PROF_PID" 2>/dev/null || { cat "$PROF_LOG"; echo "fig4_overall exited before serving"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "    ringscope bound at $ADDR" || { cat "$PROF_LOG"; echo "no listening announcement"; exit 1; }
+# Poll until an epoch has published its attribution and every worker's
+# ledger conserves (>= 90% of wall accounted; the JSON carries the
+# per-worker verdict as "conserved").
+RES=""
+for _ in $(seq 1 100); do
+    RES="$(curl -fsS "http://$ADDR/resources" 2>/dev/null || true)"
+    if echo "$RES" | grep -q '"workers"' && echo "$RES" | grep -q '"conserved": true' \
+        && ! echo "$RES" | grep -q '"conserved": false'; then
+        break
+    fi
+    RES=""
+    sleep 0.2
+done
+[ -n "$RES" ] || { echo "/resources never served a fully-conserving ledger"; curl -fsS "http://$ADDR/resources" || true; kill "$PROF_PID"; exit 1; }
+echo "$RES" | grep -q '"read_amplification"' || { echo "/resources missing read_amplification"; kill "$PROF_PID"; exit 1; }
+# The dashboard must render the ringprof columns from the live feed.
+PROF_FRAME="$(./target/release/ringtop --once "$ADDR")"
+echo "$PROF_FRAME" | grep -q '^  cpu        |' || { echo "ringtop frame missing CPU column"; echo "$PROF_FRAME"; kill "$PROF_PID"; exit 1; }
+echo "$PROF_FRAME" | grep -q '^  ledger     |' || { echo "ringtop frame missing ledger bar"; echo "$PROF_FRAME"; kill "$PROF_PID"; exit 1; }
+kill "$PROF_PID" 2>/dev/null || true
+wait "$PROF_PID" 2>/dev/null || true
+echo "    ringprof gate ok (amplification A/B, conserving ledgers, /resources, ringtop CPU column)"
 
 echo "CI: all gates passed."

@@ -6,16 +6,19 @@
 //! ```
 //!
 //! Connects to the ringscope endpoint printed at sampler startup
-//! (`ringscope listening on http://ADDR`), polls `GET /history` and
-//! `GET /congestion` every `--interval` ms (default 1000), and redraws a
-//! per-worker dashboard: throughput / queue-depth / batch-p99
-//! sparklines, windowed rates, EWMA trends, and the congestion verdict
-//! (highlighted when non-`ok`), plus a fleet roll-up.
+//! (`ringscope listening on http://ADDR`), polls `GET /history`,
+//! `GET /congestion`, and `GET /resources` every `--interval` ms
+//! (default 1000), and redraws a per-worker dashboard: throughput /
+//! queue-depth / batch-p99 / CPU-share sparklines, windowed rates, EWMA
+//! trends, the congestion verdict (highlighted when non-`ok`), the
+//! ringprof time-ledger bar with read-amplification figures, plus a
+//! fleet roll-up.
 //!
 //! * `--once` renders a single plain-text frame (no escape codes) and
 //!   exits — the CI-friendly mode the gate asserts on.
-//! * `--json` dumps the two raw documents (one `{"history", "congestion"}`
-//!   wrapper object) instead of rendering, for scripted consumers.
+//! * `--json` dumps the three raw documents (one
+//!   `{"history", "congestion", "resources"}` wrapper object) instead of
+//!   rendering, for scripted consumers.
 //! * `--window N` bounds the requested series length (server clamps to
 //!   its retained capacity).
 
@@ -23,7 +26,9 @@ use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use ringsampler_bench::ringtop::{parse_congestion, parse_history, render_frame, Style};
+use ringsampler_bench::ringtop::{
+    parse_congestion, parse_history, parse_resources, render_frame, ResourcesView, Style,
+};
 
 fn usage() -> ! {
     eprintln!("usage: ringtop ADDR [--once] [--json] [--window N] [--interval MS] [--width W]");
@@ -114,13 +119,24 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        // Resources are best-effort: an older server without the
+        // endpoint (or profiling off) just loses the ledger rows.
+        let resources_text =
+            http_get(&addr, "/resources").unwrap_or_else(|_| "{\"resources\": null}".into());
         if json {
-            // Both documents end in a newline; the wrapper is line-splittable.
-            println!(
-                "{{\"history\": {}, \"congestion\": {}}}",
+            use std::io::Write;
+            // All documents end in a newline; the wrapper is line-splittable.
+            // A closed pipe (`ringtop --json | head`) is a normal way for a
+            // consumer to stop reading, not an error worth a panic.
+            let doc = format!(
+                "{{\"history\": {}, \"congestion\": {}, \"resources\": {}}}\n",
                 history_text.trim_end(),
-                congestion_text.trim_end()
+                congestion_text.trim_end(),
+                resources_text.trim_end()
             );
+            if std::io::stdout().write_all(doc.as_bytes()).is_err() {
+                std::process::exit(0);
+            }
         } else {
             let series = match parse_history(&history_text) {
                 Ok(s) => s,
@@ -136,14 +152,21 @@ fn main() {
                     std::process::exit(1);
                 }
             };
+            let resources = parse_resources(&resources_text).unwrap_or_else(|_| {
+                eprintln!("ringtop: bad /resources document (ignored)");
+                ResourcesView::default()
+            });
             if once {
-                print!("{}", render_frame(&series, &verdicts, width, Style::Plain));
+                print!(
+                    "{}",
+                    render_frame(&series, &verdicts, &resources, width, Style::Plain)
+                );
             } else {
                 // Clear + home, then the frame: a flicker-free redraw for
                 // the sub-second polling cadence.
                 print!(
                     "\x1b[2J\x1b[H{}",
-                    render_frame(&series, &verdicts, width, Style::Ansi)
+                    render_frame(&series, &verdicts, &resources, width, Style::Ansi)
                 );
                 let _ = std::io::stdout().flush();
             }

@@ -8,8 +8,13 @@
 //!   in-flight queue depth, and interval batch p99;
 //! * the windowed rates and EWMA/slope trends the server derived;
 //! * the worker's **congestion verdict**
-//!   (`ok | queue_saturated | cq_wait_rising | stalled | straggler`),
-//!   highlighted when non-`ok`, with the evidence that drove it;
+//!   (`ok | cpu_saturated | queue_saturated | cq_wait_rising | stalled |
+//!   straggler`), highlighted when non-`ok`, with the evidence that
+//!   drove it;
+//! * the **CPU column**: a windowed on-CPU-share sparkline from the
+//!   ringprof history points, plus the last completed epoch's
+//!   **time-ledger bar** and read-amplification figures from
+//!   `GET /resources`;
 //! * a **fleet** roll-up line summing throughput across workers.
 //!
 //! Everything here is pure (parsed documents in, strings out) so frames
@@ -36,6 +41,8 @@ pub struct SeriesPoint {
     pub batch_p99_ns: f64,
     /// Interval CQ-wait share in [0, 1].
     pub cq_wait_share: f64,
+    /// Interval on-CPU share in [0, 1] (ringprof; 0 with profiling off).
+    pub cpu_share: f64,
 }
 
 /// One worker's `/history` entry: rates, trends, and the raw series.
@@ -59,6 +66,8 @@ pub struct WorkerSeries {
     pub p99_slope: f64,
     /// CQ-wait-share trend, share per second.
     pub cq_slope: f64,
+    /// Windowed on-CPU share in [0, 1] (ringprof).
+    pub cpu_share: f64,
     /// The raw timestamped points, oldest first.
     pub series: Vec<SeriesPoint>,
 }
@@ -116,6 +125,7 @@ pub fn parse_history(text: &str) -> Result<Vec<WorkerSeries>, String> {
             edges_ewma: f64_field(&trends, "edges_per_sec_ewma"),
             p99_slope: f64_field(&trends, "batch_p99_slope_ns_per_sec"),
             cq_slope: f64_field(&trends, "cq_wait_share_slope_per_sec"),
+            cpu_share: f64_field(&trends, "cpu_share"),
             series: Vec::new(),
         };
         for p in w.get("series").and_then(Json::as_array).unwrap_or(&[]) {
@@ -127,6 +137,7 @@ pub fn parse_history(text: &str) -> Result<Vec<WorkerSeries>, String> {
                 inflight: u64_field(p, "inflight"),
                 batch_p99_ns: f64_field(p, "batch_p99_ns"),
                 cq_wait_share: f64_field(p, "cq_wait_share"),
+                cpu_share: f64_field(p, "cpu_share"),
             });
         }
         out.push(ws);
@@ -163,6 +174,140 @@ pub fn parse_congestion(text: &str) -> Result<Vec<WorkerVerdict>, String> {
         });
     }
     Ok(out)
+}
+
+/// One worker's time ledger from `GET /resources` (the last completed
+/// epoch's ringprof attribution).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WorkerLedger {
+    /// Worker (thread) index.
+    pub worker: u64,
+    /// Epoch wall time for this worker, ns.
+    pub wall_nanos: u64,
+    /// Ledger buckets, ns: on-CPU sampling/aggregation work.
+    pub compute_nanos: u64,
+    /// Submission-side stage wall, ns.
+    pub submit_nanos: u64,
+    /// Off-CPU time blocked on completions, ns.
+    pub io_wait_nanos: u64,
+    /// On-CPU completion reaping, ns.
+    pub reap_nanos: u64,
+    /// The explicit remainder (scheduler delays, unattributed), ns.
+    pub other_nanos: u64,
+    /// Accounted share in [0, 1] — the conservation check's figure.
+    pub accounted_share: f64,
+    /// Epoch-scope CPU share in [0, 1].
+    pub cpu_share: f64,
+}
+
+/// The parsed `GET /resources` document — last epoch's attribution, or
+/// `present == false` before the first epoch joins / with profiling off.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ResourcesView {
+    /// True when a published attribution was present (not `null`).
+    pub present: bool,
+    /// Epoch the attribution describes.
+    pub epoch: u64,
+    /// Per-worker ledgers, slot order.
+    pub workers: Vec<WorkerLedger>,
+    /// Fleet kernel-boundary read amplification (rchar / logical).
+    pub read_amplification: f64,
+    /// Fleet storage-layer read amplification (read_bytes / logical).
+    pub block_read_amplification: f64,
+    /// Fleet on-CPU share of summed worker wall time.
+    pub fleet_cpu_share: f64,
+}
+
+/// Parses a `GET /resources` document. A `"resources": null` body (no
+/// epoch published yet, or profiling off) parses to an absent view —
+/// the dashboard then simply omits the ledger rows.
+///
+/// # Errors
+/// Returns a message when the text is not JSON at all.
+pub fn parse_resources(text: &str) -> Result<ResourcesView, String> {
+    let root = Json::parse(text)?;
+    let mut view = ResourcesView {
+        epoch: u64_field(&root, "epoch"),
+        ..ResourcesView::default()
+    };
+    let Some(res) = root.get("resources").filter(|r| !matches!(r, Json::Null)) else {
+        return Ok(view);
+    };
+    view.present = true;
+    view.read_amplification = f64_field(res, "read_amplification");
+    view.block_read_amplification = f64_field(res, "block_read_amplification");
+    let fleet = res.get("fleet").cloned().unwrap_or(Json::object());
+    view.fleet_cpu_share = f64_field(&fleet, "cpu_share");
+    for w in res.get("workers").and_then(Json::as_array).unwrap_or(&[]) {
+        let ledger = w.get("ledger").cloned().unwrap_or(Json::object());
+        view.workers.push(WorkerLedger {
+            worker: u64_field(w, "worker"),
+            wall_nanos: u64_field(w, "wall_nanos"),
+            compute_nanos: u64_field(&ledger, "compute_nanos"),
+            submit_nanos: u64_field(&ledger, "submit_nanos"),
+            io_wait_nanos: u64_field(&ledger, "io_wait_nanos"),
+            reap_nanos: u64_field(&ledger, "reap_nanos"),
+            other_nanos: u64_field(&ledger, "other_nanos"),
+            accounted_share: f64_field(&ledger, "accounted_share"),
+            cpu_share: f64_field(w, "cpu_share"),
+        });
+    }
+    Ok(view)
+}
+
+/// Renders a worker's time ledger as a fixed-width proportional bar:
+/// one glyph class per bucket (`█` compute, `▓` submit, `▒` io_wait,
+/// `░` reap, `·` other), apportioned by largest remainder so the bar is
+/// always exactly `width` cells when any time was recorded.
+pub fn ledger_bar(l: &WorkerLedger, width: usize) -> String {
+    let buckets = [
+        (l.compute_nanos, '█'),
+        (l.submit_nanos, '▓'),
+        (l.io_wait_nanos, '▒'),
+        (l.reap_nanos, '░'),
+        (l.other_nanos, '·'),
+    ];
+    let total: u64 = buckets.iter().map(|&(ns, _)| ns).sum();
+    if total == 0 || width == 0 {
+        return " ".repeat(width);
+    }
+    // Integer cells first, then distribute the remainder to the largest
+    // fractional parts so rounding never over- or under-fills the bar.
+    let mut cells: Vec<(usize, u64, char)> = buckets
+        .iter()
+        .map(|&(ns, g)| {
+            let exact = ns as u128 * width as u128;
+            (
+                (exact / total as u128) as usize,
+                (exact % total as u128) as u64,
+                g,
+            )
+        })
+        .collect();
+    let mut used: usize = cells.iter().map(|&(n, _, _)| n).sum();
+    while used < width {
+        if let Some(best) = cells
+            .iter_mut()
+            .max_by_key(|&&mut (_, frac, _)| frac)
+            .filter(|&&mut (_, frac, _)| frac > 0)
+        {
+            best.0 += 1;
+            best.1 = 0;
+            used += 1;
+        } else {
+            break;
+        }
+    }
+    let mut out = String::new();
+    for (n, _, g) in cells {
+        for _ in 0..n {
+            out.push(g);
+        }
+    }
+    while out.chars().count() < width {
+        out.push(' ');
+    }
+    out
 }
 
 const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -227,11 +372,22 @@ fn verdict_cell(state: &str, style: Style) -> String {
     }
 }
 
-/// Renders one dashboard frame from parsed `/history` series and
-/// `/congestion` verdicts. Pure and byte-stable for fixed inputs.
+fn ledger_for(resources: &ResourcesView, worker: u64) -> Option<&WorkerLedger> {
+    resources
+        .present
+        .then(|| resources.workers.iter().find(|l| l.worker == worker))
+        .flatten()
+}
+
+/// Renders one dashboard frame from parsed `/history` series,
+/// `/congestion` verdicts, and the `/resources` attribution (pass
+/// `ResourcesView::default()` when the endpoint had nothing — the
+/// ledger rows and amplification figures are simply omitted).
+/// Pure and byte-stable for fixed inputs.
 pub fn render_frame(
     series: &[WorkerSeries],
     verdicts: &[WorkerVerdict],
+    resources: &ResourcesView,
     width: usize,
     style: Style,
 ) -> String {
@@ -251,17 +407,19 @@ pub fn render_frame(
         fleet_bytes += ws.bytes_per_sec;
         let state = verdict_for(verdicts, ws.worker).map_or("?", |v| v.state.as_str());
         out.push_str(&format!(
-            "worker {} {} {} edges/s · {:.1} batches/s · {}/s · {:.1} enters/s\n",
+            "worker {} {} {} edges/s · {:.1} batches/s · {}/s · {:.1} enters/s · cpu {:.0}%\n",
             ws.worker,
             verdict_cell(state, style),
             human_count(ws.edges_per_sec as u64),
             ws.batches_per_sec,
             human_bytes(ws.bytes_per_sec as u64),
             ws.enters_per_sec,
+            ws.cpu_share * 100.0,
         ));
         let edges = deltas(&ws.series, |p| p.sampled_edges);
         let inflight: Vec<f64> = ws.series.iter().map(|p| p.inflight as f64).collect();
         let p99: Vec<f64> = ws.series.iter().map(|p| p.batch_p99_ns).collect();
+        let cpu: Vec<f64> = ws.series.iter().map(|p| p.cpu_share).collect();
         let last_p99 = p99.iter().copied().fold(0.0f64, f64::max);
         out.push_str(&format!(
             "  throughput |{}| ewma {} edges/s\n",
@@ -279,6 +437,20 @@ pub fn render_frame(
             human_nanos(last_p99 as u64),
             ws.p99_slope,
         ));
+        out.push_str(&format!(
+            "  cpu        |{}| win {:.0}%\n",
+            sparkline(&cpu, width),
+            ws.cpu_share * 100.0,
+        ));
+        if let Some(l) = ledger_for(resources, ws.worker) {
+            out.push_str(&format!(
+                "  ledger     |{}| acc {:.0}% of {} (epoch {})\n",
+                ledger_bar(l, width),
+                l.accounted_share * 100.0,
+                human_nanos(l.wall_nanos),
+                resources.epoch,
+            ));
+        }
         if let Some(v) = verdict_for(verdicts, ws.worker) {
             if v.state != "ok" {
                 out.push_str(&format!(
@@ -295,11 +467,20 @@ pub fn render_frame(
         }
     }
     out.push_str(&format!(
-        "fleet: {} edges/s · {:.1} batches/s · {}/s\n",
+        "fleet: {} edges/s · {:.1} batches/s · {}/s",
         human_count(fleet_edges as u64),
         fleet_batches,
         human_bytes(fleet_bytes as u64),
     ));
+    if resources.present {
+        out.push_str(&format!(
+            " · cpu {:.0}% · amp {:.2}x (block {:.2}x)",
+            resources.fleet_cpu_share * 100.0,
+            resources.read_amplification,
+            resources.block_read_amplification,
+        ));
+    }
+    out.push('\n');
     out
 }
 
@@ -316,6 +497,7 @@ mod tests {
             inflight,
             batch_p99_ns: p99,
             cq_wait_share: 0.1,
+            cpu_share: 0.5,
         }
     }
 
@@ -330,6 +512,7 @@ mod tests {
             edges_ewma: 5000.0,
             p99_slope: 12.0,
             cq_slope: 0.0,
+            cpu_share: 0.72,
             series: vec![
                 pt(0, 0, 8, 0.0),
                 pt(100, 500, 16, 90_000.0),
@@ -348,6 +531,30 @@ mod tests {
             cq_wait_share_slope: 0.0,
             batches_per_sec: 10.0,
             fleet_median_batches_per_sec: 10.0,
+        }
+    }
+
+    fn sample_resources(workers: &[u64]) -> ResourcesView {
+        ResourcesView {
+            present: true,
+            epoch: 3,
+            workers: workers
+                .iter()
+                .map(|&worker| WorkerLedger {
+                    worker,
+                    wall_nanos: 250_000_000,
+                    compute_nanos: 100_000_000,
+                    submit_nanos: 25_000_000,
+                    io_wait_nanos: 75_000_000,
+                    reap_nanos: 25_000_000,
+                    other_nanos: 25_000_000,
+                    accounted_share: 0.9,
+                    cpu_share: 0.6,
+                })
+                .collect(),
+            read_amplification: 2.5,
+            block_read_amplification: 1.25,
+            fleet_cpu_share: 0.6,
         }
     }
 
@@ -430,7 +637,8 @@ mod tests {
         let mut verdicts = vec![ok_verdict(0), ok_verdict(1)];
         verdicts[1].state = "straggler".into();
         verdicts[1].batches_per_sec = 1.0;
-        let frame = render_frame(&series, &verdicts, 16, Style::Plain);
+        let resources = sample_resources(&[0, 1]);
+        let frame = render_frame(&series, &verdicts, &resources, 16, Style::Plain);
         assert!(frame.contains("2 worker(s), 1 congested"), "{frame}");
         assert!(frame.contains("worker 0 [ok]"), "{frame}");
         assert!(frame.contains("worker 1 [straggler]"), "{frame}");
@@ -438,7 +646,12 @@ mod tests {
         assert!(frame.contains("throughput |"), "{frame}");
         assert!(frame.contains("queue      |"), "{frame}");
         assert!(frame.contains("batch p99  |"), "{frame}");
+        assert!(frame.contains("cpu        |"), "{frame}");
+        assert!(frame.contains("· cpu 72%"), "{frame}");
+        assert!(frame.contains("ledger     |"), "{frame}");
+        assert!(frame.contains("acc 90% of 250.0 ms (epoch 3)"), "{frame}");
         assert!(frame.contains("fleet: 10,000 edges/s · 20.0 batches/s"), "{frame}");
+        assert!(frame.contains("· amp 2.50x (block 1.25x)"), "{frame}");
         // Plain frames carry no escape codes — safe for goldens and CI logs.
         assert!(!frame.contains('\x1b'), "{frame}");
     }
@@ -447,11 +660,12 @@ mod tests {
     fn ansi_frame_highlights_non_ok_only() {
         let series = [sample_series(0)];
         let mut verdicts = vec![ok_verdict(0)];
-        let ok_frame = render_frame(&series, &verdicts, 16, Style::Ansi);
+        let none = ResourcesView::default();
+        let ok_frame = render_frame(&series, &verdicts, &none, 16, Style::Ansi);
         assert!(ok_frame.contains("\x1b[32m[ok]\x1b[0m"), "{ok_frame}");
         assert!(!ok_frame.contains("\x1b[1;31m"), "{ok_frame}");
         verdicts[0].state = "stalled".into();
-        let bad_frame = render_frame(&series, &verdicts, 16, Style::Ansi);
+        let bad_frame = render_frame(&series, &verdicts, &none, 16, Style::Ansi);
         assert!(bad_frame.contains("\x1b[1;31m[stalled]\x1b[0m"), "{bad_frame}");
     }
 
@@ -461,10 +675,69 @@ mod tests {
             worker: 7,
             ..WorkerSeries::default()
         }];
-        let frame = render_frame(&series, &[], 8, Style::Plain);
+        let none = ResourcesView::default();
+        let frame = render_frame(&series, &[], &none, 8, Style::Plain);
         assert!(frame.contains("worker 7 [?]"), "{frame}");
-        let empty = render_frame(&[], &[], 8, Style::Plain);
+        // No resources published: the ledger row and fleet amplification
+        // figures are omitted, the CPU sparkline stays (reads as 0%).
+        assert!(!frame.contains("ledger     |"), "{frame}");
+        assert!(!frame.contains("amp "), "{frame}");
+        assert!(frame.contains("cpu        |"), "{frame}");
+        let empty = render_frame(&[], &[], &none, 8, Style::Plain);
         assert!(empty.contains("0 worker(s), 0 congested"), "{empty}");
         assert!(empty.contains("fleet: 0 edges/s"), "{empty}");
+    }
+
+    #[test]
+    fn parse_resources_round_trips_and_tolerates_null() {
+        let text = r#"{"epoch": 4, "resources": {
+            "read_amplification": 3.2,
+            "block_read_amplification": 1.1,
+            "fleet": {"cpu_share": 0.8},
+            "workers": [{"worker": 2, "wall_nanos": 1000, "cpu_share": 0.75,
+                "ledger": {"compute_nanos": 400, "submit_nanos": 100,
+                           "io_wait_nanos": 300, "reap_nanos": 100,
+                           "other_nanos": 100, "accounted_share": 0.9,
+                           "conserved": true}}]}}"#;
+        let view = parse_resources(text).unwrap();
+        assert!(view.present);
+        assert_eq!(view.epoch, 4);
+        assert_eq!(view.read_amplification, 3.2);
+        assert_eq!(view.fleet_cpu_share, 0.8);
+        assert_eq!(view.workers.len(), 1);
+        let l = &view.workers[0];
+        assert_eq!(l.worker, 2);
+        assert_eq!(l.compute_nanos, 400);
+        assert_eq!(l.io_wait_nanos, 300);
+        assert_eq!(l.accounted_share, 0.9);
+        assert_eq!(l.cpu_share, 0.75);
+        // The pre-first-epoch placeholder parses to an absent view.
+        let absent = parse_resources("{\"epoch\": 0, \"resources\": null}").unwrap();
+        assert!(!absent.present);
+        assert!(absent.workers.is_empty());
+        assert!(parse_resources("nope").is_err());
+    }
+
+    #[test]
+    fn ledger_bar_is_proportional_and_exact_width() {
+        let l = WorkerLedger {
+            compute_nanos: 500,
+            submit_nanos: 125,
+            io_wait_nanos: 250,
+            reap_nanos: 125,
+            other_nanos: 0,
+            ..WorkerLedger::default()
+        };
+        let bar = ledger_bar(&l, 8);
+        assert_eq!(bar, "████▓▒▒░");
+        assert_eq!(bar.chars().count(), 8);
+        // All time in one bucket fills the bar with that glyph.
+        let idle = WorkerLedger {
+            io_wait_nanos: 1,
+            ..WorkerLedger::default()
+        };
+        assert_eq!(ledger_bar(&idle, 4), "▒▒▒▒");
+        // No recorded time renders as blanks, still exactly width cells.
+        assert_eq!(ledger_bar(&WorkerLedger::default(), 4), "    ");
     }
 }

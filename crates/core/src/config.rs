@@ -164,6 +164,14 @@ pub struct SamplerConfig {
     /// server exposes `/metrics`, `/progress`, and `/healthz` plus a
     /// stall watchdog. `None` (default) adds zero work to the hot path.
     pub telemetry: Option<TelemetryConfig>,
+    /// `ringprof` kernel resource attribution: workers take a full
+    /// `ResourceSample` (rusage + thread CPU clock + `/proc/self/io`)
+    /// at epoch start/end and one `CLOCK_THREAD_CPUTIME_ID` read per
+    /// batch, and the epoch report grows a `resources` block (time
+    /// ledger, CPU share, read amplification). Never changes sampling
+    /// output; disabling only removes the per-batch clock read and the
+    /// report block.
+    pub profile_resources: bool,
 }
 
 impl Default for SamplerConfig {
@@ -187,6 +195,7 @@ impl Default for SamplerConfig {
             read_plan: ReadPlanMode::Off,
             register_buffers: false,
             telemetry: None,
+            profile_resources: true,
         }
     }
 }
@@ -314,6 +323,13 @@ impl SamplerConfig {
     /// stall watchdog.
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Toggles `ringprof` kernel resource attribution (default on).
+    /// Sampling output is byte-identical either way.
+    pub fn profile_resources(mut self, enable: bool) -> Self {
+        self.profile_resources = enable;
         self
     }
 

@@ -10,9 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ringsampler_graph::{NodeId, OnDiskGraph};
+use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
 
-use ringstat::{SnapshotCell, WorkerSnapshot};
+use ringstat::{proc_io_now, SnapshotCell, WorkerSnapshot};
 
 use crate::block::BatchSample;
 use crate::config::SamplerConfig;
@@ -123,6 +123,15 @@ impl RingSampler {
         let batches: Vec<&[NodeId]> = targets.chunks(self.cfg.batch_size).collect();
         let num_threads = self.cfg.num_threads.min(batches.len().max(1));
         let start = Instant::now();
+        // Process-wide I/O counters bracket the epoch: `/proc/self/io`
+        // cannot be read per-thread, so physical bytes are measured once
+        // here and attributed to workers proportionally by logical bytes.
+        let proc_io_start = if self.cfg.profile_resources {
+            // ringlint: allow(resource-discipline) — epoch driver boundary: one procfs read before the workers spawn
+            Some(proc_io_now())
+        } else {
+            None
+        };
 
         // Fresh telemetry slots for this epoch (cold path; all `None`
         // when telemetry is off, costing the workers nothing).
@@ -151,6 +160,10 @@ impl RingSampler {
                     // flight-recorder timestamps are comparable across
                     // threads in the ringtrace stage table.
                     worker.set_span_origin(start);
+                    // Thread-scoped clocks (CLOCK_THREAD_CPUTIME_ID,
+                    // RUSAGE_THREAD) must be opened on the worker's own
+                    // thread, so the profile interval starts here.
+                    worker.begin_epoch_profile();
                     if let Some(h) = &self.telemetry {
                         if let Some(ring) = worker.events_ring() {
                             // Live `/trace` tail: cold-path registration,
@@ -189,10 +202,25 @@ impl RingSampler {
         }
         report.wall = start.elapsed();
         report.threads = num_threads;
+        if let (Some((rb0, rc0)), Some(res)) = (proc_io_start, report.resources.as_mut()) {
+            // ringlint: allow(resource-discipline) — epoch driver boundary: one procfs read after the workers join
+            let (rb1, rc1) = proc_io_now();
+            res.physical_read_bytes = rb1.saturating_sub(rb0);
+            res.physical_rchar = rc1.saturating_sub(rc0);
+            res.logical_bytes = report.metrics.sampled_edges * ENTRY_BYTES;
+        }
         if let Some(handle) = &self.telemetry {
             // Fold the epoch's congestion episodes (closing any still
             // open) into the post-mortem report.
             report.congestion = handle.registry().drain_episodes();
+            if report.resources.is_some() {
+                // Publish the finished attribution for GET /resources.
+                let doc = ringstat::Json::object()
+                    .with("epoch", ringstat::Json::U64(epoch))
+                    .with("resources", report.resources_json_value())
+                    .to_string_pretty();
+                handle.registry().publish_resources(doc);
+            }
         }
         Ok(report)
     }
@@ -365,7 +393,7 @@ mod tests {
         );
         assert_eq!(r.trace_dropped, 0, "small epoch must not overflow rings");
         let json = r.to_json();
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains(&format!("\"batches\": {}", r.metrics.batches)));
         let prom = r.to_prometheus();
         assert!(prom.contains(&format!(
@@ -375,6 +403,63 @@ mod tests {
         let trace = r.to_chrome_trace();
         assert!(trace.contains("\"traceEvents\""));
         assert!(trace.contains("\"name\": \"batch\""));
+    }
+
+    #[test]
+    fn epoch_report_carries_resource_attribution() {
+        let g = test_graph("prof", 400, 6_000);
+        let sampler = RingSampler::new(
+            g,
+            SamplerConfig::new()
+                .fanouts(&[3, 2])
+                .batch_size(64)
+                .threads(2)
+                .ring_entries(16),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..400).collect();
+        let r = sampler.sample_epoch(&targets).unwrap();
+        let res = r.resources.as_ref().expect("profiling defaults on");
+        assert_eq!(res.workers.len(), 2, "one resource row per worker");
+        for w in &res.workers {
+            assert!(w.wall_nanos > 0);
+            assert_eq!(w.ledger.wall_nanos, w.wall_nanos);
+            let sum: u64 = w.ledger.buckets().iter().map(|&(_, ns)| ns).sum();
+            assert_eq!(sum, w.wall_nanos, "ledger buckets must sum to wall");
+        }
+        assert_eq!(
+            res.logical_bytes,
+            r.metrics.sampled_edges * ENTRY_BYTES,
+            "logical bytes mirror the sampled edge volume"
+        );
+        // The fleet roll-up sums thread-scoped wall time.
+        let wall_sum: u64 = res.workers.iter().map(|w| w.wall_nanos).sum();
+        assert_eq!(res.fleet_ledger.wall_nanos, wall_sum);
+        let json = r.to_json();
+        assert!(json.contains("\"resources\""));
+        assert!(json.contains("\"read_amplification\""));
+        assert!(json.contains("\"physical_attribution\": \"proportional\""));
+        let prom = r.to_prometheus();
+        assert!(prom.contains("ringsampler_cpu_seconds_total{mode=\"user\"}"));
+        assert!(prom.contains("ringsampler_read_amplification"));
+    }
+
+    #[test]
+    fn profiling_off_leaves_report_resources_empty() {
+        let g = test_graph("noprof", 300, 3_000);
+        let sampler = RingSampler::new(
+            g,
+            SamplerConfig::new()
+                .fanouts(&[3])
+                .batch_size(64)
+                .threads(2)
+                .profile_resources(false),
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = (0..300).collect();
+        let r = sampler.sample_epoch(&targets).unwrap();
+        assert!(r.resources.is_none());
+        assert!(r.to_json().contains("\"resources\": null"));
     }
 
     #[test]

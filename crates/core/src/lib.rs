@@ -61,7 +61,7 @@ pub use engine::{epoch_targets, RingSampler};
 pub use layerwise::LayerwisePlan;
 pub use error::{Result, SamplerError};
 pub use memory::{parse_budget, MemoryBudget, MemoryCharge};
-pub use metrics::{EpochReport, SampleMetrics, WorkerStats};
+pub use metrics::{EpochReport, ResourceReport, SampleMetrics, WorkerResources, WorkerStats};
 pub use ondemand::{run_on_demand, OnDemandReport};
 pub use plan::{PlanStats, ReadPlanMode, ReadPlanner};
 pub use telemetry::{SnapshotRegistry, StallDetector, TelemetryConfig, TelemetryHandle};

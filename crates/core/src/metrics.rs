@@ -13,7 +13,8 @@ use std::time::Duration;
 use ringsampler_io::{ReaderStats, RingSetupInfo};
 use ringstat::{
     human_bytes, human_count, human_nanos, ChromeTrace, Json, LatencyHistogram, Phase,
-    PhaseTimes, PromWriter, SpanLog, TraceEvent,
+    PhaseTimes, PromWriter, ResourceSample, SpanLog, TimeLedger, TraceEvent,
+    CONSERVATION_THRESHOLD,
 };
 
 use crate::telemetry::{CongestionEpisode, CongestionState};
@@ -168,6 +169,156 @@ impl SampleMetrics {
     }
 }
 
+/// One worker's `ringprof` epoch delta: the kernel counter deltas its
+/// thread accumulated between epoch start and join, plus the
+/// conservation-checked time ledger derived from them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerResources {
+    /// Wall nanoseconds between the worker's epoch-start and epoch-end
+    /// resource samples (the ledger's denominator).
+    pub wall_nanos: u64,
+    /// Kernel counter deltas over the epoch. Thread-scoped except the
+    /// `proc_*` fields, which are process-wide (see
+    /// [`ringstat::ResourceSample`]).
+    pub sample: ResourceSample,
+    /// The `{compute, submit, io_wait, reap, other}` wall-time split.
+    pub ledger: TimeLedger,
+    /// Logical bytes this worker's sampling consumed
+    /// (`sampled_edges × ENTRY_BYTES`) — the denominator of its
+    /// proportional share of the process-wide physical bytes.
+    pub logical_bytes: u64,
+}
+
+impl WorkerResources {
+    /// Fraction of the epoch wall this worker's thread spent on-CPU.
+    pub fn cpu_share(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            (self.sample.cpu_nanos as f64 / self.wall_nanos as f64).min(1.0)
+        }
+    }
+
+    /// Context switches (voluntary + involuntary) per wall second.
+    pub fn ctx_switches_per_sec(&self) -> f64 {
+        per_sec(
+            self.sample
+                .vol_ctx_switches
+                .saturating_add(self.sample.invol_ctx_switches),
+            self.wall_nanos,
+        )
+    }
+
+    /// Page faults (minor + major) per wall second.
+    pub fn faults_per_sec(&self) -> f64 {
+        per_sec(
+            self.sample
+                .minor_faults
+                .saturating_add(self.sample.major_faults),
+            self.wall_nanos,
+        )
+    }
+}
+
+/// Events per second given a wall span in nanoseconds (0.0 for an empty
+/// span).
+fn per_sec(count: u64, wall_nanos: u64) -> f64 {
+    if wall_nanos == 0 {
+        0.0
+    } else {
+        count as f64 / (wall_nanos as f64 / 1e9)
+    }
+}
+
+/// The epoch-level `ringprof` block (report schema v6): per-worker
+/// deltas, the fleet roll-up, the process-wide physical I/O deltas, and
+/// the derived read-amplification ratios.
+///
+/// `/proc/self/io` is **process-wide**, so per-worker physical bytes
+/// exist only as a proportional attribution over `logical_bytes` — the
+/// JSON block labels them `attributed_physical_bytes` and carries
+/// `"physical_attribution": "proportional"` so consumers cannot mistake
+/// them for a kernel-provided per-thread counter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResourceReport {
+    /// One entry per worker thread, in thread-index order.
+    pub workers: Vec<WorkerResources>,
+    /// Merged kernel deltas: thread-scoped fields summed, process-wide
+    /// fields maxed (see [`ResourceSample::merge`]).
+    pub fleet: ResourceSample,
+    /// Bucket-wise sum of every worker's ledger.
+    pub fleet_ledger: TimeLedger,
+    /// Process-wide `rchar` delta across the epoch: bytes requested from
+    /// the kernel through read paths. **Not** incremented by `io_uring`
+    /// reads on current kernels; the pread engine counts fully.
+    pub physical_rchar: u64,
+    /// Process-wide `read_bytes` delta: bytes fetched from the storage
+    /// layer. ~0 when the OS page cache is warm.
+    pub physical_read_bytes: u64,
+    /// Logical bytes sampled across the fleet
+    /// (`sampled_edges × ENTRY_BYTES`).
+    pub logical_bytes: u64,
+}
+
+impl ResourceReport {
+    /// Folds one worker's epoch delta into the block.
+    pub fn absorb(&mut self, worker: WorkerResources) {
+        self.fleet.merge(&worker.sample);
+        self.fleet_ledger.merge(&worker.ledger);
+        self.workers.push(worker);
+    }
+
+    /// `read_amplification = physical_bytes / logical_bytes_sampled`,
+    /// with physical measured at the kernel read boundary (`rchar`).
+    /// ≥ 1.0 on an uncached pread run (every logical byte crosses the
+    /// boundary at least once); drops below 1.0 when the page cache
+    /// serves repeats. 0.0 when either side is unmeasured.
+    pub fn read_amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            self.physical_rchar as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Amplification at the storage layer (`read_bytes`-based): what the
+    /// disks actually moved per logical byte. ~0 whenever the OS page
+    /// cache already held the edge file.
+    pub fn block_read_amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            self.physical_read_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Fraction of the fleet's wall time its threads spent on-CPU.
+    pub fn fleet_cpu_share(&self) -> f64 {
+        if self.fleet_ledger.wall_nanos == 0 {
+            0.0
+        } else {
+            (self.fleet.cpu_nanos as f64 / self.fleet_ledger.wall_nanos as f64).min(1.0)
+        }
+    }
+
+    /// This worker's proportional share of the process-wide physical
+    /// bytes (labeled attribution — `/proc/self/io` has no per-thread
+    /// truth to offer).
+    pub fn attributed_physical_bytes(&self, worker_logical: u64) -> u64 {
+        if self.logical_bytes == 0 {
+            return 0;
+        }
+        ((self.physical_rchar as u128 * worker_logical as u128)
+            / self.logical_bytes as u128) as u64
+    }
+
+    /// True iff every worker's ledger accounts for at least `threshold`
+    /// of its wall time.
+    pub fn conserves(&self, threshold: f64) -> bool {
+        self.workers.iter().all(|w| w.ledger.conserves(threshold))
+    }
+}
+
 /// Everything one worker thread accumulated over its lifetime: flat
 /// counters plus the thread-private `ringstat` distributions.
 ///
@@ -201,6 +352,11 @@ pub struct WorkerStats {
     /// What the kernel actually granted: requested vs granted setup
     /// flags, ring-fd registration, pbuf ring, lazy submission.
     pub ring_setup: RingSetupInfo,
+    /// `ringprof` epoch delta for this worker: populated by the
+    /// epoch-join path (`take_stats`) when `profile_resources` is on;
+    /// `None` from the non-destructive `stats` snapshot or with
+    /// profiling disabled.
+    pub resources: Option<WorkerResources>,
 }
 
 impl WorkerStats {
@@ -255,6 +411,12 @@ pub struct EpochReport {
     /// contiguous run of a non-`ok` verdict, with its time bounds on the
     /// telemetry timeline. Drained from the registry at epoch join.
     pub congestion: Vec<CongestionEpisode>,
+    /// `ringprof` kernel resource attribution: per-worker deltas, the
+    /// fleet roll-up, and the read-amplification ratios. `None` when
+    /// `profile_resources` is off. Worker entries accumulate via
+    /// [`absorb`](Self::absorb); the epoch driver fills the process-wide
+    /// physical deltas and `logical_bytes` afterwards.
+    pub resources: Option<ResourceReport>,
 }
 
 impl EpochReport {
@@ -290,12 +452,29 @@ impl EpochReport {
         self.thread_spans.push(worker.spans);
         self.thread_events.push(worker.events);
         self.trace_dropped += worker.trace_dropped;
+        if let Some(res) = worker.resources {
+            self.resources.get_or_insert_with(Default::default).absorb(res);
+        }
     }
 
-    /// The report as a JSON tree (`schema_version` 5). Raw values only —
+    /// The `resources` block alone as a JSON value (`Null` with
+    /// profiling off) — also the payload the engine publishes for
+    /// ringscope's `GET /resources`.
+    pub fn resources_json_value(&self) -> Json {
+        match &self.resources {
+            Some(r) => resources_json(r),
+            None => Json::Null,
+        }
+    }
+
+    /// The report as a JSON tree (`schema_version` 6). Raw values only —
     /// humanization is a Display concern.
     ///
-    /// Schema history: v5 added the `congestion` block (episodes with
+    /// Schema history: v6 added the `resources` block (`ringprof`:
+    /// per-worker kernel resource deltas, the conservation-checked time
+    /// ledger, fleet CPU share, and the read-amplification ratios;
+    /// `null` when profiling is off) and the `cpu_saturated` congestion
+    /// state; v5 added the `congestion` block (episodes with
     /// worker, state, and time bounds, plus per-state totals) from the
     /// telemetry history layer; v4 added the `ring` block (mode,
     /// requested vs granted setup flags, ladder state), the buffer-ring
@@ -383,8 +562,9 @@ impl EpochReport {
         let congestion = Json::object()
             .with("episodes", Json::Array(episodes))
             .with("by_state", by_state);
+        let resources = self.resources_json_value();
         Json::object()
-            .with("schema_version", Json::U64(5))
+            .with("schema_version", Json::U64(6))
             .with("threads", Json::U64(self.threads as u64))
             .with("wall_seconds", Json::F64(self.seconds()))
             .with("counters", counters)
@@ -395,6 +575,7 @@ impl EpochReport {
             .with("spans", spans)
             .with("trace", trace)
             .with("congestion", congestion)
+            .with("resources", resources)
     }
 
     /// The raw flight-recorder dump as JSON: per-thread event lists with
@@ -443,7 +624,7 @@ impl EpochReport {
         // `schema` label to detect format bumps, mirroring the JSON
         // export's `schema_version`.
         let mut with_schema: Vec<(&str, &str)> = labels.to_vec();
-        with_schema.push(("schema", "5"));
+        with_schema.push(("schema", "6"));
         w.gauge(
             "ringsampler_report_info",
             "Report format marker; the schema label tracks the JSON schema_version",
@@ -575,7 +756,7 @@ impl EpochReport {
             labels,
             self.trace_dropped,
         );
-        // Congestion episodes by state, all four non-ok states emitted
+        // Congestion episodes by state, every non-ok state emitted
         // (zeros included) so the label set is stable across runs.
         for state in CongestionState::NON_OK {
             let n = self.congestion.iter().filter(|e| e.state == state).count() as u64;
@@ -596,6 +777,72 @@ impl EpochReport {
                 "Nanoseconds per pipeline phase",
                 &with_phase,
                 self.phases.get(p),
+            );
+        }
+        // ringprof families — emitted only when profiling ran, so a
+        // profiling-off exposition is byte-identical to pre-v6 output
+        // modulo the schema label.
+        if let Some(r) = &self.resources {
+            for (mode, nanos) in [("user", r.fleet.user_nanos), ("sys", r.fleet.sys_nanos)] {
+                let mut with_mode: Vec<(&str, &str)> = labels.to_vec();
+                with_mode.push(("mode", mode));
+                w.gauge(
+                    "ringsampler_cpu_seconds_total",
+                    "Fleet CPU time by mode (getrusage RUSAGE_THREAD, summed over workers)",
+                    &with_mode,
+                    nanos as f64 / 1e9,
+                );
+            }
+            for (kind, n) in [
+                ("voluntary", r.fleet.vol_ctx_switches),
+                ("involuntary", r.fleet.invol_ctx_switches),
+            ] {
+                let mut with_kind: Vec<(&str, &str)> = labels.to_vec();
+                with_kind.push(("kind", kind));
+                w.counter(
+                    "ringsampler_ctx_switches_total",
+                    "Fleet context switches by kind",
+                    &with_kind,
+                    n,
+                );
+            }
+            for (kind, n) in [("minor", r.fleet.minor_faults), ("major", r.fleet.major_faults)] {
+                let mut with_kind: Vec<(&str, &str)> = labels.to_vec();
+                with_kind.push(("kind", kind));
+                w.counter(
+                    "ringsampler_page_faults_total",
+                    "Fleet page faults by kind",
+                    &with_kind,
+                    n,
+                );
+            }
+            for (bucket, nanos) in r.fleet_ledger.buckets() {
+                let mut with_bucket: Vec<(&str, &str)> = labels.to_vec();
+                with_bucket.push(("bucket", bucket));
+                w.counter(
+                    "ringsampler_ledger_nanos_total",
+                    "Fleet time-ledger nanoseconds by bucket (other = unaccounted)",
+                    &with_bucket,
+                    nanos,
+                );
+            }
+            w.gauge(
+                "ringsampler_cpu_share",
+                "Fleet on-CPU fraction of epoch wall time",
+                labels,
+                r.fleet_cpu_share(),
+            );
+            w.gauge(
+                "ringsampler_read_amplification",
+                "Process-wide kernel-boundary bytes (rchar) per logical byte sampled",
+                labels,
+                r.read_amplification(),
+            );
+            w.gauge(
+                "ringsampler_block_read_amplification",
+                "Storage-layer bytes (read_bytes) per logical byte sampled",
+                labels,
+                r.block_read_amplification(),
             );
         }
         w.gauge("ringsampler_epoch_seconds", "Epoch wall time", labels, self.seconds());
@@ -658,6 +905,81 @@ impl EpochReport {
         }
         t.to_json()
     }
+}
+
+/// The `resources` JSON block (shared by the epoch report and the
+/// `ringscope` `/resources` endpoint, so both stay byte-compatible).
+pub(crate) fn resources_json(r: &ResourceReport) -> Json {
+    let workers: Vec<Json> = r
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let s = &w.sample;
+            Json::object()
+                .with("worker", Json::U64(i as u64))
+                .with("wall_nanos", Json::U64(w.wall_nanos))
+                .with("cpu_nanos", Json::U64(s.cpu_nanos))
+                .with("user_nanos", Json::U64(s.user_nanos))
+                .with("sys_nanos", Json::U64(s.sys_nanos))
+                .with("cpu_share", Json::F64(w.cpu_share()))
+                .with("vol_ctx_switches", Json::U64(s.vol_ctx_switches))
+                .with("invol_ctx_switches", Json::U64(s.invol_ctx_switches))
+                .with("ctx_switches_per_sec", Json::F64(w.ctx_switches_per_sec()))
+                .with("minor_faults", Json::U64(s.minor_faults))
+                .with("major_faults", Json::U64(s.major_faults))
+                .with("faults_per_sec", Json::F64(w.faults_per_sec()))
+                .with("logical_bytes", Json::U64(w.logical_bytes))
+                .with(
+                    "attributed_physical_bytes",
+                    Json::U64(r.attributed_physical_bytes(w.logical_bytes)),
+                )
+                .with("ledger", ledger_json(&w.ledger))
+        })
+        .collect();
+    let fleet = Json::object()
+        .with("cpu_nanos", Json::U64(r.fleet.cpu_nanos))
+        .with("user_nanos", Json::U64(r.fleet.user_nanos))
+        .with("sys_nanos", Json::U64(r.fleet.sys_nanos))
+        .with("cpu_share", Json::F64(r.fleet_cpu_share()))
+        .with("vol_ctx_switches", Json::U64(r.fleet.vol_ctx_switches))
+        .with("invol_ctx_switches", Json::U64(r.fleet.invol_ctx_switches))
+        .with("minor_faults", Json::U64(r.fleet.minor_faults))
+        .with("major_faults", Json::U64(r.fleet.major_faults))
+        .with("ledger", ledger_json(&r.fleet_ledger));
+    Json::object()
+        .with("workers", Json::Array(workers))
+        .with("fleet", fleet)
+        .with("physical_rchar", Json::U64(r.physical_rchar))
+        .with("physical_read_bytes", Json::U64(r.physical_read_bytes))
+        .with("logical_bytes", Json::U64(r.logical_bytes))
+        .with("read_amplification", Json::F64(r.read_amplification()))
+        .with(
+            "block_read_amplification",
+            Json::F64(r.block_read_amplification()),
+        )
+        // /proc/self/io is process-wide: per-worker physical bytes above
+        // are a proportional attribution, and this label says so.
+        .with("physical_attribution", Json::str("proportional"))
+        .with(
+            "conserved",
+            Json::Bool(r.conserves(CONSERVATION_THRESHOLD)),
+        )
+}
+
+/// One time ledger as JSON: the five buckets plus the conservation
+/// arithmetic, unaccounted time reported explicitly.
+pub(crate) fn ledger_json(l: &TimeLedger) -> Json {
+    let mut out = Json::object().with("wall_nanos", Json::U64(l.wall_nanos));
+    for (name, ns) in l.buckets() {
+        out.push(&format!("{name}_nanos"), Json::U64(ns));
+    }
+    out.with("accounted_share", Json::F64(l.accounted_share()))
+        .with("unaccounted_share", Json::F64(l.unaccounted_share()))
+        .with(
+            "conserved",
+            Json::Bool(l.conserves(CONSERVATION_THRESHOLD)),
+        )
 }
 
 fn hist_json(h: &LatencyHistogram) -> Json {
@@ -917,7 +1239,7 @@ mod tests {
         assert_eq!(r.threads, 1);
         let json = r.to_json();
         for key in [
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"counters\"",
             "\"derived\"",
             "\"phase_nanos\"",
@@ -931,6 +1253,9 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Profiling was off for this synthetic report: the resources
+        // block must be explicitly null, not missing.
+        assert!(json.contains("\"resources\": null"), "{json}");
     }
 
     #[test]

@@ -42,8 +42,8 @@ use std::time::{Duration, Instant};
 
 use ringsampler_io::IoEngineError;
 use ringstat::history::{
-    batch_p99_series, batch_p99_slope, cq_wait_share_series, cq_wait_share_slope, ewma,
-    interval_series, io_busy_share, mean_inflight, windowed_rates,
+    batch_p99_series, batch_p99_slope, cpu_share, cpu_share_series, cq_wait_share_series,
+    cq_wait_share_slope, ewma, interval_series, io_busy_share, mean_inflight, windowed_rates,
 };
 use ringstat::{
     EventRing, HistoryPoint, HistoryRing, HttpServer, Json, PromWriter, Response, SnapshotCell,
@@ -168,6 +168,13 @@ pub struct CongestionConfig {
     /// below this fraction of the fleet median
     /// (`RS_CONGESTION_STRAGGLER`).
     pub straggler_ratio: f64,
+    /// Windowed on-CPU share (thread CPU time over wall, from the
+    /// ringprof snapshots) at or above which a saturated queue is
+    /// attributed to the *thread* rather than the device: the verdict
+    /// becomes `cpu_saturated` instead of `queue_saturated`
+    /// (`RS_CONGESTION_CPU_FLOOR`). Requires `profile_resources`; with
+    /// profiling off the share reads 0 and the split never fires.
+    pub cpu_floor: f64,
 }
 
 impl Default for CongestionConfig {
@@ -180,6 +187,7 @@ impl Default for CongestionConfig {
             cq_floor: 0.6,
             cq_busy: 0.25,
             straggler_ratio: 0.35,
+            cpu_floor: 0.85,
         }
     }
 }
@@ -203,6 +211,7 @@ impl CongestionConfig {
             cq_floor: env("RS_CONGESTION_CQ_FLOOR", d.cq_floor),
             cq_busy: env("RS_CONGESTION_CQ_BUSY", d.cq_busy),
             straggler_ratio: env("RS_CONGESTION_STRAGGLER", d.straggler_ratio),
+            cpu_floor: env("RS_CONGESTION_CPU_FLOOR", d.cpu_floor),
         }
     }
 
@@ -249,6 +258,11 @@ impl CongestionConfig {
                 "congestion straggler_ratio must be in (0, 1)".into(),
             ));
         }
+        if !self.cpu_floor.is_finite() || self.cpu_floor <= 0.0 || self.cpu_floor > 1.0 {
+            return Err(SamplerError::InvalidConfig(
+                "congestion cpu_floor must be in (0, 1]".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -287,6 +301,12 @@ pub struct SnapshotRegistry {
     /// Congestion episode tracking (verdict transitions with their time
     /// bounds), updated by the telemetry thread, drained at epoch join.
     congestion: Mutex<CongestionLog>,
+    /// The last completed epoch's rendered ringprof document, published
+    /// by the engine at epoch join and served verbatim by
+    /// `GET /resources`. Deliberately *not* cleared on epoch reset: the
+    /// previous epoch's attribution stays queryable while the next one
+    /// runs.
+    resources: Mutex<Option<String>>,
 }
 
 impl SnapshotRegistry {
@@ -413,6 +433,30 @@ impl SnapshotRegistry {
             Ok(mut log) => log.drain(),
             Err(_) => Vec::new(),
         }
+    }
+
+    /// Publishes the rendered ringprof document for `GET /resources`
+    /// (epoch-join path; the engine renders it from the final
+    /// [`crate::metrics::EpochReport`]).
+    pub fn publish_resources(&self, doc: String) {
+        if let Ok(mut res) = self.resources.lock() {
+            *res = Some(doc);
+        }
+    }
+
+    /// The document `GET /resources` serves: the last published ringprof
+    /// attribution, or an explicit `"resources": null` placeholder
+    /// before the first epoch joins (or with profiling off).
+    pub fn resources_document(&self) -> String {
+        if let Ok(res) = self.resources.lock() {
+            if let Some(doc) = res.as_ref() {
+                return doc.clone();
+            }
+        }
+        Json::object()
+            .with("epoch", Json::U64(0))
+            .with("resources", Json::Null)
+            .to_string_pretty()
     }
 
     /// Registers worker `worker`'s flight-recorder ring for the live
@@ -589,14 +633,21 @@ impl StallDetector {
 
 /// A worker's congestion verdict (DESIGN.md §14). Exactly one state per
 /// worker per tick; the detectors are checked in severity order
-/// (`stalled` > `queue_saturated` > `cq_wait_rising` > `straggler`).
+/// (`stalled` > `cpu_saturated` > `queue_saturated` > `cq_wait_rising`
+/// > `straggler`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CongestionState {
     /// No detector fired (also the verdict for inactive workers and
     /// windows too thin to judge).
     Ok,
-    /// Mean in-flight read depth pinned at/above the queue threshold:
-    /// the ring can no longer absorb bursts.
+    /// The queue is pinned *and* the worker's windowed CPU share sits at
+    /// or above the CPU floor: the backlog is caused by the thread
+    /// itself being compute-bound, not by slow storage. Throwing more
+    /// ring depth at this worker cannot help; fanout or plan cost can.
+    CpuSaturated,
+    /// Mean in-flight read depth pinned at/above the queue threshold
+    /// while the worker still has CPU headroom: the drive (or the ring)
+    /// can no longer absorb bursts.
     QueueSaturated,
     /// The share of I/O time spent blocked on the completion queue is
     /// both high and rising — the paper's congestion-collapse signature.
@@ -614,6 +665,7 @@ impl CongestionState {
     pub fn name(self) -> &'static str {
         match self {
             CongestionState::Ok => "ok",
+            CongestionState::CpuSaturated => "cpu_saturated",
             CongestionState::QueueSaturated => "queue_saturated",
             CongestionState::CqWaitRising => "cq_wait_rising",
             CongestionState::Stalled => "stalled",
@@ -623,8 +675,9 @@ impl CongestionState {
 
     /// Every non-`ok` state, in severity order — the stable label set
     /// for zero-initialized counters.
-    pub const NON_OK: [CongestionState; 4] = [
+    pub const NON_OK: [CongestionState; 5] = [
         CongestionState::Stalled,
+        CongestionState::CpuSaturated,
         CongestionState::QueueSaturated,
         CongestionState::CqWaitRising,
         CongestionState::Straggler,
@@ -651,6 +704,10 @@ pub struct CongestionEvidence {
     /// Fraction of the window's wall time the worker spent in I/O —
     /// the significance gate for the CQ-wait figures.
     pub io_busy_share: f64,
+    /// The worker's windowed on-CPU share (thread CPU time over wall),
+    /// from the ringprof column of the history points. 0 when resource
+    /// profiling is off.
+    pub cpu_share: f64,
     /// This worker's windowed batch completion rate.
     pub batches_per_sec: f64,
     /// The fleet median windowed batch rate (active workers with enough
@@ -849,6 +906,7 @@ impl CongestionDetector {
             cq_wait_share: cq_series.last().map(|&(_, s)| s).unwrap_or(0.0),
             cq_wait_share_slope: cq_wait_share_slope(pts),
             io_busy_share: io_busy_share(pts),
+            cpu_share: cpu_share(pts),
             batches_per_sec: rates.batches_per_sec,
             fleet_median_batches_per_sec: median,
             batch_p99_slope_ns_per_sec: batch_p99_slope(pts),
@@ -858,7 +916,15 @@ impl CongestionDetector {
         } else if !self.judgeable(pts) {
             CongestionState::Ok
         } else if evidence.mean_inflight >= self.cfg.queue_depth {
-            CongestionState::QueueSaturated
+            // A pinned queue has two distinct causes: the device can't
+            // drain it (queue_saturated), or the thread is too busy to
+            // feed/reap it (cpu_saturated). The ringprof CPU share is
+            // the discriminator.
+            if evidence.cpu_share >= self.cfg.cpu_floor {
+                CongestionState::CpuSaturated
+            } else {
+                CongestionState::QueueSaturated
+            }
         } else if evidence.io_busy_share >= self.cfg.cq_busy
             && evidence.cq_wait_share >= self.cfg.cq_floor
             && evidence.cq_wait_share_slope >= self.cfg.cq_slope
@@ -1013,6 +1079,12 @@ pub fn metrics_document(
             "Read requests currently in flight on the worker's ring",
             labels,
             s.inflight as f64,
+        );
+        w.counter(
+            "ringsampler_worker_cpu_nanos_total",
+            "Thread CPU time consumed this epoch (ringprof; 0 with profiling off)",
+            labels,
+            s.cpu_nanos,
         );
         // Requested vs granted ring setup (zero for the pread engine):
         // divergence between the two words is the live fallback signal.
@@ -1208,12 +1280,14 @@ pub fn history_document(windows: &[(usize, Vec<HistoryPoint>)], window: usize) -
                 .with(
                     "cq_wait_share_slope_per_sec",
                     Json::F64(cq_wait_share_slope(pts)),
-                );
+                )
+                .with("cpu_share", Json::F64(cpu_share(pts)));
             // Per-point derived columns are aligned with the raw series:
             // interval quantities (p99, cq share) describe the interval
             // *ending* at each point, so the first point reports zeros.
             let p99s = batch_p99_series(pts);
             let cq = cq_wait_share_series(pts);
+            let cpu = cpu_share_series(pts);
             let at = |series: &[(u64, f64)], t_ms: u64| {
                 series
                     .iter()
@@ -1234,6 +1308,7 @@ pub fn history_document(windows: &[(usize, Vec<HistoryPoint>)], window: usize) -
                         .with("io_groups", Json::U64(p.snap.io_groups))
                         .with("batch_p99_ns", Json::F64(at(&p99s, p.t_ms)))
                         .with("cq_wait_share", Json::F64(at(&cq, p.t_ms)))
+                        .with("cpu_share", Json::F64(at(&cpu, p.t_ms)))
                 })
                 .collect();
             Json::object()
@@ -1292,6 +1367,7 @@ pub fn congestion_document(verdicts: &[CongestionVerdict]) -> String {
                         .with("cq_wait_share", Json::F64(e.cq_wait_share))
                         .with("cq_wait_share_slope", Json::F64(e.cq_wait_share_slope))
                         .with("io_busy_share", Json::F64(e.io_busy_share))
+                        .with("cpu_share", Json::F64(e.cpu_share))
                         .with("batches_per_sec", Json::F64(e.batches_per_sec))
                         .with(
                             "fleet_median_batches_per_sec",
@@ -1391,9 +1467,7 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
         while !shutdown.load(Ordering::Acquire) {
             let now = Instant::now();
             let obs = registry.observe();
-            for event in detector.observe(&obs, now) {
-                warn_stalled(&event);
-            }
+            let newly_stalled = detector.observe(&obs, now);
             healthy.store(detector.healthy(), Ordering::Release);
             let stalled = detector.stalled_workers();
             let rates = compute_rates(&obs, &mut baseline, &mut recent, now);
@@ -1409,6 +1483,17 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
             } else {
                 Vec::new()
             };
+            // Stall dumps come *after* the congestion tick so the black
+            // box carries this tick's verdicts, not last tick's.
+            for event in &newly_stalled {
+                let doc = stall_blackbox_document(
+                    event,
+                    &registry.observe_traces(STALL_TRACE_TAIL),
+                    &registry.history_windows(STALL_HISTORY_POINTS),
+                    &verdicts,
+                );
+                eprintln!("{}", doc.to_string_compact());
+            }
             server.poll(8, |req| match req.path.as_str() {
                 "/metrics" => {
                     let extras = MetricsExtras {
@@ -1426,6 +1511,7 @@ pub fn spawn_server(cfg: &TelemetryConfig, registry: Arc<SnapshotRegistry>) -> R
                 "/progress" => Response::json(progress_document(&obs, &stalled, &rates)),
                 "/trace" => Response::json(trace_document(&registry.observe_traces(256))),
                 "/congestion" => Response::json(congestion_document(&verdicts)),
+                "/resources" => Response::json(registry.resources_document()),
                 path if path == "/history" || path.starts_with("/history?") => {
                     let window = query_param(path, "window")
                         .map(|w| (w as usize).clamp(2, 4096))
@@ -1534,9 +1620,23 @@ fn compute_rates(
     }
 }
 
-/// Emits the structured one-shot stall warning with the worker's
-/// last-known state (group index, in-flight depth) to stderr.
-fn warn_stalled(event: &StallEvent) {
+/// Flight-recorder events included in a stall black box per worker.
+const STALL_TRACE_TAIL: usize = 32;
+/// History points included in a stall black box.
+const STALL_HISTORY_POINTS: usize = 16;
+
+/// Builds the one-shot `ringscope_stall` black-box document: the
+/// worker's last-known snapshot, the tail of its flight-recorder ring
+/// (what the worker was *doing* when it wedged), its recent history
+/// points (how it got there), and the fleet's congestion verdicts from
+/// the same tick (who else was suffering). Pure: same inputs ⇒ same
+/// document; the server emits it compactly to stderr.
+pub fn stall_blackbox_document(
+    event: &StallEvent,
+    tails: &[TraceTail],
+    windows: &[(usize, Vec<HistoryPoint>)],
+    verdicts: &[CongestionVerdict],
+) -> Json {
     let mut doc = Json::object()
         .with("event", Json::str("ringscope_stall"))
         .with("worker", Json::U64(event.worker as u64));
@@ -1547,9 +1647,49 @@ fn warn_stalled(event: &StallEvent) {
             .with("io_groups", Json::U64(s.io_groups))
             .with("inflight", Json::U64(s.inflight))
             .with("reads_submitted", Json::U64(s.reads_submitted))
-            .with("reads_completed", Json::U64(s.reads_completed));
+            .with("reads_completed", Json::U64(s.reads_completed))
+            .with("cpu_nanos", Json::U64(s.cpu_nanos));
     }
-    eprintln!("{}", doc.to_string_compact());
+    let trace = tails
+        .iter()
+        .find(|t| t.index == event.worker)
+        .map(|t| {
+            let events: Vec<Json> = t.events.iter().map(trace_event_json).collect();
+            Json::object()
+                .with("recorded", Json::U64(t.recorded))
+                .with("dropped", Json::U64(t.dropped))
+                .with("events", Json::Array(events))
+        })
+        .unwrap_or(Json::Null);
+    let history = windows
+        .iter()
+        .find(|(w, _)| *w == event.worker)
+        .map(|(_, pts)| {
+            let points: Vec<Json> = pts
+                .iter()
+                .map(|p| {
+                    Json::object()
+                        .with("t_ms", Json::U64(p.t_ms))
+                        .with("batches", Json::U64(p.snap.batches))
+                        .with("inflight", Json::U64(p.snap.inflight))
+                        .with("reads_completed", Json::U64(p.snap.reads_completed))
+                        .with("cpu_nanos", Json::U64(p.snap.cpu_nanos))
+                })
+                .collect();
+            Json::Array(points)
+        })
+        .unwrap_or(Json::Null);
+    let fleet: Vec<Json> = verdicts
+        .iter()
+        .map(|v| {
+            Json::object()
+                .with("worker", Json::U64(v.worker as u64))
+                .with("state", Json::str(v.state.name()))
+        })
+        .collect();
+    doc.with("trace", trace)
+        .with("history", history)
+        .with("verdicts", Json::Array(fleet))
 }
 
 /// The process-global telemetry server: bench binaries construct many
@@ -1734,6 +1874,31 @@ mod tests {
     }
 
     #[test]
+    fn congestion_verdict_cpu_saturated_vs_queue_saturated() {
+        let det = CongestionDetector::new(CongestionConfig::default());
+        // Both workers sit pinned above the queue threshold; worker 0
+        // burns ~95% of each 100 ms interval on-CPU (compute-bound),
+        // worker 1 idles at ~5% (device-bound). The ringprof CPU share
+        // is the only difference between their windows.
+        let pinned = |cpu_per_tick: u64| {
+            move |i: u64, s: &mut WorkerSnapshot| {
+                s.batches = i;
+                s.inflight = 500;
+                s.cpu_nanos = i * cpu_per_tick;
+            }
+        };
+        let windows = vec![
+            (0, hist_pts(12, pinned(95_000_000))),
+            (1, hist_pts(12, pinned(5_000_000))),
+        ];
+        let verdicts = det.assess(&windows, &[]);
+        assert_eq!(verdicts[0].state, CongestionState::CpuSaturated, "{:?}", verdicts[0].evidence);
+        assert!(verdicts[0].evidence.cpu_share > 0.85, "{:?}", verdicts[0].evidence);
+        assert_eq!(verdicts[1].state, CongestionState::QueueSaturated, "{:?}", verdicts[1].evidence);
+        assert!(verdicts[1].evidence.cpu_share < 0.85, "{:?}", verdicts[1].evidence);
+    }
+
+    #[test]
     fn congestion_verdict_cq_wait_rising() {
         let det = CongestionDetector::new(CongestionConfig::default());
         // Interval CQ share climbs 0.04·i with 60 ms of I/O per 100 ms
@@ -1799,6 +1964,7 @@ mod tests {
                 cq_wait_share: 0.0,
                 cq_wait_share_slope: 0.0,
                 io_busy_share: 0.0,
+                cpu_share: 0.0,
                 batches_per_sec: 0.0,
                 fleet_median_batches_per_sec: 0.0,
                 batch_p99_slope_ns_per_sec: 0.0,
@@ -2130,6 +2296,72 @@ mod tests {
         assert!(doc.contains("\"stalled\": 1"));
     }
 
+    #[test]
+    fn stall_blackbox_carries_trace_history_and_verdicts() {
+        use ringstat::EventKind;
+        let mut s = snap(3, 8, true);
+        s.cpu_nanos = 42_000_000;
+        let event = StallEvent {
+            worker: 1,
+            snapshot: Some(s),
+        };
+        let tails = [
+            TraceTail {
+                index: 0,
+                recorded: 7,
+                dropped: 0,
+                events: vec![trace_ev(10, EventKind::BatchStart, 0)],
+            },
+            TraceTail {
+                index: 1,
+                recorded: 9,
+                dropped: 2,
+                events: vec![
+                    trace_ev(100, EventKind::GroupSubmit, 4),
+                    trace_ev(250, EventKind::GroupComplete, 4),
+                ],
+            },
+        ];
+        let windows = vec![(0, hist_pts(2, |_, _| {})), (1, hist_pts(3, |i, s| {
+            s.batches = i;
+            s.inflight = 12;
+            s.cpu_nanos = i * 1_000_000;
+        }))];
+        let verdicts = [
+            verdict(0, CongestionState::Ok),
+            verdict(1, CongestionState::QueueSaturated),
+        ];
+        let doc = stall_blackbox_document(&event, &tails, &windows, &verdicts).to_string_compact();
+        assert!(doc.contains("\"event\":\"ringscope_stall\""), "{doc}");
+        assert!(doc.contains("\"worker\":1"), "{doc}");
+        assert!(doc.contains("\"cpu_nanos\":42000000"), "{doc}");
+        // The black box carries worker 1's trace tail, not worker 0's.
+        assert!(doc.contains("\"group_submit\""), "{doc}");
+        assert!(doc.contains("\"dropped\":2"), "{doc}");
+        assert!(!doc.contains("\"batch_start\""), "{doc}");
+        // History points and fleet verdicts travel too.
+        assert!(doc.contains("\"t_ms\":200"), "{doc}");
+        assert!(doc.contains("\"queue_saturated\""), "{doc}");
+        assert!(Json::parse(&doc).is_ok(), "{doc}");
+        // Without trace/history for the worker, the sections are null.
+        let bare = stall_blackbox_document(&event, &[], &[], &[]).to_string_compact();
+        assert!(bare.contains("\"trace\":null"), "{bare}");
+        assert!(bare.contains("\"history\":null"), "{bare}");
+    }
+
+    #[test]
+    fn resources_document_serves_placeholder_then_published() {
+        let reg = SnapshotRegistry::new();
+        let placeholder = reg.resources_document();
+        assert!(placeholder.contains("\"resources\": null"), "{placeholder}");
+        assert!(Json::parse(&placeholder).is_ok());
+        reg.publish_resources("{\"epoch\": 3, \"resources\": {\"logical_bytes\": 64}}".to_string());
+        assert!(reg.resources_document().contains("\"logical_bytes\": 64"));
+        // Epoch reset keeps the last attribution queryable.
+        reg.reset_epoch(2);
+        assert!(reg.resources_document().contains("\"logical_bytes\": 64"));
+    }
+
     fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         for _ in 0..50 {
             if let Ok(mut stream) = TcpStream::connect(addr) {
@@ -2183,6 +2415,15 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"batch_start\""), "{body}");
         assert!(body.contains("\"recorded\": 1"), "{body}");
+        // /resources serves the placeholder until an epoch publishes,
+        // then the published document verbatim.
+        let (code, body) = http_get(handle.addr(), "/resources");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"resources\": null"), "{body}");
+        registry.publish_resources("{\"epoch\": 1, \"resources\": {\"conserved\": true}}".to_string());
+        let (code, body) = http_get(handle.addr(), "/resources");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"conserved\": true"), "{body}");
         let (code, _) = http_get(handle.addr(), "/healthz");
         assert_eq!(code, 200);
         assert!(handle.is_healthy());

@@ -18,8 +18,8 @@ use ringsampler_graph::{NodeId, OnDiskGraph, ENTRY_BYTES};
 use ringsampler_io::engine::{GroupReader, GroupToken, PreadReader, ReadSlice, UringReader};
 use ringsampler_io::{EngineKind, IoEngineError, RingBuilder};
 use ringstat::{
-    EventKind, EventRing, LatencyHistogram, Phase, PhaseTimes, SnapshotCell, SpanLog,
-    TraceEvent, WorkerSnapshot,
+    thread_cpu_nanos, EventKind, EventRing, LatencyHistogram, Phase, PhaseTimes,
+    ResourceSample, SnapshotCell, SpanLog, TimeLedger, TraceEvent, WorkerSnapshot,
 };
 
 use crate::block::{BatchSample, LayerSample};
@@ -27,7 +27,7 @@ use crate::cache::{page_of, PageCache, PAGE_SIZE};
 use crate::config::{CachePolicy, PipelineMode, RingMode, SamplerConfig};
 use crate::error::{Result, SamplerError};
 use crate::memory::MemoryCharge;
-use crate::metrics::{SampleMetrics, WorkerStats};
+use crate::metrics::{SampleMetrics, WorkerResources, WorkerStats};
 use crate::plan::{ReadPlanMode, ReadPlanner};
 use crate::sampling::OffsetSampler;
 
@@ -108,6 +108,16 @@ pub struct SamplerWorker {
     /// Timestamp origin for trace events; rebased to the epoch start by
     /// [`SamplerWorker::set_span_origin`], like the span log.
     trace_origin: Instant,
+    /// `ringprof` epoch anchor: the full resource sample and wall
+    /// instant taken by [`SamplerWorker::begin_epoch_profile`] **on this
+    /// worker's own thread** (the thread-CPU clock and `RUSAGE_THREAD`
+    /// are meaningless cross-thread). `None` when profiling is off.
+    res_start: Option<(ResourceSample, Instant)>,
+    /// Thread CPU nanoseconds consumed since the epoch anchor — updated
+    /// once per batch with a single `CLOCK_THREAD_CPUTIME_ID` read (the
+    /// one resource syscall sanctioned on the hot path) and published in
+    /// every snapshot.
+    cpu_nanos: u64,
 }
 
 /// Per-worker publish state for live telemetry (cold fields read every
@@ -285,6 +295,8 @@ impl SamplerWorker {
             telemetry: None,
             events,
             trace_origin: Instant::now(),
+            res_start: None,
+            cpu_nanos: 0,
         };
         // Degradations discovered during construction go to the flight
         // recorder too, so `ringtrace` sees them alongside the I/O events.
@@ -339,6 +351,42 @@ impl SamplerWorker {
         });
     }
 
+    /// Anchors `ringprof` for this epoch: takes the full epoch-start
+    /// [`ResourceSample`] (3 syscalls + one procfs read — epoch
+    /// boundary, never per batch). Must run **on the worker's own
+    /// thread**, after it has been moved into its epoch thread; the
+    /// thread-CPU clock and `RUSAGE_THREAD` scope to the caller.
+    /// No-op when `profile_resources` is off.
+    pub fn begin_epoch_profile(&mut self) {
+        if self.cfg.profile_resources {
+            // ringlint: allow(resource-discipline) — epoch boundary: runs once before the batch loop, on the worker's own thread
+            self.res_start = Some((ResourceSample::now(), Instant::now()));
+            self.cpu_nanos = 0;
+        }
+    }
+
+    /// Closes the epoch's resource interval: takes the end sample,
+    /// differences it against the anchor, and folds the stage
+    /// attribution + CPU time into the conservation-checked time
+    /// ledger. Consumes the anchor, so it fires once per
+    /// `begin_epoch_profile`. Runs on the worker's own thread (the
+    /// epoch-join path calls it from `take_stats`).
+    fn finish_epoch_resources(&mut self) -> Option<WorkerResources> {
+        let (start, wall0) = self.res_start.take()?;
+        // ringlint: allow(resource-discipline) — epoch join: closes the interval opened by begin_epoch_profile, once per epoch
+        let sample = ResourceSample::now().delta(&start);
+        let wall = nanos_between(wall0, Instant::now());
+        // Pin the published CPU counter to the precise final delta so
+        // the last snapshot and the report agree.
+        self.cpu_nanos = sample.cpu_nanos;
+        Some(WorkerResources {
+            wall_nanos: wall,
+            ledger: TimeLedger::build(wall, &self.phases, sample.cpu_nanos),
+            logical_bytes: self.metrics.sampled_edges * ENTRY_BYTES,
+            sample,
+        })
+    }
+
     /// Builds the current snapshot and publishes it through the seqlock
     /// slot, if one is attached. The publish itself is wait-free: two
     /// version-counter stores and a volatile payload store.
@@ -368,6 +416,7 @@ impl SamplerWorker {
                 ring_granted_flags: ring_setup.granted_flags,
                 prepare_nanos: m.prepare_nanos,
                 complete_nanos: m.complete_nanos,
+                cpu_nanos: self.cpu_nanos,
                 batch_latency,
             });
         }
@@ -424,6 +473,9 @@ impl SamplerWorker {
             trace_dropped: self.events.as_ref().map_or(0, |r| r.dropped()),
             ring_mode: self.cfg.ring_mode,
             ring_setup: self.reader.ring_setup(),
+            // Only the epoch-join path (`take_stats`) closes the resource
+            // interval; a mid-epoch peek reports none.
+            resources: None,
         }
     }
 
@@ -433,6 +485,9 @@ impl SamplerWorker {
     /// log has zero capacity); trace events recorded after it start a
     /// fresh window on the now-empty ring.
     pub fn take_stats(&mut self) -> WorkerStats {
+        // Close the ringprof interval first so the final snapshot below
+        // publishes the same CPU total the report carries.
+        let resources = self.finish_epoch_resources();
         // Final telemetry publish: the worker is done, so the watchdog
         // must stop expecting its version to advance.
         self.publish_snapshot(false);
@@ -452,6 +507,7 @@ impl SamplerWorker {
             trace_dropped,
             ring_mode: self.cfg.ring_mode,
             ring_setup: self.reader.ring_setup(),
+            resources,
         }
     }
 
@@ -493,6 +549,11 @@ impl SamplerWorker {
         }
         self.metrics.batches += 1;
         let batch_end = Instant::now();
+        if let Some((start, _)) = &self.res_start {
+            // ringprof per-batch cost: exactly one CLOCK_THREAD_CPUTIME_ID
+            // read — no getrusage, no procfs until the epoch boundary.
+            self.cpu_nanos = thread_cpu_nanos().saturating_sub(start.cpu_nanos);
+        }
         self.batch_hist.record(nanos_between(batch_start, batch_end));
         self.spans.record("batch", batch_start, batch_end);
         self.trace(

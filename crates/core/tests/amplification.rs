@@ -1,0 +1,100 @@
+//! Read-amplification acceptance test (DESIGN.md §15): ringprof's
+//! kernel-boundary ratio must be *kernel truth*, not bookkeeping. On the
+//! pread engine (the one engine whose reads fully increment
+//! `/proc/self/io` `rchar`) an uncached epoch reads every sampled entry
+//! through the kernel at least once, so `read_amplification >= 1.0`;
+//! with the page cache enabled on a reuse-heavy epoch (a tiny graph
+//! sampled thousands of times) most entries come from cached pages and
+//! the ratio must drop strictly below the uncached one.
+//!
+//! One `#[test]` body: `rchar` is process-wide, so the two epochs run
+//! sequentially in an otherwise-quiet process rather than racing a
+//! sibling test's file I/O.
+
+use ringsampler::{CachePolicy, RingSampler, SamplerConfig};
+use ringsampler_graph::edgefile::write_csr;
+use ringsampler_graph::{CsrGraph, NodeId, OnDiskGraph};
+use ringsampler_io::EngineKind;
+
+/// A 96-node graph whose edge file spans only a couple of pages — the
+/// regime where page-granular caching pays for its alignment overhead
+/// many times over.
+fn build_graph(tag: &str) -> OnDiskGraph {
+    let base = std::env::temp_dir().join(format!("rs-amp-{}-{tag}", std::process::id()));
+    let nodes = 96u32;
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut edges = Vec::new();
+    for v in 0..nodes {
+        for _ in 0..6 {
+            edges.push((v, (next() % nodes as u64) as u32));
+        }
+    }
+    let csr = CsrGraph::from_edges(nodes as usize, edges).unwrap();
+    write_csr(&csr, &base).unwrap()
+}
+
+fn config(cache: CachePolicy) -> SamplerConfig {
+    SamplerConfig::new()
+        .fanouts(&[5, 3])
+        .ring_entries(8)
+        .threads(2)
+        .batch_size(8)
+        .with_replacement(true)
+        .engine(EngineKind::Pread)
+        .cache(cache)
+        .seed(0xFEED)
+}
+
+fn targets() -> Vec<NodeId> {
+    (0..2048u32).map(|i| i % 96).collect()
+}
+
+#[test]
+fn pread_amplification_is_at_least_one_uncached_and_lower_cached() {
+    // Skip (loudly) where procfs is unavailable: the counters read as
+    // zero there and every ratio degrades to 0 by design.
+    if std::fs::read_to_string("/proc/self/io").is_err() {
+        eprintln!("skipping: /proc/self/io unavailable");
+        return;
+    }
+
+    let uncached = RingSampler::new(build_graph("uncached"), config(CachePolicy::None)).unwrap();
+    let report = uncached.sample_epoch(&targets()).expect("uncached epoch");
+    let res = report.resources.as_ref().expect("profiling defaults on");
+    let amp_uncached = res.read_amplification();
+    assert!(res.logical_bytes > 0, "epoch sampled nothing");
+    assert!(
+        amp_uncached >= 1.0,
+        "uncached pread epoch must cross the kernel boundary at least once \
+         per logical byte, got {amp_uncached:.4} \
+         (rchar {} / logical {})",
+        res.physical_rchar,
+        res.logical_bytes
+    );
+
+    let cached = RingSampler::new(
+        build_graph("cached"),
+        config(CachePolicy::Page {
+            budget_bytes: 1 << 20,
+        }),
+    )
+    .unwrap();
+    let report = cached.sample_epoch(&targets()).expect("cached epoch");
+    let res = report.resources.as_ref().expect("profiling defaults on");
+    let amp_cached = res.read_amplification();
+    assert!(
+        amp_cached < amp_uncached,
+        "page cache must strictly reduce kernel-boundary amplification: \
+         cached {amp_cached:.4} vs uncached {amp_uncached:.4}"
+    );
+    assert!(
+        report.metrics.cache_hits > 0,
+        "reuse-heavy epoch must actually hit the cache"
+    );
+}

@@ -10,9 +10,9 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use ringsampler::{EpochReport, RingMode, SampleMetrics, WorkerStats};
+use ringsampler::{EpochReport, RingMode, SampleMetrics, WorkerResources, WorkerStats};
 use ringsampler_io::RingSetupInfo;
-use ringstat::{EventKind, Phase, PromWriter, SpanLog, TraceEvent};
+use ringstat::{EventKind, Phase, PromWriter, ResourceSample, SpanLog, TimeLedger, TraceEvent};
 
 /// A fully deterministic report: fixed counters, fixed histogram samples,
 /// fixed span timestamps. No clocks involved.
@@ -87,7 +87,34 @@ fn golden_report() -> EpochReport {
         ev(1_000_000, EventKind::BatchEnd, 0, 1_000_000, 2, 0),
     ];
     worker.trace_dropped = 2;
-    worker.into_epoch_report(Duration::from_millis(250))
+    // A deterministic ringprof interval: 250 ms wall, 240 ms on-CPU (a
+    // healthy, conserving ledger), stages as recorded above. No clocks
+    // involved.
+    let sample = ResourceSample {
+        cpu_nanos: 240_000_000,
+        user_nanos: 200_000_000,
+        sys_nanos: 40_000_000,
+        vol_ctx_switches: 40,
+        invol_ctx_switches: 8,
+        minor_faults: 1_200,
+        major_faults: 3,
+        proc_read_bytes: 2 << 20,
+        proc_rchar: 5 << 20,
+    };
+    let phases = worker.phases;
+    worker.resources = Some(WorkerResources {
+        wall_nanos: 250_000_000,
+        ledger: TimeLedger::build(250_000_000, &phases, sample.cpu_nanos),
+        logical_bytes: 2_048 * 8,
+        sample,
+    });
+    let mut report = worker.into_epoch_report(Duration::from_millis(250));
+    // The engine fills the process-wide bracket after absorbing workers.
+    let res = report.resources.as_mut().unwrap();
+    res.physical_rchar = 5 << 20;
+    res.physical_read_bytes = 2 << 20;
+    res.logical_bytes = 2_048 * 8;
+    report
 }
 
 fn check_golden(name: &str, actual: &str) {

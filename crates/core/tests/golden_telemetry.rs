@@ -42,6 +42,7 @@ fn golden_registry() -> Arc<SnapshotRegistry> {
     w0.reads_completed = 1_532;
     w0.inflight = 4;
     w0.io_groups = 12;
+    w0.cpu_nanos = 2_000_000;
     w0.active = true;
     // Partial grant: COOP|DEFER|SINGLE_ISSUER requested, SINGLE_ISSUER
     // refused — the live fallback signal the /metrics consumer watches.
@@ -64,6 +65,7 @@ fn golden_registry() -> Arc<SnapshotRegistry> {
     w1.reads_completed = 2_560;
     w1.inflight = 0;
     w1.io_groups = 20;
+    w1.cpu_nanos = 3_500_000;
     w1.active = true;
     // Full grant: requested == granted.
     w1.ring_requested_flags = (1 << 8) | (1 << 13) | (1 << 12);
@@ -208,6 +210,9 @@ fn push_golden_history(registry: &SnapshotRegistry) {
                 s.reads_completed = 256 * i / div;
                 s.prepare_nanos = 40_000_000 * i / div;
                 s.complete_nanos = 10_000_000 * i / div;
+                // ringprof column: worker 0 busy (~180/250 ms on-CPU per
+                // interval), the straggler mostly idle.
+                s.cpu_nanos = 180_000_000 * i / div;
                 s.active = true;
                 s.batch_latency.record(700_000 + 50_000 * i);
                 WorkerObservation {
@@ -263,6 +268,66 @@ fn history_endpoint_body_is_pinned_through_http() {
     assert_eq!(code, 200);
     assert!(filtered.contains("\"worker\": 1"));
     assert!(!filtered.contains("\"worker\": 0"));
+    handle.shutdown();
+}
+
+#[test]
+fn resources_endpoint_body_is_pinned_through_http() {
+    use ringsampler::{EpochReport, ResourceReport, WorkerResources};
+    use ringstat::{Json, Phase, PhaseTimes, ResourceSample, TimeLedger};
+
+    // The same deterministic ringprof interval the report golden pins:
+    // 250 ms wall, 240 ms on-CPU, fixed stage walls. The engine renders
+    // this exact document at epoch join and publishes it verbatim.
+    let mut phases = PhaseTimes::new();
+    phases.add(Phase::Prepare, 400_000);
+    phases.add(Phase::Submit, 600_000);
+    phases.add(Phase::Complete, 3_000_000);
+    phases.add(Phase::Aggregate, 250_000);
+    let sample = ResourceSample {
+        cpu_nanos: 240_000_000,
+        user_nanos: 200_000_000,
+        sys_nanos: 40_000_000,
+        vol_ctx_switches: 40,
+        invol_ctx_switches: 8,
+        minor_faults: 1_200,
+        major_faults: 3,
+        proc_read_bytes: 2 << 20,
+        proc_rchar: 5 << 20,
+    };
+    let mut res = ResourceReport::default();
+    res.absorb(WorkerResources {
+        wall_nanos: 250_000_000,
+        ledger: TimeLedger::build(250_000_000, &phases, sample.cpu_nanos),
+        logical_bytes: 16_384,
+        sample,
+    });
+    res.physical_rchar = 5 << 20;
+    res.physical_read_bytes = 2 << 20;
+    res.logical_bytes = 16_384;
+    let report = EpochReport {
+        resources: Some(res),
+        ..Default::default()
+    };
+    let doc = Json::object()
+        .with("epoch", Json::U64(1))
+        .with("resources", report.resources_json_value())
+        .to_string_pretty();
+
+    // Travel the real registry → HTTP route: the bytes asserted are the
+    // body a live scraper receives from GET /resources.
+    let registry = Arc::new(SnapshotRegistry::new());
+    let cfg = TelemetryConfig::new("127.0.0.1:0")
+        .poll_interval(Duration::from_millis(10))
+        .history_capacity(0);
+    let handle = spawn_server(&cfg, Arc::clone(&registry)).expect("spawn server");
+    registry.publish_resources(doc);
+    let (code, body) = http_get(handle.addr(), "/resources");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"read_amplification\": 320.0"), "{body}");
+    assert!(body.contains("\"conserved\": true"), "{body}");
+    assert!(body.contains("\"physical_attribution\": \"proportional\""), "{body}");
+    check_golden("telemetry_resources.json", &body);
     handle.shutdown();
 }
 

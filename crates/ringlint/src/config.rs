@@ -10,8 +10,8 @@
 //! protocol.
 
 use crate::rules::{
-    RULE_ATOMIC, RULE_BLOCKING, RULE_LOAN, RULE_LOCK_SUBMIT, RULE_PANIC, RULE_SWALLOWED,
-    RULE_SYNC, RULE_UNSAFE,
+    RULE_ATOMIC, RULE_BLOCKING, RULE_LOAN, RULE_LOCK_SUBMIT, RULE_PANIC, RULE_RESOURCE,
+    RULE_SWALLOWED, RULE_SYNC, RULE_UNSAFE,
 };
 
 /// Modules executed per-batch by sampler workers (paper §3.1: the
@@ -39,6 +39,11 @@ pub const HOT_PATH: &[&str] = &[
     // shares slots with concurrent dashboard readers; like the flight
     // recorder it must stay lock-free and panic-free.
     "crates/ringstat/src/history.rs",
+    // ringprof's samplers: `thread_cpu_nanos` rides every batch, and the
+    // epoch-boundary `ResourceSample::now` shares the file — so the
+    // whole module is held to hot-path discipline, with the
+    // resource-discipline rule auditing which reads run where.
+    "crates/ringstat/src/resources.rs",
 ];
 
 /// Modules on the io_uring submission/completion path. Blocking reads here
@@ -90,6 +95,7 @@ pub fn rules_for(rel: &str) -> Vec<&'static str> {
     if in_scope(rel, HOT_PATH) {
         rules.push(RULE_SYNC);
         rules.push(RULE_PANIC);
+        rules.push(RULE_RESOURCE);
     }
     if in_scope(rel, IO_PATH) {
         rules.push(RULE_BLOCKING);
@@ -217,6 +223,19 @@ mod tests {
         assert!(rules.contains(&RULE_PANIC));
         assert!(rules.contains(&RULE_ATOMIC));
         assert!(!rules.contains(&RULE_BLOCKING));
+    }
+
+    #[test]
+    fn resources_module_is_hot_with_resource_discipline() {
+        let rules = rules_for("crates/ringstat/src/resources.rs");
+        assert!(rules.contains(&RULE_SYNC));
+        assert!(rules.contains(&RULE_PANIC));
+        assert!(rules.contains(&RULE_RESOURCE));
+        assert!(!rules.contains(&RULE_BLOCKING));
+        assert!(!rules.contains(&RULE_ATOMIC));
+        // Cold modules sample freely: the rule is hot-path-scoped.
+        assert!(!rules_for("crates/ringstat/src/json.rs").contains(&RULE_RESOURCE));
+        assert!(!rules_for("crates/bench/src/lib.rs").contains(&RULE_RESOURCE));
     }
 
     #[test]

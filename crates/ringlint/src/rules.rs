@@ -1,6 +1,6 @@
-//! The eight invariant rules, run over the token stream of one file.
+//! The nine invariant rules, run over the token stream of one file.
 //!
-//! Five rules are token-level detectors; three (`buffer-loan`,
+//! Six rules are token-level detectors; three (`buffer-loan`,
 //! `lock-across-submit`, `swallowed-ring-error`) run on the statement-level
 //! dataflow analysis in [`crate::dataflow`]. Each detector works on the
 //! lexed tokens (never raw text), so patterns inside string literals and
@@ -37,6 +37,11 @@ pub const RULE_LOCK_SUBMIT: &str = "lock-across-submit";
 /// Fallible ring operations must not have their errors discarded with
 /// `let _ =` or `.ok()`.
 pub const RULE_SWALLOWED: &str = "swallowed-ring-error";
+/// Kernel resource counters (`getrusage`, procfs) may only be sampled at
+/// epoch boundaries; the per-batch path is limited to the single
+/// `CLOCK_THREAD_CPUTIME_ID` read (`ringstat::thread_cpu_nanos`). Every
+/// epoch-boundary site carries a reasoned allow naming its boundary.
+pub const RULE_RESOURCE: &str = "resource-discipline";
 /// Exemption hygiene (reported, never scoped): a `ringlint: allow(..)`
 /// comment that no longer suppresses any finding.
 pub const RULE_STALE: &str = "stale-allow";
@@ -48,6 +53,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_BLOCKING,
     RULE_PANIC,
     RULE_ATOMIC,
+    RULE_RESOURCE,
     RULE_LOAN,
     RULE_LOCK_SUBMIT,
     RULE_SWALLOWED,
@@ -85,6 +91,7 @@ pub fn lint_source(rel: &str, src: &str) -> FileOutcome {
             RULE_BLOCKING => no_blocking_io(&a, &mut raw),
             RULE_PANIC => panic_free(&a, &mut raw),
             RULE_ATOMIC => atomic_ordering(&a, &mut raw),
+            RULE_RESOURCE => resource_discipline(&a, &mut raw),
             _ => {}
         }
     }
@@ -712,6 +719,51 @@ fn atomic_ordering(a: &Analysis<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: resource-discipline
+// ---------------------------------------------------------------------------
+
+/// Flags kernel resource-counter reads in hot-path modules: `getrusage`
+/// and `/proc/self/io` (via `proc_io_now` or `ResourceSample::now`) are
+/// epoch-boundary operations — two syscalls and a procfs parse — and
+/// must never ride the per-batch loop, which is limited to the single
+/// `CLOCK_THREAD_CPUTIME_ID` read (`thread_cpu_nanos`, not flagged).
+/// Legitimate epoch-boundary sites carry a reasoned allow naming the
+/// boundary they run on.
+fn resource_discipline(a: &Analysis<'_>, out: &mut Vec<Violation>) {
+    let toks = a.toks();
+    for (i, tok) in toks.iter().enumerate() {
+        if a.skip[i] || tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Definitions (`pub fn proc_io_now(..)`) are not call sites.
+        if i > 0 && a.text(i - 1) == "fn" {
+            continue;
+        }
+        match tok.text.as_str() {
+            name @ ("getrusage" | "proc_io_now") if a.text(i + 1) == "(" => {
+                a.violation(
+                    out,
+                    RULE_RESOURCE,
+                    tok.line,
+                    format!(
+                        "kernel resource read `{name}()` in a hot-path module; per-batch code may only read CLOCK_THREAD_CPUTIME_ID (`thread_cpu_nanos`) — sample rusage/procfs at epoch boundaries and name the boundary in an allow"
+                    ),
+                );
+            }
+            "ResourceSample" if a.text(i + 1) == "::" && a.text(i + 2) == "now" => {
+                a.violation(
+                    out,
+                    RULE_RESOURCE,
+                    tok.line,
+                    "`ResourceSample::now()` (getrusage + procfs) in a hot-path module; per-batch code may only read CLOCK_THREAD_CPUTIME_ID (`thread_cpu_nanos`) — sample at epoch boundaries and name the boundary in an allow".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -848,5 +900,46 @@ mod tests {
     fn patterns_inside_strings_ignored() {
         let src = "fn f() -> &'static str { \"Mutex .unwrap() fs::read\" }";
         assert!(lint_at(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn resource_reads_flagged_in_hot_path_only() {
+        for src in [
+            "fn f() { let s = ResourceSample::now(); }",
+            "fn f() { let (rb, rc) = proc_io_now(); }",
+            "fn f(ru: &mut rusage) { unsafe { getrusage(RUSAGE_THREAD, ru) }; }",
+        ] {
+            let v = lint_at(HOT, src);
+            assert!(
+                v.iter().any(|v| v.rule == RULE_RESOURCE),
+                "{src} not flagged: {v:?}"
+            );
+            // Cold modules may sample freely (epoch drivers, tests, tools).
+            assert!(lint_at("crates/bench/src/lib.rs", src)
+                .iter()
+                .all(|v| v.rule != RULE_RESOURCE));
+        }
+    }
+
+    #[test]
+    fn thread_cpu_clock_read_is_sanctioned() {
+        // The one per-batch read: a single CLOCK_THREAD_CPUTIME_ID
+        // clock_gettime, wrapped as thread_cpu_nanos. Never flagged.
+        let src = "fn f() -> u64 { thread_cpu_nanos() }";
+        assert!(lint_at(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn resource_definitions_are_not_call_sites() {
+        let src = "pub fn proc_io_now() -> (u64, u64) { (0, 0) }";
+        assert!(lint_at(HOT, src).is_empty());
+    }
+
+    #[test]
+    fn resource_allow_with_boundary_reason_suppresses() {
+        let src = "fn begin_epoch() {\n    // ringlint: allow(resource-discipline) — epoch boundary: runs once before the batch loop\n    let s = ResourceSample::now();\n}";
+        let o = lint_source(HOT, src);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+        assert_eq!(o.allowed, 1);
     }
 }

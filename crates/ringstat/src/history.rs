@@ -324,6 +324,43 @@ pub fn cq_wait_share_slope(points: &[HistoryPoint]) -> f64 {
     slope_per_sec(&cq_wait_share_series(points))
 }
 
+/// Per-interval CPU-share series: for each consecutive pair of points,
+/// the fraction of that interval's wall clock the worker's thread spent
+/// on-CPU, `Δcpu_nanos / Δt` clamped to `[0, 1]`. Zero-span intervals
+/// are skipped. All-zero `cpu_nanos` (ringprof disabled) yields an
+/// all-zero series, which consumers must treat as "no signal", not
+/// "idle".
+pub fn cpu_share_series(points: &[HistoryPoint]) -> Vec<(u64, f64)> {
+    points
+        .windows(2)
+        .filter_map(|w| {
+            let (a, b) = (w.first()?, w.last()?);
+            let span_ns = b.t_ms.saturating_sub(a.t_ms).saturating_mul(1_000_000);
+            if span_ns == 0 {
+                return None;
+            }
+            let dc = b.snap.cpu_nanos.saturating_sub(a.snap.cpu_nanos);
+            Some((b.t_ms, (dc as f64 / span_ns as f64).min(1.0)))
+        })
+        .collect()
+}
+
+/// The mean CPU share across a window: total thread-CPU delta over the
+/// window's wall span, clamped to `[0, 1]`. High (≈1.0) means the
+/// worker is compute-bound; low with high CQ-wait share means it is
+/// I/O-bound. 0.0 for degenerate windows or when ringprof is disabled.
+pub fn cpu_share(points: &[HistoryPoint]) -> f64 {
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return 0.0;
+    };
+    let span_ns = last.t_ms.saturating_sub(first.t_ms).saturating_mul(1_000_000);
+    if span_ns == 0 {
+        return 0.0;
+    }
+    let dc = last.snap.cpu_nanos.saturating_sub(first.snap.cpu_nanos);
+    (dc as f64 / span_ns as f64).min(1.0)
+}
+
 /// The fraction of the window's wall-clock time the worker spent in I/O
 /// at all (preparing/submitting or waiting on completions). A CQ-wait
 /// share only carries congestion signal when this is substantial: a
@@ -510,6 +547,30 @@ mod tests {
         assert!((series[1].1 - 0.9).abs() < 1e-12);
         let slope = cq_wait_share_slope(&[a, b, c]);
         assert!((slope - 0.4).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn cpu_share_tracks_thread_cpu_growth() {
+        assert_eq!(cpu_share(&[]), 0.0);
+        // 100 ms window, 75 ms of thread CPU ⇒ 0.75 share.
+        let a = pt(0, 0, 0);
+        let mut b = pt(100, 0, 0);
+        b.snap.cpu_nanos = 75_000_000;
+        assert!((cpu_share(&[a, b]) - 0.75).abs() < 1e-12);
+        // Per-interval series: 0.75 then 0.25.
+        let mut c = pt(200, 0, 0);
+        c.snap.cpu_nanos = 100_000_000;
+        let s = cpu_share_series(&[a, b, c]);
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 0.75).abs() < 1e-12);
+        assert!((s[1].1 - 0.25).abs() < 1e-12);
+        // Over-accounting clamps at 1.0; zero spans are skipped.
+        let mut d = pt(201, 0, 0);
+        d.snap.cpu_nanos = 900_000_000;
+        assert_eq!(cpu_share(&[c, d]), 1.0);
+        assert!(cpu_share_series(&[c, c]).is_empty());
+        // ringprof disabled ⇒ all-zero signal, not NaN.
+        assert_eq!(cpu_share(&[pt(0, 0, 0), pt(100, 5, 5)]), 0.0);
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   worker, appended by the telemetry thread every poll tick, plus pure
 //!   derivation helpers (windowed rates, EWMA trends, p99 and
 //!   CQ-wait-share slope estimators) the congestion detectors consume.
+//! * [`ResourceSample`] / [`TimeLedger`] — the `ringprof` kernel-truth
+//!   layer: per-thread CPU clock and rusage counters plus process-wide
+//!   `/proc/self/io` bytes, folded with the stage attribution into a
+//!   conservation-checked per-worker time ledger
+//!   `{compute, submit, io_wait, reap, other}`.
 //! * [`HttpServer`] — a bounded, dependency-free HTTP listener for the
 //!   embedded `/metrics` · `/progress` · `/healthz` endpoints.
 //! * [`human_bytes`] / [`human_count`] — display helpers for run reports.
@@ -62,6 +67,7 @@ pub mod history;
 pub mod http;
 pub mod json;
 pub mod prometheus;
+pub mod resources;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -73,6 +79,10 @@ pub use history::{HistoryPoint, HistoryRing, WindowRates};
 pub use http::{HttpServer, Request, Response};
 pub use json::Json;
 pub use prometheus::PromWriter;
+pub use resources::{
+    parse_proc_io, proc_io_now, thread_cpu_nanos, ResourceSample, TimeLedger,
+    CONSERVATION_THRESHOLD,
+};
 pub use snapshot::{SnapshotCell, WorkerSnapshot};
 pub use span::{Phase, PhaseTimes, SpanEvent, SpanLog, NUM_PHASES};
 pub use trace::ChromeTrace;

@@ -90,6 +90,12 @@ pub struct WorkerSnapshot {
     /// (CQ wait + reap). The ratio `complete / (prepare + complete)`
     /// is the CQ-wait share the congestion detectors trend.
     pub complete_nanos: u64,
+    /// Cumulative thread CPU nanoseconds consumed this epoch
+    /// (`CLOCK_THREAD_CPUTIME_ID`, updated per batch when ringprof is
+    /// enabled; 0 otherwise). The history layer derives CPU share from
+    /// its growth rate, which is what separates `cpu_saturated` from
+    /// `queue_saturated` congestion verdicts.
+    pub cpu_nanos: u64,
     /// Per-batch wall-latency distribution (log2 buckets, lossless
     /// merge) for the current epoch.
     pub batch_latency: LatencyHistogram,
@@ -115,6 +121,7 @@ impl WorkerSnapshot {
             ring_granted_flags: 0,
             prepare_nanos: 0,
             complete_nanos: 0,
+            cpu_nanos: 0,
             batch_latency: LatencyHistogram::new(),
         }
     }

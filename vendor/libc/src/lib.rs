@@ -44,6 +44,48 @@ pub struct iovec {
     pub iov_len: size_t,
 }
 
+/// `clockid_t` from `<time.h>` — plain int on Linux.
+pub type clockid_t = c_int;
+
+/// `struct timespec` from `<time.h>` (linux 64-bit layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timespec {
+    pub tv_sec: c_long,
+    pub tv_nsec: c_long,
+}
+
+/// `struct timeval` from `<sys/time.h>` (linux 64-bit layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timeval {
+    pub tv_sec: c_long,
+    pub tv_usec: c_long,
+}
+
+/// `struct rusage` from `<sys/resource.h>` (linux 64-bit layout: two
+/// timevals followed by 14 longs, in this exact order).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct rusage {
+    pub ru_utime: timeval,
+    pub ru_stime: timeval,
+    pub ru_maxrss: c_long,
+    pub ru_ixrss: c_long,
+    pub ru_idrss: c_long,
+    pub ru_isrss: c_long,
+    pub ru_minflt: c_long,
+    pub ru_majflt: c_long,
+    pub ru_nswap: c_long,
+    pub ru_inblock: c_long,
+    pub ru_oublock: c_long,
+    pub ru_msgsnd: c_long,
+    pub ru_msgrcv: c_long,
+    pub ru_nsignals: c_long,
+    pub ru_nvcsw: c_long,
+    pub ru_nivcsw: c_long,
+}
+
 // --- errno values (asm-generic, linux) ---
 
 pub const EPERM: c_int = 1;
@@ -68,6 +110,15 @@ pub const MAP_POPULATE: c_int = 0x8000;
 /// `mmap` failure sentinel: `(void *)-1`.
 pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
 
+// --- resource accounting constants (linux) ---
+
+/// `getrusage` scope: the calling thread only (Linux extension).
+pub const RUSAGE_THREAD: c_int = 1;
+/// Per-thread CPU-time clock for `clock_gettime`.
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+/// Monotonic clock (useful for ABI tests; `std::time::Instant` wraps it).
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
 extern "C" {
     /// Indirect system call. Variadic, exactly like the glibc prototype.
     pub fn syscall(num: c_long, ...) -> c_long;
@@ -84,6 +135,13 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
 
     pub fn close(fd: c_int) -> c_int;
+
+    /// Per-thread / per-process resource usage (`RUSAGE_THREAD` scope
+    /// is what ringprof uses).
+    pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
+
+    /// POSIX clock read; ringprof uses `CLOCK_THREAD_CPUTIME_ID`.
+    pub fn clock_gettime(clockid: clockid_t, tp: *mut timespec) -> c_int;
 }
 
 #[cfg(test)]
@@ -121,5 +179,45 @@ mod tests {
     fn close_bad_fd_returns_minus_one() {
         // SAFETY: closing an invalid fd is harmless and returns -1/EBADF.
         assert_eq!(unsafe { close(-1) }, -1);
+    }
+
+    #[test]
+    fn rusage_layout_matches_glibc() {
+        // Two 16-byte timevals + 14 longs = 144 bytes on 64-bit Linux.
+        assert_eq!(core::mem::size_of::<timeval>(), 16);
+        assert_eq!(core::mem::size_of::<timespec>(), 16);
+        assert_eq!(core::mem::size_of::<rusage>(), 144);
+    }
+
+    #[test]
+    fn getrusage_thread_succeeds() {
+        let mut ru = rusage::default();
+        // SAFETY: `ru` is a valid, writable rusage out-parameter.
+        let rc = unsafe { getrusage(RUSAGE_THREAD, &mut ru) };
+        assert_eq!(rc, 0);
+        assert!(ru.ru_utime.tv_usec < 1_000_000);
+        assert!(ru.ru_stime.tv_usec < 1_000_000);
+        assert!(ru.ru_minflt >= 0);
+    }
+
+    #[test]
+    fn thread_cputime_clock_is_monotone() {
+        let mut a = timespec::default();
+        let mut b = timespec::default();
+        // SAFETY: valid timespec out-parameters.
+        unsafe {
+            assert_eq!(clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a), 0);
+            // Burn a little CPU so the second read cannot go backwards
+            // even on coarse clocks.
+            let mut x = 0u64;
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            core::hint::black_box(x);
+            assert_eq!(clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b), 0);
+        }
+        let an = a.tv_sec * 1_000_000_000 + a.tv_nsec;
+        let bn = b.tv_sec * 1_000_000_000 + b.tv_nsec;
+        assert!(bn >= an, "thread CPU clock went backwards: {an} -> {bn}");
     }
 }
